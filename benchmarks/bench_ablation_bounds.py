@@ -1,0 +1,107 @@
+"""Ablation — lower-bound providers for BBS pruning.
+
+The paper's BBS inherits landmark lower bounds from [29]; [45] replaced
+them with exact reverse-Dijkstra bounds.  This ablation quantifies the
+trade-off on the scaled C9_NY stand-in: expansions and wall time for
+BBS under exact bounds (library default), landmark bounds (the paper's
+choice, amortized across queries), and no bounds at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import load_subgraph
+from repro.eval import fmt_seconds, format_table, random_queries
+from repro.search.bbs import skyline_paths
+from repro.search.bounds import ExactBounds, LandmarkLowerBounds, ZeroBounds
+from repro.search.landmark import LandmarkIndex
+
+from benchmarks.conftest import report
+
+
+@pytest.fixture(scope="module")
+def bounds_data():
+    graph = load_subgraph("C9_NY", 700)
+    queries = random_queries(graph, 5, seed=99, min_hops=12)
+    landmark_index = LandmarkIndex(graph, 8)
+
+    providers = {
+        "exact (reverse Dijkstra)": lambda q: ExactBounds(graph, [q.target]),
+        "landmark (8 landmarks)": lambda q: LandmarkLowerBounds(
+            landmark_index, [q.target]
+        ),
+        "none (zero bounds)": lambda q: ZeroBounds(graph.dim),
+    }
+    data = {}
+    for name, factory in providers.items():
+        expansions, seconds, sizes = 0, 0.0, 0
+        for q in queries:
+            started = time.perf_counter()
+            result = skyline_paths(
+                graph,
+                q.source,
+                q.target,
+                bounds=factory(q),
+                time_budget=120.0,
+            )
+            seconds += time.perf_counter() - started
+            expansions += result.stats.expansions
+            sizes += len(result.paths)
+        data[name] = {
+            "seconds": seconds / len(queries),
+            "expansions": expansions / len(queries),
+            "size": sizes / len(queries),
+        }
+
+    rows = [
+        [
+            name,
+            fmt_seconds(row["seconds"]),
+            f"{row['expansions']:,.0f}",
+            f"{row['size']:.1f}",
+        ]
+        for name, row in data.items()
+    ]
+    report(
+        "ablation_bounds",
+        format_table(
+            ["bound provider", "mean query time", "mean expansions", "mean |P|"],
+            rows,
+            title="Ablation: BBS lower-bound providers (C9_NY 700-node stand-in)",
+        ),
+    )
+    return data
+
+
+def test_exact_bounds_prune_most(bounds_data):
+    exact = bounds_data["exact (reverse Dijkstra)"]["expansions"]
+    zero = bounds_data["none (zero bounds)"]["expansions"]
+    assert exact <= zero
+
+
+def test_landmark_bounds_between(bounds_data):
+    exact = bounds_data["exact (reverse Dijkstra)"]["expansions"]
+    landmark = bounds_data["landmark (8 landmarks)"]["expansions"]
+    zero = bounds_data["none (zero bounds)"]["expansions"]
+    assert exact <= landmark * 1.05
+    assert landmark <= zero * 1.05
+
+
+def test_all_providers_agree_on_results(bounds_data):
+    sizes = [row["size"] for row in bounds_data.values()]
+    assert max(sizes) - min(sizes) < 1e-9  # identical exact skylines
+
+
+def test_bounds_benchmark(benchmark, bounds_data):
+    graph = load_subgraph("C9_NY", 700)
+    [q] = random_queries(graph, 1, seed=98, min_hops=12)
+    bounds = ExactBounds(graph, [q.target])
+    result = benchmark.pedantic(
+        lambda: skyline_paths(graph, q.source, q.target, bounds=bounds),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.paths

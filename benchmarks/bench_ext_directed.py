@@ -1,0 +1,110 @@
+"""Extension — directed road networks (paper Section 4.3.1).
+
+The paper sketches the directed extension; this bench measures the
+implemented version on the C9_NY stand-in with mildly asymmetric
+per-direction costs: construction overhead vs the undirected build,
+query time vs directed exact BBS, and answer quality.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.core.directed import DirectedBackboneIndex
+from repro.datasets import load_subgraph
+from repro.eval import fmt_seconds, format_table, rac, random_queries
+from repro.graph.directed import to_directed
+from repro.search.bbs import skyline_paths
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+
+@pytest.fixture(scope="module")
+def directed_data():
+    undirected = load_subgraph("C9_NY", 700)
+    directed = to_directed(undirected, asymmetry=0.1, seed=211)
+    params = BackboneParams(
+        m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+
+    started = time.perf_counter()
+    build_backbone_index(undirected, params)
+    undirected_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    index = DirectedBackboneIndex(directed, params)
+    directed_seconds = time.perf_counter() - started
+
+    queries = random_queries(index.projection, 5, seed=17, min_hops=12)
+    rac_values, approx_times, exact_times = [], [], []
+    for q in queries:
+        started = time.perf_counter()
+        approx = index.query(q.source, q.target).paths
+        approx_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        exact = skyline_paths(directed, q.source, q.target).paths
+        exact_times.append(time.perf_counter() - started)
+        if approx and exact:
+            rac_values.extend(rac(approx, exact))
+
+    rows = [
+        ["undirected build", fmt_seconds(undirected_seconds), "-"],
+        ["directed build", fmt_seconds(directed_seconds), "-"],
+        [
+            "directed backbone query",
+            fmt_seconds(sum(approx_times) / len(approx_times)),
+            f"median RAC {median(rac_values):.2f}" if rac_values else "-",
+        ],
+        [
+            "directed exact BBS",
+            fmt_seconds(sum(exact_times) / len(exact_times)),
+            "exact",
+        ],
+    ]
+    report(
+        "ext_directed",
+        format_table(
+            ["operation", "time", "quality"],
+            rows,
+            title="Extension: directed networks (C9_NY 700-node stand-in)",
+        ),
+    )
+    return {
+        "undirected_seconds": undirected_seconds,
+        "directed_seconds": directed_seconds,
+        "approx_mean": sum(approx_times) / len(approx_times),
+        "exact_mean": sum(exact_times) / len(exact_times),
+        "rac_values": rac_values,
+        "index": index,
+        "queries": queries,
+    }
+
+
+def test_directed_build_overhead_bounded(directed_data):
+    """The directed build costs at most a few times the undirected one
+    (projection + replay of the top graph)."""
+    assert (
+        directed_data["directed_seconds"]
+        <= 10 * directed_data["undirected_seconds"] + 1.0
+    )
+
+
+def test_directed_queries_faster_than_exact(directed_data):
+    assert directed_data["approx_mean"] < directed_data["exact_mean"]
+
+
+def test_directed_quality_band(directed_data):
+    values = directed_data["rac_values"]
+    assert values
+    assert median(values) <= 2.5
+
+
+def test_directed_query_benchmark(benchmark, directed_data):
+    index = directed_data["index"]
+    q = directed_data["queries"][0]
+    result = benchmark(lambda: index.query(q.source, q.target))
+    assert result.paths is not None

@@ -1,0 +1,106 @@
+"""Extension — dynamic index maintenance (paper Section 4.3.1).
+
+The paper maintains the index under network updates by recomputing the
+affected skyline information; the experiments live in its technical
+report.  This bench measures the implemented level-replay maintenance:
+cost-per-update for deep (partial replay) and ground-level (full
+rebuild) changes, against the from-scratch rebuild baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.core.maintenance import MaintainableIndex
+from repro.datasets import load_subgraph
+from repro.eval import fmt_seconds, format_table
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+
+@pytest.fixture(scope="module")
+def maintenance_data():
+    graph = load_subgraph("C9_NY", 900)
+    params = BackboneParams(
+        m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+
+    started = time.perf_counter()
+    maintainer = MaintainableIndex(graph, params)
+    initial_seconds = time.perf_counter() - started
+
+    # full rebuild baseline
+    started = time.perf_counter()
+    build_backbone_index(graph, params)
+    rebuild_seconds = time.perf_counter() - started
+
+    # deep update: an edge surviving into the highest possible level
+    deep_update_seconds = None
+    for level in range(maintainer.index.height - 1, 0, -1):
+        snapshot = maintainer._snapshots[level]
+        if snapshot.num_edges:
+            u, v = next(iter(snapshot.edge_pairs()))
+            old = maintainer.graph.edge_costs(u, v)[0]
+            started = time.perf_counter()
+            maintainer.update_edge_cost(u, v, old, tuple(c * 2 for c in old))
+            deep_update_seconds = time.perf_counter() - started
+            break
+
+    # ground-level update: a brand-new edge between arbitrary nodes
+    nodes = sorted(maintainer.graph.nodes())
+    started = time.perf_counter()
+    maintainer.insert_edge(nodes[1], nodes[-2], (10.0, 10.0, 10.0))
+    ground_update_seconds = time.perf_counter() - started
+
+    rows = [
+        ["initial build", fmt_seconds(initial_seconds)],
+        ["from-scratch rebuild", fmt_seconds(rebuild_seconds)],
+        [
+            "deep edge update (partial replay)",
+            fmt_seconds(deep_update_seconds)
+            if deep_update_seconds is not None
+            else "n/a",
+        ],
+        ["ground-level insert (full rebuild)", fmt_seconds(ground_update_seconds)],
+    ]
+    text = format_table(
+        ["operation", "time"],
+        rows,
+        title="Extension: dynamic maintenance (C9_NY 900-node stand-in)",
+    )
+    text += f"\nmaintenance stats: {maintainer.maintenance_stats}"
+    report("ext_maintenance", text)
+    return {
+        "rebuild_seconds": rebuild_seconds,
+        "deep_update_seconds": deep_update_seconds,
+        "ground_update_seconds": ground_update_seconds,
+        "maintainer": maintainer,
+    }
+
+
+def test_deep_update_cheaper_than_rebuild(maintenance_data):
+    """Shape claim: replaying from a deep level beats rebuilding."""
+    deep = maintenance_data["deep_update_seconds"]
+    if deep is None:
+        pytest.skip("index too shallow for a deep edge")
+    assert deep < maintenance_data["rebuild_seconds"]
+
+
+def test_maintained_index_still_answers(maintenance_data):
+    maintainer = maintenance_data["maintainer"]
+    nodes = sorted(maintainer.graph.nodes())
+    assert maintainer.query(nodes[0], nodes[-1])
+
+
+def test_maintenance_benchmark(benchmark, maintenance_data):
+    maintainer = maintenance_data["maintainer"]
+    u, v = next(iter(maintainer.graph.edge_pairs()))
+
+    def toggle_cost():
+        old = maintainer.graph.edge_costs(u, v)[0]
+        maintainer.update_edge_cost(u, v, old, tuple(c * 1.01 for c in old))
+
+    benchmark.pedantic(toggle_cost, rounds=3, iterations=1)

@@ -1,0 +1,90 @@
+"""Extension — one-to-all skyline path queries over the index.
+
+The paper (Section 5, "Support to other types of queries") states the
+backbone index supports one-to-all SPQs, with details deferred to the
+technical report.  This bench measures the implemented extension: one
+backbone one-to-all sweep against repeated exact one-to-all search,
+plus coverage and quality.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, backbone_one_to_all, build_backbone_index
+from repro.eval import fmt_seconds, format_table
+from repro.search.onetoall import one_to_all_skyline
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+
+@pytest.fixture(scope="module")
+def one_to_all_data(ny_small):
+    index = build_backbone_index(
+        ny_small,
+        BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    source = sorted(ny_small.nodes())[0]
+
+    started = time.perf_counter()
+    approx = backbone_one_to_all(index, source)
+    approx_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    exact = one_to_all_skyline(ny_small, source)
+    exact_seconds = time.perf_counter() - started
+
+    # quality on a sample of targets: best-cost ratio per dimension
+    ratios = []
+    for target in list(exact)[:: max(1, len(exact) // 50)]:
+        if target == source or target not in approx:
+            continue
+        for i in range(ny_small.dim):
+            best_exact = min(p.cost[i] for p in exact[target])
+            best_approx = min(p.cost[i] for p in approx[target])
+            if best_exact > 0:
+                ratios.append(best_approx / best_exact)
+    coverage = len(approx) / max(len(exact), 1)
+    mean_ratio = sum(ratios) / len(ratios) if ratios else float("nan")
+
+    rows = [
+        ["backbone one-to-all", fmt_seconds(approx_seconds), f"{len(approx):,}"],
+        ["exact one-to-all", fmt_seconds(exact_seconds), f"{len(exact):,}"],
+    ]
+    text = format_table(
+        ["method", "time", "targets answered"],
+        rows,
+        title="Extension: one-to-all skyline queries (C9_NY_5K stand-in)",
+    )
+    text += (
+        f"\ncoverage: {coverage:.1%} of reachable targets; "
+        f"mean best-cost ratio {mean_ratio:.3f}"
+    )
+    report("ext_one_to_all", text)
+    return {
+        "coverage": coverage,
+        "mean_ratio": mean_ratio,
+        "approx_seconds": approx_seconds,
+        "exact_seconds": exact_seconds,
+        "index": index,
+        "source": source,
+    }
+
+
+def test_one_to_all_covers_nearly_everything(one_to_all_data):
+    assert one_to_all_data["coverage"] >= 0.9
+
+
+def test_one_to_all_quality(one_to_all_data):
+    assert 1.0 - 1e-9 <= one_to_all_data["mean_ratio"] <= 3.0
+
+
+def test_one_to_all_benchmark(benchmark, one_to_all_data):
+    index = one_to_all_data["index"]
+    source = one_to_all_data["source"]
+    answers = benchmark.pedantic(
+        lambda: backbone_one_to_all(index, source), rounds=3, iterations=1
+    )
+    assert answers

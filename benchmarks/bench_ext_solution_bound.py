@@ -1,0 +1,63 @@
+"""Extension — empirical solution bound (paper Section 5).
+
+The paper bounds an approximate answer's weight by O((F_val)^L) in the
+index height L.  This bench traces the empirical curve: indexes of
+increasing height on the same network, mean per-query stretch at each
+height (stretch = worst per-dimension ratio of the answer's best cost
+to the true single-dimension optimum).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BackboneParams
+from repro.eval import format_series, random_queries
+from repro.eval.analysis import stretch_vs_height
+
+from benchmarks.conftest import SCALED_M_MIN, report, scaled_m
+
+
+@pytest.fixture(scope="module")
+def stretch_data(ny_large):
+    base = BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=0.3)
+    queries = random_queries(ny_large, 6, seed=87, min_hops=12)
+    table = stretch_vs_height(
+        ny_large, base, queries, p_values=(0.4, 0.2, 0.1, 0.05)
+    )
+    text = "Extension: empirical solution bound (C9_NY_15K stand-in)\n"
+    text += format_series(
+        "mean stretch vs index height L", list(table), list(table.values())
+    )
+    text += (
+        "\n(the paper's O((F_val)^L) caps this curve; measured stretch "
+        "stays far below the exponential worst case)"
+    )
+    report("ext_solution_bound", text)
+    return table
+
+
+def test_stretch_well_below_exponential_bound(stretch_data):
+    """The O((F_val)^L) bound is loose: even modest F_val = 1.5 would
+    allow 1.5^L, while measured stretch stays near 1."""
+    for height, stretch in stretch_data.items():
+        assert 1.0 - 1e-9 <= stretch <= min(1.5**height, 5.0)
+
+
+def test_heights_span_a_range(stretch_data):
+    assert len(stretch_data) >= 1
+    assert all(height >= 1 for height in stretch_data)
+
+
+def test_stretch_benchmark(benchmark, stretch_data, ny_large):
+    from repro.core import build_backbone_index
+    from repro.eval.analysis import query_stretch
+
+    index = build_backbone_index(
+        ny_large, BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=0.2)
+    )
+    [query] = random_queries(ny_large, 1, seed=88, min_hops=12)
+    paths = index.query(query.source, query.target)
+    assert paths
+    value = benchmark(lambda: query_stretch(ny_large, query, paths))
+    assert value >= 1.0

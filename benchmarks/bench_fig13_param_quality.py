@@ -1,0 +1,111 @@
+"""Figure 13 — goodness vs p_ind, m_min, and m_max on C9_NY_15K.
+
+Regenerates the paper's Figure 13: goodness scores of the default
+(backbone_normal) index swept over the condensing threshold percentage
+p_ind, the minimum cluster size m_min, and the maximum cluster size
+m_max, against a fixed random workload with exact BBS references.
+
+Paper shape: p_ind and m_min fluctuate mildly with a slight decline
+after a knee; goodness stays high throughout; larger m_max trends
+toward (slightly) worse quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.eval import format_series, random_queries
+from repro.eval.runner import run_suite
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+P_IND_VALUES = (0.0, 0.1, 0.2, 0.3, 0.4)
+M_MIN_VALUES = (1, 3, 5, 8, 12)
+PAPER_M_VALUES = (200, 400, 600, 800)
+
+
+@pytest.fixture(scope="module")
+def fig13_data(ny_large):
+    queries = random_queries(ny_large, 6, seed=31, min_hops=10)
+    exact = run_suite(ny_large, queries, exact_time_budget=90.0)
+
+    def goodness_for(params: BackboneParams) -> float:
+        index = build_backbone_index(ny_large, params)
+        summary = run_suite(ny_large, queries, index=index, run_exact=False)
+        for record, exact_record in zip(summary.records, exact.records):
+            record.exact_paths = exact_record.exact_paths
+        return summary.mean_goodness() if summary.compared else float("nan")
+
+    p_ind_series = {
+        p_ind: goodness_for(
+            BackboneParams(
+                m_max=scaled_m(200),
+                m_min=SCALED_M_MIN,
+                p=SCALED_P,
+                p_ind=p_ind,
+            )
+        )
+        for p_ind in P_IND_VALUES
+    }
+    m_min_series = {
+        m_min: goodness_for(
+            BackboneParams(
+                m_max=scaled_m(200), m_min=m_min, p=SCALED_P
+            )
+        )
+        for m_min in M_MIN_VALUES
+    }
+    m_max_series = {
+        paper_m: goodness_for(
+            BackboneParams(
+                m_max=scaled_m(paper_m), m_min=SCALED_M_MIN, p=SCALED_P
+            )
+        )
+        for paper_m in PAPER_M_VALUES
+    }
+
+    lines = [
+        "Figure 13: goodness vs construction parameters (C9_NY_15K stand-in)",
+        format_series(
+            "goodness vs p_ind", list(p_ind_series), list(p_ind_series.values())
+        ),
+        format_series(
+            "goodness vs m_min", list(m_min_series), list(m_min_series.values())
+        ),
+        format_series(
+            "goodness vs m_max (paper scale)",
+            list(m_max_series),
+            list(m_max_series.values()),
+        ),
+    ]
+    report("fig13_param_quality", "\n".join(lines))
+    return {
+        "p_ind": p_ind_series,
+        "m_min": m_min_series,
+        "m_max": m_max_series,
+    }
+
+
+def test_fig13_goodness_stays_high(fig13_data):
+    """Shape claim: goodness stays high across every parameter sweep."""
+    for series in fig13_data.values():
+        for value in series.values():
+            assert value >= 0.8
+
+
+def test_fig13_all_settings_usable(fig13_data):
+    import math
+
+    for series in fig13_data.values():
+        assert not any(math.isnan(v) for v in series.values())
+
+
+def test_fig13_query_benchmark(benchmark, fig13_data, ny_large):
+    index = build_backbone_index(
+        ny_large,
+        BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    [query] = random_queries(ny_large, 1, seed=32, min_hops=10)
+    paths = benchmark(lambda: index.query(query.source, query.target))
+    assert paths

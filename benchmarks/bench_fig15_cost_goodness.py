@@ -1,0 +1,103 @@
+"""Figure 15 — goodness under CORR / ANTI / INDE edge costs.
+
+Regenerates the paper's Figure 15: the goodness of the backbone index's
+answers on the same CORR/ANTI/INDE subgraphs as Figure 14.
+
+Paper shape: quality is stable across distributions, and if anything
+slightly *better* on anti-correlated / random costs than on correlated
+ones — the paper's argument that the method generalizes beyond road
+networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.datasets import load_with_distribution
+from repro.eval import format_table, random_queries
+from repro.eval.runner import run_suite
+from repro.graph.costs import CostDistribution
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+DISTRIBUTIONS = {
+    "CORR": CostDistribution.CORRELATED,
+    "ANTI": CostDistribution.ANTI_CORRELATED,
+    "INDE": CostDistribution.INDEPENDENT,
+}
+NETWORKS = ("C9_NY", "C9_BAY")
+SUBGRAPH_NODES = 1100
+MIN_HOPS = 18
+
+
+@pytest.fixture(scope="module")
+def fig15_data():
+    data = {}
+    for network in NETWORKS:
+        for dist_name, distribution in DISTRIBUTIONS.items():
+            graph = load_with_distribution(
+                network, SUBGRAPH_NODES, distribution
+            )
+            index = build_backbone_index(
+                graph,
+                BackboneParams(
+                    m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+                ),
+            )
+            queries = random_queries(graph, 6, seed=61, min_hops=MIN_HOPS)
+            summary = run_suite(
+                graph, queries, index=index, exact_time_budget=120.0
+            )
+            data[(network, dist_name)] = summary
+    rows = []
+    for (network, dist_name), summary in data.items():
+        if summary.compared:
+            rows.append(
+                [
+                    network,
+                    dist_name,
+                    f"{summary.mean_goodness():.3f}",
+                    ", ".join(f"{v:.2f}" for v in summary.mean_rac()),
+                ]
+            )
+        else:
+            rows.append([network, dist_name, "-", "-"])
+    report(
+        "fig15_cost_goodness",
+        format_table(
+            ["network", "cost dist", "goodness", "RAC"],
+            rows,
+            title="Figure 15: goodness under CORR/ANTI/INDE costs",
+        ),
+    )
+    return data
+
+
+def test_fig15_goodness_stable_across_distributions(fig15_data):
+    for key, summary in fig15_data.items():
+        if not summary.compared:
+            continue
+        assert summary.mean_goodness() >= 0.8, key
+
+
+def test_fig15_rac_band(fig15_data):
+    for key, summary in fig15_data.items():
+        if not summary.compared:
+            continue
+        for value in summary.mean_rac():
+            assert 0.98 <= value <= 3.5, (key, value)
+
+
+def test_fig15_goodness_benchmark(benchmark, fig15_data):
+    """Times the goodness computation itself on one query's result."""
+    from repro.eval import goodness
+
+    summary = next(
+        s for s in fig15_data.values() if s.compared
+    )
+    record = summary.compared[0]
+    value = benchmark(
+        lambda: goodness(record.approx_paths, record.exact_paths)
+    )
+    assert 0.0 <= value <= 1.0 + 1e-9

@@ -1,0 +1,102 @@
+"""Figure 16 — case study: succinct approximate skylines.
+
+Regenerates the paper's Section 6.4 case study on the scaled C9_NY_10K
+stand-in: one query whose exact answer is a large bundle of
+near-identical skyline paths while the backbone answer is a handful of
+genuinely distinct representatives.
+
+Paper shape: 293 exact paths vs 5 approximate paths; the exact paths
+"differ from each other with only a tiny portion of the nodes/edges".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.datasets import load_subgraph
+from repro.eval import format_table, random_queries
+from repro.search import skyline_paths
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+
+def mean_pairwise_overlap(paths, cap: int = 40) -> float:
+    """Mean Jaccard node-set overlap between path pairs."""
+    sets = [set(p.nodes) for p in paths[:cap]]
+    if len(sets) < 2:
+        return 1.0
+    total, pairs = 0.0, 0
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            total += len(sets[i] & sets[j]) / len(sets[i] | sets[j])
+            pairs += 1
+    return total / pairs
+
+
+@pytest.fixture(scope="module")
+def fig16_data():
+    graph = load_subgraph("C9_NY", 800)
+    index = build_backbone_index(
+        graph,
+        BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    # pick the query with the largest exact answer among a few candidates
+    best = None
+    for query in random_queries(graph, 4, seed=71, min_hops=18):
+        exact = skyline_paths(graph, query.source, query.target, time_budget=90)
+        if exact.stats.timed_out or not exact.paths:
+            continue
+        if best is None or len(exact.paths) > len(best[1].paths):
+            best = (query, exact)
+    assert best is not None
+    query, exact = best
+    approx = index.query_detailed(query.source, query.target)
+
+    exact_overlap = mean_pairwise_overlap(exact.paths)
+    approx_overlap = mean_pairwise_overlap(
+        [index.expand_path(p) for p in approx.paths[:10]]
+    )
+    rows = [
+        ["exact BBS", len(exact.paths), f"{exact_overlap:.0%}"],
+        ["backbone", len(approx.paths), f"{approx_overlap:.0%}"],
+    ]
+    report(
+        "fig16_case_study",
+        format_table(
+            ["method", "# skyline paths", "mean pairwise node overlap"],
+            rows,
+            title=(
+                "Figure 16: case study "
+                f"(query {query.source} -> {query.target}, "
+                "C9_NY_10K stand-in)"
+            ),
+        ),
+    )
+    return {
+        "graph": graph,
+        "index": index,
+        "query": query,
+        "exact": exact.paths,
+        "approx": approx.paths,
+        "exact_overlap": exact_overlap,
+        "approx_overlap": approx_overlap,
+    }
+
+
+def test_fig16_approx_is_much_smaller(fig16_data):
+    """Shape claim: the approximate answer is far more succinct."""
+    assert len(fig16_data["approx"]) < len(fig16_data["exact"])
+    assert len(fig16_data["approx"]) <= 0.5 * len(fig16_data["exact"])
+
+
+def test_fig16_exact_paths_are_near_identical(fig16_data):
+    """Shape claim: exact skyline paths share most of their nodes."""
+    assert fig16_data["exact_overlap"] >= 0.5
+
+
+def test_fig16_query_benchmark(benchmark, fig16_data):
+    index = fig16_data["index"]
+    query = fig16_data["query"]
+    paths = benchmark(lambda: index.query(query.source, query.target))
+    assert paths

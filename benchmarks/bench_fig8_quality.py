@@ -1,0 +1,93 @@
+"""Figure 8 — approximation quality: RAC per dimension and goodness.
+
+Regenerates the paper's Figure 8 series: for each graph (the scaled
+C9_NY_5K / C9_NY_15K stand-ins), each construction variant
+(backbone_none / backbone_each / backbone_normal), and each m_max
+column (paper 200 / 400 / 600), the per-dimension RAC against exact BBS
+and the cosine goodness score.
+
+Paper shape: all variants land in the 1-2 RAC band; backbone_none is
+usually closest to 1 because it keeps the most information in G_L;
+goodness stays high (paper ~0.85; cosine on our cost scales ~0.99).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table
+
+from benchmarks.conftest import report
+
+
+@pytest.fixture(scope="module")
+def fig8_report(quality_grid):
+    summaries = quality_grid["summaries"]
+    rows = []
+    shapes: dict[tuple[str, int], dict[str, float]] = {}
+    for (graph_name, variant, paper_m), summary in sorted(summaries.items()):
+        if not summary.compared:
+            rows.append([graph_name, variant, paper_m, "-", "-", "-"])
+            continue
+        per_dim = summary.mean_rac()
+        good = summary.mean_goodness()
+        coverage = summary.mean_hypervolume_ratio()
+        rows.append(
+            [
+                graph_name,
+                variant,
+                paper_m,
+                ", ".join(f"{r:.3f}" for r in per_dim),
+                f"{good:.3f}",
+                f"{coverage:.3f}",
+            ]
+        )
+        shapes[(graph_name, paper_m)] = shapes.get((graph_name, paper_m), {})
+        shapes[(graph_name, paper_m)][variant] = sum(per_dim) / len(per_dim)
+    report(
+        "fig8_quality",
+        format_table(
+            [
+                "graph",
+                "variant",
+                "m_max (paper)",
+                "RAC dims 0..2",
+                "goodness",
+                "HV ratio",
+            ],
+            rows,
+            title="Figure 8: approximation quality (RAC and goodness)",
+        ),
+    )
+    return {"rows": rows, "shapes": shapes, "summaries": summaries}
+
+
+def test_fig8_rac_band_matches_paper(fig8_report):
+    """Every variant stays in the paper's observed 1.0-2.5 RAC band."""
+    for (graph, variant, m), summary in fig8_report["summaries"].items():
+        if not summary.compared:
+            continue
+        for value in summary.mean_rac():
+            assert 0.98 <= value <= 3.0, (graph, variant, m, value)
+
+
+def test_fig8_goodness_high(fig8_report):
+    for (graph, variant, m), summary in fig8_report["summaries"].items():
+        if not summary.compared:
+            continue
+        assert summary.mean_goodness() >= 0.8, (graph, variant, m)
+
+
+def test_fig8_quality_benchmark(benchmark, fig8_report, ny_small):
+    """Times one approximate query under the default (normal) variant."""
+    from repro.eval import random_queries
+    from repro.core import BackboneParams, build_backbone_index
+    from benchmarks.conftest import SCALED_M_MIN, SCALED_P, scaled_m
+
+    index = build_backbone_index(
+        ny_small,
+        BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    [query] = random_queries(ny_small, 1, seed=4, min_hops=10)
+    result = benchmark(lambda: index.query(query.source, query.target))
+    assert result

@@ -1,0 +1,83 @@
+"""Figure 9 — result-set sizes: approximate vs exact skylines.
+
+Regenerates the paper's Figure 9: the number of skyline paths returned
+by each backbone variant next to the exact BBS count, per graph and
+m_max column.
+
+Paper shape: all variants hugely reduce the result-set size; variants
+that keep a larger G_L (backbone_none) return more paths than the
+aggressive ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table
+
+from benchmarks.conftest import report
+
+
+@pytest.fixture(scope="module")
+def fig9_report(quality_grid):
+    summaries = quality_grid["summaries"]
+    rows = []
+    data: dict[tuple[str, str, int], tuple[float, float]] = {}
+    for (graph_name, variant, paper_m), summary in sorted(summaries.items()):
+        exact_size = summary.mean_exact_size()
+        approx_size = summary.mean_approx_size()
+        data[(graph_name, variant, paper_m)] = (approx_size, exact_size)
+        rows.append(
+            [
+                graph_name,
+                variant,
+                paper_m,
+                f"{approx_size:.1f}",
+                f"{exact_size:.1f}",
+                f"{exact_size / approx_size:.1f}x" if approx_size else "-",
+            ]
+        )
+    report(
+        "fig9_result_size",
+        format_table(
+            [
+                "graph",
+                "variant",
+                "m_max (paper)",
+                "approx |P'|",
+                "exact |P|",
+                "reduction",
+            ],
+            rows,
+            title="Figure 9: result-set sizes (# skyline paths)",
+        ),
+    )
+    return data
+
+
+def test_fig9_results_much_smaller_than_exact(fig9_report):
+    """Shape claim: every variant reduces the result set."""
+    reduced = 0
+    total = 0
+    for (graph, variant, m), (approx_size, exact_size) in fig9_report.items():
+        if not approx_size or not exact_size:
+            continue
+        total += 1
+        if approx_size < exact_size:
+            reduced += 1
+    assert total > 0
+    assert reduced / total >= 0.8
+
+
+def test_fig9_benchmark_result_collection(benchmark, fig9_report, ny_small):
+    from repro.core import BackboneParams, build_backbone_index
+    from repro.eval import random_queries
+    from benchmarks.conftest import SCALED_M_MIN, SCALED_P, scaled_m
+
+    index = build_backbone_index(
+        ny_small,
+        BackboneParams(m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    [query] = random_queries(ny_small, 1, seed=6, min_hops=10)
+    paths = benchmark(lambda: index.query(query.source, query.target))
+    assert paths

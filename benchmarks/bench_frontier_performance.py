@@ -1,0 +1,92 @@
+"""Engineering ablation — list-scan vs vectorized Pareto frontiers.
+
+Per-node label frontiers stay tiny (tens of entries), where Python
+loops beat numpy dispatch; global result skylines reach hundreds, where
+the contiguous-matrix :class:`VectorParetoSet` wins.  This bench
+measures both regimes so the default container choices stay justified.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval import format_table
+from repro.paths.frontier import ParetoSet
+from repro.paths.vector_frontier import VectorParetoSet
+
+from benchmarks.conftest import report
+
+
+def staircase_costs(count: int, dim: int, seed: int = 0) -> list[tuple]:
+    """Mostly-incomparable costs that force a wide frontier."""
+    rng = np.random.default_rng(seed)
+    costs = []
+    for i in range(count):
+        base = [float(i), float(count - i)]
+        base += [float(rng.uniform(0, count)) for _ in range(dim - 2)]
+        costs.append(tuple(base))
+    return costs
+
+
+def _fill(container, costs) -> float:
+    started = time.perf_counter()
+    for index, cost in enumerate(costs):
+        container.add(cost, index)
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def frontier_data():
+    rows = []
+    data = {}
+    for count in (32, 256, 1024):
+        costs = staircase_costs(count, 3)
+        list_seconds = _fill(ParetoSet(), list(costs))
+        vector_seconds = _fill(VectorParetoSet(3), list(costs))
+        data[count] = (list_seconds, vector_seconds)
+        rows.append(
+            [
+                count,
+                f"{list_seconds * 1e3:.2f}ms",
+                f"{vector_seconds * 1e3:.2f}ms",
+                f"{list_seconds / vector_seconds:.2f}x",
+            ]
+        )
+    report(
+        "frontier_performance",
+        format_table(
+            ["inserts", "ParetoSet (list)", "VectorParetoSet (numpy)", "list/vector"],
+            rows,
+            title="Engineering ablation: frontier containers "
+            "(wide staircase workload)",
+        ),
+    )
+    return data
+
+
+def test_vector_wins_at_scale(frontier_data):
+    list_seconds, vector_seconds = frontier_data[1024]
+    assert vector_seconds < list_seconds
+
+
+def test_results_identical(frontier_data):
+    costs = staircase_costs(300, 3, seed=7)
+    reference = ParetoSet()
+    vector = VectorParetoSet(3)
+    for index, cost in enumerate(costs):
+        reference.add(cost, index)
+        vector.add(cost, index)
+    assert set(reference.costs()) == set(vector.costs())
+
+
+def test_list_frontier_benchmark(benchmark, frontier_data):
+    costs = staircase_costs(256, 3)
+    benchmark(lambda: _fill(ParetoSet(), costs))
+
+
+def test_vector_frontier_benchmark(benchmark, frontier_data):
+    costs = staircase_costs(256, 3)
+    benchmark(lambda: _fill(VectorParetoSet(3), costs))

@@ -1,0 +1,143 @@
+"""Table 3 — query-algorithm scalability on C9_BAY subgraphs.
+
+Regenerates the paper's Table 3: subgraphs of the C9_BAY stand-in with
+growing node counts (paper 10K/40K/70K/100K -> scaled 320/1280/2240/
+3200), a hop-stratified workload per graph, and per-graph rows of RAC,
+goodness, BBS time, backbone query time, speed-up, and construction
+time.
+
+Paper shape: RAC in the 1.4-2 band and goodness ~0.85-0.88 across all
+sizes; backbone query time roughly constant (~0.4-0.5s in the paper)
+while BBS swings wildly; speed-ups of 65-232x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.datasets import load_subgraph
+from repro.eval import fmt_seconds, format_table, hop_stratified_queries
+from repro.eval.runner import run_suite
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+# paper sizes 10K/40K/70K/100K on C9_BAY (321K nodes), scaled ~1/31
+SIZES = {"10K~320": 320, "40K~1280": 1280, "70K~2240": 2240, "100K~3200": 3200}
+# paper hop buckets <50 / 50-100 / >100 with 2/3/5 queries, scaled ~1/4.
+# The lower edge starts at 5 hops: the paper's random endpoints on
+# 10K+ node graphs essentially never land 1-2 hops apart, and the paper
+# itself notes the method is weakest for near queries (Section 4.1).
+BUCKETS = [(1, 5, 13), (2, 13, 25), (2, 25, float("inf"))]
+BBS_BUDGET = 120.0  # paper: 15 minutes
+
+
+@pytest.fixture(scope="module")
+def table3_data():
+    data = {}
+    for label, n_nodes in SIZES.items():
+        graph = load_subgraph("C9_BAY", n_nodes)
+        queries = hop_stratified_queries(graph, BUCKETS, seed=13)
+        started = time.perf_counter()
+        index = build_backbone_index(
+            graph,
+            BackboneParams(
+                m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+            ),
+        )
+        build_seconds = time.perf_counter() - started
+        summary = run_suite(
+            graph, queries, index=index, exact_time_budget=BBS_BUDGET
+        )
+        data[label] = {
+            "summary": summary,
+            "build_seconds": build_seconds,
+            "graph": graph,
+        }
+
+    rows = []
+    for label, row in data.items():
+        summary = row["summary"]
+        if summary.compared:
+            rac_text = ", ".join(f"{v:.2f}" for v in summary.mean_rac())
+            goodness_text = f"{summary.mean_goodness():.2f}"
+        else:
+            rac_text = goodness_text = "-"
+        rows.append(
+            [
+                label,
+                rac_text,
+                goodness_text,
+                fmt_seconds(summary.mean_exact_seconds()),
+                fmt_seconds(summary.mean_approx_seconds()),
+                f"{summary.speedup():.0f}x",
+                fmt_seconds(row["build_seconds"]),
+            ]
+        )
+    report(
+        "table3_scalability",
+        format_table(
+            [
+                "# nodes",
+                "RAC",
+                "goodness",
+                "BBS query",
+                "backbone query",
+                "speed-up",
+                "construction",
+            ],
+            rows,
+            title="Table 3: query scalability (C9_BAY stand-in subgraphs)",
+        ),
+    )
+    return data
+
+
+def test_table3_speedup_everywhere(table3_data):
+    """Shape claim: the backbone beats BBS on every graph size."""
+    for label, row in table3_data.items():
+        assert row["summary"].speedup() > 1.0, label
+
+
+def test_table3_quality_band(table3_data):
+    """RAC sits in a low band (paper: 1.4-1.95; ours is looser because
+    the scaled graphs make every remaining short-ish query relatively
+    shorter than the paper's)."""
+    for label, row in table3_data.items():
+        summary = row["summary"]
+        if not summary.compared:
+            continue
+        for value in summary.mean_rac():
+            assert 0.98 <= value <= 5.0, (label, value)
+        assert summary.mean_goodness() >= 0.8, label
+
+
+def test_table3_backbone_query_roughly_constant(table3_data):
+    """Shape claim: backbone query time varies far less than BBS's."""
+    approx = [
+        row["summary"].mean_approx_seconds() for row in table3_data.values()
+    ]
+    exact = [
+        row["summary"].mean_exact_seconds() for row in table3_data.values()
+    ]
+    approx_spread = max(approx) / max(min(approx), 1e-9)
+    exact_spread = max(exact) / max(min(exact), 1e-9)
+    assert approx_spread <= exact_spread * 2.0
+
+
+def test_table3_query_benchmark(benchmark, table3_data):
+    row = table3_data["40K~1280"]
+    graph = row["graph"]
+    record = row["summary"].records[0]
+    index_query = None
+    from repro.core import BackboneParams, build_backbone_index
+
+    index = build_backbone_index(
+        graph,
+        BackboneParams(m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P),
+    )
+    q = record.query
+    paths = benchmark(lambda: index.query(q.source, q.target))
+    assert paths is not None

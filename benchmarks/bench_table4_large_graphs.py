@@ -1,0 +1,108 @@
+"""Table 4 — backbone construction scalability on all nine networks.
+
+Regenerates the paper's Table 4 (a: the six DIMACS networks, b: the
+three Li networks) on the scaled stand-ins: construction time, index
+size, size of the most abstracted graph G_L, and average query time.
+
+Paper shape: construction scales through two orders of magnitude of
+graph size; G_L stays tiny (tens to low hundreds of nodes); query time
+is roughly flat (~0.4-0.5s in the paper) regardless of network size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.datasets import dataset_info, list_datasets, load
+from repro.eval import fmt_bytes, fmt_seconds, format_table, random_queries
+
+from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+
+
+@pytest.fixture(scope="module")
+def table4_data():
+    data = {}
+    for name in list_datasets():
+        graph = load(name)
+        params = BackboneParams(
+            m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+        )
+        started = time.perf_counter()
+        index = build_backbone_index(graph, params)
+        build_seconds = time.perf_counter() - started
+
+        queries = random_queries(graph, 5, seed=41, min_hops=8)
+        started = time.perf_counter()
+        for q in queries:
+            index.query(q.source, q.target)
+        query_seconds = (time.perf_counter() - started) / len(queries)
+
+        data[name] = {
+            "nodes": graph.num_nodes,
+            "build_seconds": build_seconds,
+            "bytes": index.size_bytes(),
+            "gl_nodes": index.top_graph.num_nodes,
+            "gl_edges": index.top_graph.num_edge_entries,
+            "query_seconds": query_seconds,
+        }
+
+    rows = [
+        [
+            name,
+            f"{row['nodes']:,}",
+            fmt_seconds(row["build_seconds"]),
+            fmt_bytes(row["bytes"]),
+            f"{row['gl_nodes']}/{row['gl_edges']}",
+            fmt_seconds(row["query_seconds"]),
+        ]
+        for name, row in data.items()
+    ]
+    report(
+        "table4_large_graphs",
+        format_table(
+            [
+                "dataset",
+                "nodes",
+                "construction",
+                "index size",
+                "G_L nodes/edges",
+                "query time",
+            ],
+            rows,
+            title="Table 4: backbone construction scalability "
+            "(all nine stand-ins)",
+        ),
+    )
+    return data
+
+
+def test_table4_all_networks_build(table4_data):
+    assert len(table4_data) == 9
+    for name, row in table4_data.items():
+        assert row["gl_nodes"] >= 1, name
+
+
+def test_table4_top_graph_stays_small(table4_data):
+    """Shape claim: G_L is a tiny fraction of the input network."""
+    for name, row in table4_data.items():
+        assert row["gl_nodes"] <= 0.2 * row["nodes"], name
+
+
+def test_table4_query_time_roughly_flat(table4_data):
+    """Shape claim: query time does not scale with network size."""
+    times = [row["query_seconds"] for row in table4_data.values()]
+    assert max(times) <= 100 * max(min(times), 1e-6)
+
+
+def test_table4_build_benchmark(benchmark, table4_data):
+    graph = load("L_CAL")
+    params = BackboneParams(
+        m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    index = benchmark.pedantic(
+        lambda: build_backbone_index(graph, params), rounds=3, iterations=1
+    )
+    assert index.height >= 1

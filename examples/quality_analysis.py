@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Analyzing approximation quality: stretch, hypervolume, verification.
+
+The paper bounds approximate answers by O((F_val)^L) in the index
+height L (Section 5).  This example instruments that bound empirically:
+it builds indexes of increasing height on the same network, measures
+the per-query stretch at each height, scores trade-off coverage with
+the hypervolume indicator, and runs the structural self-validation
+(`verify_index`) on every build.
+
+Run:  python examples/quality_analysis.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import BackboneParams, build_backbone_index, road_network, skyline_paths
+from repro.core.verify import verify_index
+from repro.eval import (
+    hypervolume_ratio,
+    query_stretch,
+    random_queries,
+    stretch_vs_height,
+)
+
+
+def main() -> None:
+    graph = road_network(800, dim=3, seed=55)
+    print(f"network: {graph}")
+    base = BackboneParams(m_max=40, m_min=8, p=0.3)
+    queries = random_queries(graph, 6, seed=21, min_hops=15)
+
+    # 1. The empirical O((F_val)^L) shape: stretch per index height.
+    print("\nstretch vs index height (smaller p => taller index):")
+    table = stretch_vs_height(
+        graph, base, queries, p_values=(0.4, 0.2, 0.1, 0.05)
+    )
+    for height, stretch in table.items():
+        bar = "#" * int((stretch - 1.0) * 40 + 1)
+        print(f"  L={height:2d}: mean stretch {stretch:.3f}  {bar}")
+
+    # 2. Hypervolume coverage of one representative index.
+    index = build_backbone_index(graph, replace(base, p=0.1))
+    print(f"\nrepresentative index: {index}")
+    print("per-query quality (vs exact BBS):")
+    for q in queries[:4]:
+        exact = skyline_paths(graph, q.source, q.target).paths
+        approx = index.query(q.source, q.target)
+        if not exact or not approx:
+            continue
+        stretch = query_stretch(graph, q, approx)
+        coverage = hypervolume_ratio(approx, exact)
+        print(
+            f"  {q.source:>5} -> {q.target:<5}  "
+            f"|exact|={len(exact):3d} |approx|={len(approx):2d}  "
+            f"stretch={stretch:.3f}  HV coverage={coverage:.1%}"
+        )
+
+    # 3. Structural self-validation.
+    report = verify_index(index)
+    print(
+        f"\nself-validation: {'OK' if report.ok else 'FAILED'} "
+        f"({report.labels_checked} labels, {report.paths_checked} paths, "
+        f"{report.shortcuts_checked} shortcuts checked)"
+    )
+
+
+if __name__ == "__main__":
+    main()

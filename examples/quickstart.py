@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: build a backbone index and answer a skyline path query.
+
+Generates a synthetic multi-cost road network, builds the backbone
+index, runs one approximate skyline path query, and compares it with
+the exact BBS answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BackboneParams,
+    build_backbone_index,
+    random_queries,
+    road_network,
+    skyline_paths,
+)
+from repro.eval import fmt_seconds, goodness, rac
+
+
+def main() -> None:
+    # 1. A road network with three costs per edge: distance, plus two
+    #    synthetic costs sampled uniformly from [1, 100] (the paper's
+    #    default setup).
+    graph = road_network(1200, dim=3, seed=42)
+    print(f"network: {graph}")
+
+    # 2. Build the backbone index.  Parameters follow Definition 4.8;
+    #    m_max/m_min are scaled to the (small) synthetic network.
+    params = BackboneParams(m_max=50, m_min=10, p=0.03)
+    index = build_backbone_index(graph, params)
+    stats = index.stats()
+    print(
+        f"index: L={stats['height']}, "
+        f"|G_L.V|={stats['top_graph_nodes']}, "
+        f"{stats['label_paths']} label paths, "
+        f"built in {fmt_seconds(stats['build_seconds'])}"
+    )
+
+    # 3. One long-haul query.
+    [query] = random_queries(graph, 1, seed=7, min_hops=20)
+    source, target = query.source, query.target
+    print(f"\nquery: {source} -> {target}")
+
+    approx = index.query_detailed(source, target)
+    print(
+        f"backbone: {len(approx.paths)} skyline paths "
+        f"in {fmt_seconds(approx.stats.elapsed_seconds)}"
+    )
+    for path in approx.paths[:5]:
+        print(f"  {path}")
+
+    exact = skyline_paths(graph, source, target)
+    print(
+        f"exact BBS: {len(exact.paths)} skyline paths "
+        f"in {fmt_seconds(exact.stats.elapsed_seconds)}"
+    )
+
+    # 4. Quality of the approximation.
+    if approx.paths and exact.paths:
+        ratios = rac(approx.paths, exact.paths)
+        print(
+            f"\nRAC per dimension: "
+            + ", ".join(f"{r:.3f}" for r in ratios)
+        )
+        print(f"goodness (cosine): {goodness(approx.paths, exact.paths):.3f}")
+        print(
+            "speed-up: "
+            f"{exact.stats.elapsed_seconds / approx.stats.elapsed_seconds:.0f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

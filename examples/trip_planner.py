@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Intercity trip planning — the paper's Figure 1 scenario.
+
+A driver goes from a university district in city A to a hotel in city
+B: local streets to the main road, the main road to a highway ramp, the
+highway between cities, and local streets again.  The backbone index
+mirrors exactly this intuition: dense city cores are condensed level by
+level while the inter-city "highways" survive to the top graph.
+
+This example builds a two-city network joined by highways, shows how
+the index abstracts it (levels, top graph), and decomposes one query's
+answer into its per-level structure.
+
+Run:  python examples/trip_planner.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BackboneParams, MultiCostGraph, build_backbone_index
+from repro.graph.generators import grid_network
+
+
+def build_two_city_network(seed: int = 5) -> MultiCostGraph:
+    """Two dense city grids connected by a sparse highway corridor.
+
+    Costs: (distance km, minutes, toll $).  Highways are long, fast and
+    tolled; city streets short, slow and free.
+    """
+    rng = np.random.default_rng(seed)
+    city_a = grid_network(14, 14, seed=seed)
+    city_b = grid_network(14, 14, seed=seed + 1)
+    network = MultiCostGraph(3)
+
+    offset = 10_000
+    shift = 60.0  # km between the cities
+    for city, base, dx in ((city_a, 0, 0.0), (city_b, offset, shift)):
+        for node in city.nodes():
+            x, y = city.coord(node)
+            network.add_node(base + node, (x + dx, y))
+        for u, v, cost in city.edges():
+            distance = cost[0]
+            network.add_edge(
+                base + u,
+                base + v,
+                (distance, 2.0 * distance + float(rng.uniform(0.2, 1.0)), 0.0),
+            )
+
+    # Highway corridor: three parallel routes with different tolls.
+    a_nodes = sorted(city_a.nodes())
+    ramps_a = [a_nodes[-1], a_nodes[-5], a_nodes[-9]]
+    b_nodes = sorted(city_b.nodes())
+    ramps_b = [offset + b_nodes[0], offset + b_nodes[4], offset + b_nodes[8]]
+    tolls = (12.0, 6.0, 0.0)
+    speeds = (0.6, 0.8, 1.3)  # minutes per km
+    for ramp_a, ramp_b, toll, speed in zip(ramps_a, ramps_b, tolls, speeds):
+        ca, cb = network.coord(ramp_a), network.coord(ramp_b)
+        distance = float(np.hypot(ca[0] - cb[0], ca[1] - cb[1]))
+        # two midpoints so the corridor is a visible polyline
+        mid1 = 90_000 + tolls.index(toll) * 10
+        mid2 = mid1 + 1
+        network.add_node(mid1, (ca[0] + (cb[0] - ca[0]) / 3, ca[1] + 2.0))
+        network.add_node(mid2, (ca[0] + 2 * (cb[0] - ca[0]) / 3, cb[1] + 2.0))
+        for u, v in ((ramp_a, mid1), (mid1, mid2), (mid2, ramp_b)):
+            leg = distance / 3
+            network.add_edge(u, v, (leg, speed * leg, toll / 3))
+    return network
+
+
+def main() -> None:
+    network = build_two_city_network()
+    print(f"two-city network: {network}")
+
+    index = build_backbone_index(
+        network, BackboneParams(m_max=60, m_min=12, p=0.05)
+    )
+    print(f"\nbackbone index: L={index.height} levels")
+    for level in index.build_stats.levels:
+        print(
+            f"  level {level.level}: {level.nodes_before:4d} nodes, "
+            f"{level.edges_before:4d} edges -> removed "
+            f"{level.removed_edges} edges "
+            f"({'aggressive' if level.aggressive_used else 'regular'})"
+        )
+    print(
+        f"  top graph G_L: {index.top_graph.num_nodes} nodes, "
+        f"{index.top_graph.num_edge_entries} edges "
+        "(the inter-city 'highway level')"
+    )
+
+    university = sorted(n for n in network.nodes() if n < 10_000)[0]
+    hotel = sorted(n for n in network.nodes() if 10_000 <= n < 90_000)[-1]
+    print(f"\ntrip: university (node {university}) -> hotel (node {hotel})")
+
+    result = index.query_detailed(university, hotel)
+    print(
+        f"{len(result.paths)} Pareto-optimal itineraries "
+        f"(S reached {result.stats.source_keys} entrances, "
+        f"D reached {result.stats.target_keys}):"
+    )
+    for path in sorted(result.paths, key=lambda p: p.cost[2]):
+        km, minutes, toll = path.cost
+        print(
+            f"  {km:6.1f} km, {minutes:6.1f} min, ${toll:5.2f} toll "
+            f"({path.length} abstract hops)"
+        )
+
+    # Show the hierarchical decomposition of the cheapest-toll route.
+    toll_free = min(result.paths, key=lambda p: p.cost[2])
+    expanded = index.expand_path(toll_free)
+    print(
+        f"\ncheapest-toll route expands from {toll_free.length} abstract "
+        f"hops to {expanded.length} original road segments"
+    )
+
+
+if __name__ == "__main__":
+    main()

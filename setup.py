@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+The environment has setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs cannot build their wheel.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Comparison methods: GTree and CH with skyline paths, BFS partitions."""
+
+from repro.baselines.bfs_partition import bfs_partitions, build_bfs_partition_index
+from repro.baselines.ch import CHBuildReport, CHIndex
+from repro.baselines.gtree import GTreeBuildReport, GTreeIndex, GTreeNode
+
+__all__ = [
+    "CHBuildReport",
+    "CHIndex",
+    "GTreeBuildReport",
+    "GTreeIndex",
+    "GTreeNode",
+    "bfs_partitions",
+    "build_bfs_partition_index",
+]

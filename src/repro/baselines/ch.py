@@ -1,0 +1,173 @@
+"""Contraction Hierarchies [18, 37] adapted to skyline paths (Table 2).
+
+Classic CH contracts nodes in importance order, inserting a shortcut
+(u, w) whenever removing v would break the unique shortest path
+u-v-w.  The paper's adaptation replaces "one shortest path" with "the
+skyline of u-v-w cost combinations", each surviving combination
+becoming its own parallel shortcut unless a *witness* path (avoiding v)
+dominates it.
+
+Because many incomparable combinations survive every contraction, the
+edge count blows up — the paper measures the final CH graph at 5x+ the
+input edges and build times in hours.  Our implementation reproduces
+the mechanism (and therefore the blow-up) with a node ordering by lazy
+edge-difference and a hop-limited witness search; a build budget turns
+runaway instances into explicit DNFs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+from repro.errors import BuildError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import add_costs, dominates_or_equal
+from repro.search.labels import Label, NodeFrontier
+
+
+@dataclass
+class CHBuildReport:
+    """Build metrics for the Table 2 comparison."""
+
+    seconds: float = 0.0
+    finished: bool = False
+    contracted_nodes: int = 0
+    shortcuts_added: int = 0
+    final_nodes: int = 0
+    final_edge_entries: int = 0
+
+
+class CHIndex:
+    """A skyline contraction hierarchy over a multi-cost network."""
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        *,
+        witness_expansions: int = 200,
+        witness_hops: int = 8,
+        time_budget: float | None = None,
+    ) -> None:
+        """Contract every node; respects ``time_budget`` if given.
+
+        The *overlay* graph starts as a copy of the input and
+        accumulates shortcuts; :attr:`report` captures the node/edge
+        counts the paper's Table 2 reports for CH.
+        """
+        self.graph = graph
+        self.witness_expansions = witness_expansions
+        self.witness_hops = witness_hops
+        self.report = CHBuildReport()
+        self.order: dict[int, int] = {}
+        self.overlay = graph.copy()
+        # The *final* CH graph keeps all edges ever present (original +
+        # shortcuts); contraction only hides nodes from the remaining
+        # overlay, it does not delete index content.
+        self.final_graph = graph.copy()
+        started = time.perf_counter()
+        deadline = started + time_budget if time_budget is not None else None
+        self._contract_all(deadline)
+        self.report.seconds = time.perf_counter() - started
+        self.report.finished = True
+        self.report.final_nodes = self.final_graph.num_nodes
+        self.report.final_edge_entries = self.final_graph.num_edge_entries
+
+    # ------------------------------------------------------------------
+
+    def _priority(self, node: int) -> float:
+        """Lazy edge-difference priority (cheaper nodes contract first)."""
+        neighbors = sorted(self.overlay.neighbors(node))
+        removed = sum(
+            len(self.overlay.edge_costs(node, n)) for n in neighbors
+        )
+        # Upper-bound estimate of shortcuts: all incomparable pair
+        # combinations; the real count is decided at contraction time.
+        added = 0
+        for u, w in itertools.combinations(neighbors, 2):
+            added += len(self.overlay.edge_costs(node, u)) * len(
+                self.overlay.edge_costs(node, w)
+            )
+        return added - removed
+
+    def _contract_all(self, deadline: float | None) -> None:
+        heap: list[tuple[float, int, int]] = []
+        counter = itertools.count()
+        for node in self.overlay.nodes():
+            heap.append((self._priority(node), next(counter), node))
+        heapq.heapify(heap)
+        while heap:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise BuildError("CH construction exceeded its time budget (DNF)")
+            priority, _, node = heapq.heappop(heap)
+            if node in self.order:
+                continue
+            current = self._priority(node)
+            if current > priority:
+                heapq.heappush(heap, (current, next(counter), node))
+                continue
+            self._contract(node)
+
+    def _contract(self, node: int) -> None:
+        neighbors = sorted(self.overlay.neighbors(node))
+        for u, w in itertools.combinations(neighbors, 2):
+            candidates = [
+                add_costs(cu, cw)
+                for cu in self.overlay.edge_costs(node, u)
+                for cw in self.overlay.edge_costs(node, w)
+            ]
+            for cost in candidates:
+                if self._has_witness(u, w, cost, excluded=node):
+                    continue
+                if self.overlay.add_edge(u, w, cost):
+                    self.report.shortcuts_added += 1
+                self.final_graph.add_edge(u, w, cost)
+        self.order[node] = self.report.contracted_nodes
+        self.report.contracted_nodes += 1
+        self.overlay.remove_node(node)
+
+    def _has_witness(
+        self, source: int, target: int, cost: tuple, excluded: int
+    ) -> bool:
+        """Limited skyline search for a path dominating the shortcut.
+
+        Best-first over the current overlay, skipping ``excluded``;
+        aborts after a fixed number of expansions or hops.  Missing a
+        witness only costs an extra parallel shortcut (the multigraph's
+        skyline pruning keeps correctness), exactly like classic CH's
+        limited witness search.
+        """
+        frontiers: dict[int, NodeFrontier] = {}
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, Label]] = []
+
+        def push(label: Label, hops: int) -> None:
+            if any(c > m for c, m in zip(label.cost, cost)):
+                return  # can no longer dominate-or-equal the shortcut
+            frontier = frontiers.get(label.node)
+            if frontier is None:
+                frontier = frontiers[label.node] = NodeFrontier()
+            if not frontier.try_add(label.cost):
+                return
+            heapq.heappush(heap, (sum(label.cost), next(counter), hops, label))
+
+        push(Label(source, (0.0,) * self.overlay.dim), 0)
+        expansions = 0
+        while heap and expansions < self.witness_expansions:
+            _, _, hops, label = heapq.heappop(heap)
+            if not frontiers[label.node].is_current(label.cost):
+                continue
+            expansions += 1
+            if label.node == target and dominates_or_equal(label.cost, cost):
+                return True
+            if hops >= self.witness_hops:
+                continue
+            for neighbor in self.overlay.neighbors(label.node):
+                if neighbor == excluded:
+                    continue
+                for edge_cost in self.overlay.edge_costs(label.node, neighbor):
+                    extended = add_costs(label.cost, edge_cost)
+                    push(Label(neighbor, extended, parent=label), hops + 1)
+        return False

@@ -1,0 +1,286 @@
+"""Command-line interface for the backbone-index library.
+
+Five subcommands cover the full workflow a downstream user needs::
+
+    repro generate --nodes 2000 --out net          # net.gr + net.co
+    repro build net.gr --out net.index.json
+    repro query net.gr net.index.json --source 3 --target 907 --exact
+    repro stats net.gr --index net.index.json
+    repro datasets
+
+Run ``python -m repro <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path as FilePath
+
+from repro.core.builder import build_backbone_index
+from repro.core.index import BackboneIndex
+from repro.core.params import AggressiveMode, BackboneParams, ClusteringStrategy
+from repro.errors import ReproError
+from repro.eval.reporting import fmt_bytes, fmt_seconds, format_table
+from repro.graph.costs import CostDistribution
+from repro.graph.generators import road_network
+from repro.graph.io import (
+    read_dimacs_co,
+    read_dimacs_gr,
+    write_dimacs_co,
+    write_dimacs_gr,
+)
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.stats import graph_stats
+from repro.search.bbs import skyline_paths
+
+
+def _load_graph(gr_path: str) -> MultiCostGraph:
+    graph = read_dimacs_gr(gr_path)
+    co_path = FilePath(gr_path).with_suffix(".co")
+    if co_path.exists():
+        read_dimacs_co(graph, co_path)
+    return graph
+
+
+def _params_from(args: argparse.Namespace) -> BackboneParams:
+    return BackboneParams(
+        m_max=args.m_max,
+        m_min=args.m_min,
+        p=args.p,
+        p_ind=args.p_ind,
+        aggressive=AggressiveMode(args.variant),
+        clustering=ClusteringStrategy(args.clustering),
+        landmark_count=args.landmarks,
+    )
+
+
+def _add_param_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m-max", type=int, default=200, dest="m_max",
+                        help="maximum dense-cluster size (default 200)")
+    parser.add_argument("--m-min", type=int, default=30, dest="m_min",
+                        help="minimum cluster size before merging (default 30)")
+    parser.add_argument("--p", type=float, default=0.01,
+                        help="per-level edge-removal quota (default 0.01)")
+    parser.add_argument("--p-ind", type=float, default=0.3, dest="p_ind",
+                        help="condensing-threshold percentage (default 0.3)")
+    parser.add_argument("--variant", choices=[m.value for m in AggressiveMode],
+                        default="normal",
+                        help="aggressive-summarization policy (default normal)")
+    parser.add_argument("--clustering",
+                        choices=[c.value for c in ClusteringStrategy],
+                        default="dense",
+                        help="local-unit discovery (default dense)")
+    parser.add_argument("--landmarks", type=int, default=8,
+                        help="landmark count over G_L (default 8)")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph = road_network(
+        args.nodes,
+        dim=args.dim,
+        style=args.style,
+        distribution=CostDistribution(args.distribution),
+        seed=args.seed,
+    )
+    gr_path = f"{args.out}.gr"
+    co_path = f"{args.out}.co"
+    write_dimacs_gr(graph, gr_path, comment=f"synthetic {args.style} network")
+    write_dimacs_co(graph, co_path, comment=f"synthetic {args.style} network")
+    print(
+        f"generated {graph.num_nodes} nodes / {graph.num_edges} edges "
+        f"({args.dim} costs) -> {gr_path}, {co_path}"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    started = time.perf_counter()
+    index = build_backbone_index(graph, _params_from(args))
+    elapsed = time.perf_counter() - started
+    index.save(args.out)
+    stats = index.stats()
+    print(
+        f"built backbone index in {fmt_seconds(elapsed)}: "
+        f"L={stats['height']}, |G_L.V|={stats['top_graph_nodes']}, "
+        f"{stats['label_paths']} label paths, "
+        f"{fmt_bytes(stats['size_bytes'])} -> {args.out}"
+    )
+    if args.verify:
+        from repro.core.verify import verify_index
+
+        report = verify_index(index)
+        if report.ok:
+            print(
+                f"verification ok: {report.labels_checked} labels, "
+                f"{report.paths_checked} paths, "
+                f"{report.shortcuts_checked} shortcuts"
+            )
+        else:
+            print(f"verification FAILED: {len(report.problems)} problems",
+                  file=sys.stderr)
+            for line in report.problems[:10]:
+                print(f"  {line}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    index = BackboneIndex.load(args.index, graph)
+    started = time.perf_counter()
+    result = index.query_detailed(args.source, args.target)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(result.paths)} approximate skyline paths "
+        f"in {fmt_seconds(elapsed)}:"
+    )
+    for path in sorted(result.paths, key=lambda p: sum(p.cost))[: args.limit]:
+        costs = ", ".join(f"{c:g}" for c in path.cost)
+        print(f"  ({costs})  [{path.length} hops]")
+    if args.exact:
+        started = time.perf_counter()
+        exact = skyline_paths(
+            graph, args.source, args.target, time_budget=args.exact_budget
+        )
+        elapsed = time.perf_counter() - started
+        suffix = " (timed out)" if exact.stats.timed_out else ""
+        print(
+            f"exact BBS: {len(exact.paths)} skyline paths "
+            f"in {fmt_seconds(elapsed)}{suffix}"
+        )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    stats = graph_stats(graph, FilePath(args.graph).stem)
+    rows = [stats.as_row()]
+    print(
+        format_table(
+            ["name", "nodes", "edges", "avg deg", "max deg", "size"],
+            rows,
+            title="graph",
+        )
+    )
+    if args.index:
+        index = BackboneIndex.load(args.index, graph)
+        info = index.stats()
+        print(
+            format_table(
+                ["levels", "label paths", "G_L nodes", "G_L edges", "size"],
+                [
+                    [
+                        info["height"],
+                        info["label_paths"],
+                        info["top_graph_nodes"],
+                        info["top_graph_edges"],
+                        fmt_bytes(info["size_bytes"]),
+                    ]
+                ],
+                title="index",
+            )
+        )
+    return 0
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_info, list_datasets
+
+    rows = []
+    for name in list_datasets():
+        spec = dataset_info(name)
+        rows.append(
+            [
+                name,
+                spec.description,
+                f"{spec.scaled_nodes:,}",
+                f"{spec.paper_nodes:,}",
+                f"{spec.edge_ratio:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["name", "description", "stand-in nodes", "paper nodes", "|E|/|V|"],
+            rows,
+            title="catalog stand-ins for the paper's nine networks",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Backbone index for skyline path queries (EDBT 2022)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic road network as DIMACS files"
+    )
+    generate.add_argument("--nodes", type=int, default=2000)
+    generate.add_argument("--dim", type=int, default=3)
+    generate.add_argument("--style", choices=["delaunay", "grid"],
+                          default="delaunay")
+    generate.add_argument(
+        "--distribution",
+        choices=[d.value for d in CostDistribution],
+        default="uniform",
+    )
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", required=True,
+                          help="output path prefix (writes .gr and .co)")
+    generate.set_defaults(handler=cmd_generate)
+
+    build = commands.add_parser("build", help="build a backbone index")
+    build.add_argument("graph", help="DIMACS .gr file")
+    build.add_argument("--out", required=True, help="index output (JSON)")
+    build.add_argument("--verify", action="store_true",
+                       help="run structural self-validation after building")
+    _add_param_options(build)
+    build.set_defaults(handler=cmd_build)
+
+    query = commands.add_parser("query", help="answer a skyline path query")
+    query.add_argument("graph", help="DIMACS .gr file")
+    query.add_argument("index", help="index file from 'repro build'")
+    query.add_argument("--source", type=int, required=True)
+    query.add_argument("--target", type=int, required=True)
+    query.add_argument("--limit", type=int, default=10,
+                       help="max paths to print (default 10)")
+    query.add_argument("--exact", action="store_true",
+                       help="also run the exact BBS baseline")
+    query.add_argument("--exact-budget", type=float, default=900.0,
+                       dest="exact_budget",
+                       help="BBS time budget in seconds (default 900)")
+    query.set_defaults(handler=cmd_query)
+
+    stats = commands.add_parser("stats", help="print graph / index statistics")
+    stats.add_argument("graph", help="DIMACS .gr file")
+    stats.add_argument("--index", help="optional index file")
+    stats.set_defaults(handler=cmd_stats)
+
+    datasets = commands.add_parser(
+        "datasets", help="list the catalog's synthetic stand-ins"
+    )
+    datasets.set_defaults(handler=cmd_datasets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Backbone index construction — Algorithm 2.
+
+The builder repeatedly summarizes the working graph level by level:
+
+1. **Regular summarization** — condensing rounds (degree-1 stripping +
+   dense-cluster condensation) repeat until the level has removed at
+   least ``p * |G_0.E|`` edges or stalls.
+2. **Aggressive summarization** — if the level still fell short (the
+   ``NORMAL`` variant, Algorithm 2 line 9) or unconditionally (the
+   ``EACH`` variant), single segments collapse into shortcut edges and
+   their labels fold into the level's index.
+
+The level loop ends when a level cannot remove the required edge share
+(or would empty the graph — that level's last round is rolled back),
+after which a landmark index is built over the final most-abstracted
+graph G_L.
+
+The loop core is exposed as :func:`summarize_levels` so index
+maintenance (:mod:`repro.core.maintenance`) can replay construction
+from an intermediate level after a network update.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.index import BackboneIndex, BuildStats, LevelStats, ShortcutKey
+from repro.core.labels import LevelIndex
+from repro.core.params import AggressiveMode, BackboneParams
+from repro.core.segments import condense_segments, find_single_segments
+from repro.core.summarize import condense_round
+from repro.errors import BuildError
+from repro.graph.mcrn import MultiCostGraph
+from repro.search.landmark import LandmarkIndex
+
+# A level may loop condensing rounds only so many times before we call
+# it stalled; each round shrinks the graph, so this is a safety valve.
+_MAX_ROUNDS_PER_LEVEL = 32
+
+
+@dataclass
+class SummarizationOutcome:
+    """Everything the level loop produced from one starting graph."""
+
+    levels: list[LevelIndex] = field(default_factory=list)
+    # Shortcut provenance recorded per level, so a partial rebuild can
+    # keep the untouched levels' entries.
+    level_provenance: list[dict[ShortcutKey, tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    level_stats: list[LevelStats] = field(default_factory=list)
+    # Copies of each level's input graph (G_offset, G_offset+1, ...),
+    # recorded only when requested; index maintenance replays from them.
+    snapshots: list[MultiCostGraph] = field(default_factory=list)
+    final_graph: MultiCostGraph | None = None
+
+
+def summarize_levels(
+    work: MultiCostGraph,
+    params: BackboneParams,
+    required_removals: int,
+    *,
+    level_offset: int = 0,
+    keep_snapshots: bool = False,
+) -> SummarizationOutcome:
+    """Run Algorithm 2's level loop, mutating ``work`` in place.
+
+    ``required_removals`` is ``p * |G_0.E|`` evaluated on the original
+    network; ``level_offset`` only affects reported level numbers (a
+    maintenance replay starts mid-index).
+    """
+    outcome = SummarizationOutcome()
+
+    while len(outcome.levels) + level_offset < params.max_levels:
+        if keep_snapshots:
+            outcome.snapshots.append(work.copy())
+        nodes_before = work.num_nodes
+        edges_before = work.num_edge_entries
+
+        level_index = LevelIndex()
+        level_provenance: dict[ShortcutKey, tuple[int, ...]] = {}
+        removed_edges = 0
+        rounds = 0
+        aggressive_used = False
+
+        # --- Step 1: regular summarization rounds ---------------------
+        while removed_edges < required_removals and rounds < _MAX_ROUNDS_PER_LEVEL:
+            snapshot = work.copy()
+            round_result = condense_round(work, params)
+            rounds += 1
+            if not round_result.changed:
+                break
+            if work.num_nodes == 0:
+                # The round would empty the graph; Algorithm 2 requires
+                # |G_{i+1}.V| != 0, so undo this round and stop here.
+                work.restore_from(snapshot)
+                break
+            level_index.absorb(round_result.index, set(work.nodes()))
+            removed_edges += round_result.removed_edge_count
+
+        # --- Step 2: aggressive summarization -------------------------
+        wants_aggressive = params.aggressive is AggressiveMode.EACH or (
+            params.aggressive is AggressiveMode.NORMAL
+            and removed_edges < required_removals
+        )
+        if wants_aggressive and work.num_nodes > 0:
+            segments = find_single_segments(work)
+            if segments:
+                aggressive = condense_segments(work, segments)
+                if aggressive.removed_edges and work.num_nodes > 0:
+                    aggressive_used = True
+                    level_index.absorb(aggressive.index, set(work.nodes()))
+                    removed_edges += len(aggressive.removed_edges)
+                    level_provenance.update(aggressive.provenance)
+
+        if removed_edges == 0:
+            if keep_snapshots:
+                outcome.snapshots.pop()  # the level never materialized
+            break  # nothing condensable remains; the loop is done
+
+        outcome.levels.append(level_index)
+        outcome.level_provenance.append(level_provenance)
+        outcome.level_stats.append(
+            LevelStats(
+                level=level_offset + len(outcome.levels) - 1,
+                nodes_before=nodes_before,
+                edges_before=edges_before,
+                removed_edges=removed_edges,
+                label_paths=level_index.path_count(),
+                aggressive_used=aggressive_used,
+                rounds=rounds,
+            )
+        )
+        if work.num_nodes == 0 or removed_edges < required_removals:
+            break  # Algorithm 2's do-while condition fails
+
+    outcome.final_graph = work
+    return outcome
+
+
+def required_edge_removals(graph: MultiCostGraph, params: BackboneParams) -> int:
+    """``p * |G_0.E|`` — the per-level removal quota (Definition 4.8)."""
+    return max(1, int(params.p * graph.num_edge_entries))
+
+
+def build_backbone_index(
+    graph: MultiCostGraph,
+    params: BackboneParams | None = None,
+) -> BackboneIndex:
+    """Build the backbone index of a multi-cost road network.
+
+    Parameters
+    ----------
+    graph:
+        The original network G_0.  It is never modified; the builder
+        works on a copy.
+    params:
+        Construction parameters; defaults follow the paper
+        (``BackboneParams()``).
+    """
+    if params is None:
+        params = BackboneParams()
+    if graph.num_nodes == 0:
+        raise BuildError("cannot index an empty graph")
+    if graph.directed:
+        raise BuildError(
+            "build_backbone_index expects an undirected network; model "
+            "directed roads as undirected edges per the paper's Section 3"
+        )
+
+    started = time.perf_counter()
+    work = graph.copy()
+    outcome = summarize_levels(
+        work, params, required_edge_removals(graph, params)
+    )
+    top_graph = outcome.final_graph
+    assert top_graph is not None
+    if top_graph.num_nodes == 0:
+        raise BuildError(
+            "summarization emptied the graph; this indicates an internal "
+            "rollback failure"
+        )
+
+    provenance: dict[ShortcutKey, tuple[int, ...]] = {}
+    for per_level in outcome.level_provenance:
+        provenance.update(per_level)
+    landmarks = LandmarkIndex(
+        top_graph, min(params.landmark_count, top_graph.num_nodes)
+    )
+    stats = BuildStats(levels=outcome.level_stats)
+    stats.elapsed_seconds = time.perf_counter() - started
+
+    return BackboneIndex(
+        original_graph=graph,
+        params=params,
+        levels=outcome.levels,
+        top_graph=top_graph,
+        landmarks=landmarks,
+        provenance=provenance,
+        build_stats=stats,
+    )

@@ -1,0 +1,168 @@
+"""Dense-cluster discovery — Algorithm 1 of the paper.
+
+Clusters are grown greedily from seed nodes in descending
+cluster-coefficient order: the highest-coefficient unvisited node seeds
+a cluster, which expands through a max-priority queue (again by cluster
+coefficient) until the queue drains or the cluster hits ``m_max``.
+Nodes whose two-hop cardinality falls below the condensing threshold
+are *noise* and are never condensed, preserving the topology of sparse
+components (Section 4.2.2).  Finally, clusters smaller than ``m_min``
+merge into the adjacent cluster sharing the most cut edges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.coefficients import (
+    all_cluster_coefficients,
+    all_two_hop_cardinalities,
+)
+from repro.core.params import BackboneParams
+from repro.core.threshold import condensing_threshold
+from repro.graph.mcrn import MultiCostGraph
+
+
+@dataclass
+class Clustering:
+    """The outcome of one clustering pass over a level graph."""
+
+    clusters: list[set[int]] = field(default_factory=list)
+    noise: set[int] = field(default_factory=set)
+    noise_val: int = 0
+
+    @property
+    def clustered_nodes(self) -> set[int]:
+        """Union of all cluster node sets."""
+        result: set[int] = set()
+        for cluster in self.clusters:
+            result |= cluster
+        return result
+
+    def membership(self) -> dict[int, int]:
+        """Map node -> cluster index (noise nodes absent)."""
+        owner: dict[int, int] = {}
+        for index, cluster in enumerate(self.clusters):
+            for node in cluster:
+                owner[node] = index
+        return owner
+
+
+def find_dense_clusters(
+    graph: MultiCostGraph,
+    params: BackboneParams,
+    *,
+    coefficients: dict[int, float] | None = None,
+) -> Clustering:
+    """Run Algorithm 1 on a level graph.
+
+    ``coefficients`` may be supplied to reuse a previously computed
+    cluster-coefficient table.
+    """
+    if graph.num_nodes == 0:
+        return Clustering()
+    if coefficients is None:
+        coefficients = all_cluster_coefficients(graph)
+    cardinalities = all_two_hop_cardinalities(graph)
+    noise_val = condensing_threshold(cardinalities.values(), params.p_ind)
+
+    visited: set[int] = set()
+    noise: set[int] = set()
+    clusters: list[set[int]] = []
+    tie_breaker = itertools.count()
+
+    # Outer loop: nodes in descending cluster-coefficient order.
+    for seed in sorted(graph.nodes(), key=coefficients.__getitem__, reverse=True):
+        if seed in visited:
+            continue
+        if cardinalities[seed] < noise_val:
+            noise.add(seed)
+            visited.add(seed)
+            continue
+        cluster: set[int] = set()
+        # Max-priority queue on cluster coefficient (heapq is a
+        # min-heap, hence the negation).
+        queue: list[tuple[float, int, int]] = [
+            (-coefficients[seed], next(tie_breaker), seed)
+        ]
+        while queue:
+            _, _, node = heapq.heappop(queue)
+            if node in visited:
+                if node in noise:
+                    # A noise node pulled into a growing cluster joins it
+                    # (Algorithm 1, lines 25-27).
+                    noise.discard(node)
+                    cluster.add(node)
+                continue
+            visited.add(node)
+            cluster.add(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor in visited:
+                    continue
+                if len(cluster) > params.m_max:
+                    break
+                if cardinalities[neighbor] >= noise_val:
+                    heapq.heappush(
+                        queue,
+                        (-coefficients[neighbor], next(tie_breaker), neighbor),
+                    )
+        if cluster:
+            clusters.append(cluster)
+
+    clustering = Clustering(clusters=clusters, noise=noise, noise_val=noise_val)
+    _merge_small_clusters(graph, clustering, params.m_min)
+    return clustering
+
+
+def _merge_small_clusters(
+    graph: MultiCostGraph, clustering: Clustering, m_min: int
+) -> None:
+    """Merge clusters below ``m_min`` into their best-connected neighbor.
+
+    "Best-connected" counts cut edges between the small cluster and each
+    candidate cluster; the paper leaves the policy unspecified
+    (``C.mergeSmallCluster``), and this choice keeps merged clusters
+    spatially coherent.  A small cluster with no adjacent cluster stays
+    as it is.
+    """
+    if m_min <= 1 or len(clustering.clusters) <= 1:
+        return
+    owner = clustering.membership()
+    # Iterate smallest-first so chains of tiny clusters coalesce.
+    order = sorted(
+        range(len(clustering.clusters)),
+        key=lambda index: len(clustering.clusters[index]),
+    )
+    merged_into: dict[int, int] = {}
+
+    def resolve(index: int) -> int:
+        while index in merged_into:
+            index = merged_into[index]
+        return index
+
+    for index in order:
+        index = resolve(index)
+        cluster = clustering.clusters[index]
+        if len(cluster) >= m_min:
+            continue
+        cut_edges: dict[int, int] = {}
+        for node in cluster:
+            for neighbor in graph.neighbors(node):
+                other = owner.get(neighbor)
+                if other is None:
+                    continue
+                other = resolve(other)
+                if other != index:
+                    cut_edges[other] = cut_edges.get(other, 0) + 1
+        if not cut_edges:
+            continue
+        best = max(cut_edges, key=lambda idx: (cut_edges[idx], -idx))
+        clustering.clusters[best] |= cluster
+        for node in cluster:
+            owner[node] = best
+        cluster.clear()
+        merged_into[index] = best
+
+    clustering.clusters = [c for c in clustering.clusters if c]

@@ -1,0 +1,318 @@
+"""The backbone index container (Definition 4.8).
+
+A built index holds the per-level label structures (0, I_0) ... (L-1,
+I_{L-1}), the most abstracted graph G_L, a landmark index over G_L, and
+the shortcut provenance needed to expand abstract paths back toward the
+original network.  Construction lives in :mod:`repro.core.builder`;
+query evaluation in :mod:`repro.core.query`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path as FilePath
+
+from repro.core.labels import LevelIndex
+from repro.core.params import AggressiveMode, BackboneParams, ClusteringStrategy
+from repro.errors import BuildError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import CostVector
+from repro.paths.path import Path
+from repro.search.landmark import LandmarkIndex
+
+ShortcutKey = tuple[int, int, CostVector]
+
+
+@dataclass
+class LevelStats:
+    """Construction bookkeeping for one index level."""
+
+    level: int
+    nodes_before: int
+    edges_before: int
+    removed_edges: int
+    label_paths: int
+    aggressive_used: bool
+    rounds: int
+
+
+@dataclass
+class BuildStats:
+    """Construction bookkeeping for a whole index."""
+
+    elapsed_seconds: float = 0.0
+    levels: list[LevelStats] = field(default_factory=list)
+
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+
+class BackboneIndex:
+    """A built backbone index over one multi-cost road network."""
+
+    def __init__(
+        self,
+        *,
+        original_graph: MultiCostGraph,
+        params: BackboneParams,
+        levels: list[LevelIndex],
+        top_graph: MultiCostGraph,
+        landmarks: LandmarkIndex,
+        provenance: dict[ShortcutKey, tuple[int, ...]],
+        build_stats: BuildStats,
+    ) -> None:
+        self.original_graph = original_graph
+        self.params = params
+        self.levels = levels
+        self.top_graph = top_graph
+        self.landmarks = landmarks
+        self.provenance = provenance
+        self.build_stats = build_stats
+        # (u, v) -> list of recorded underlying sequences, for expansion
+        self._pair_provenance: dict[tuple[int, int], list[tuple[int, ...]]] = {}
+        for (u, v, _cost), sequence in provenance.items():
+            key = (u, v) if u <= v else (v, u)
+            self._pair_provenance.setdefault(key, []).append(sequence)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Cost dimensionality of the indexed network."""
+        return self.original_graph.dim
+
+    @property
+    def height(self) -> int:
+        """L — the number of summarization levels."""
+        return len(self.levels)
+
+    def label_path_count(self) -> int:
+        """Total skyline paths stored across all level indexes."""
+        return sum(level.path_count() for level in self.levels)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the index payload.
+
+        Counts label path nodes and costs, the top graph, landmark
+        entries, and provenance sequences — a compact-serialization
+        estimate suitable for the paper's index-size comparisons.
+        """
+        int_size = sys.getsizeof(0)
+        float_size = sys.getsizeof(0.0)
+        total = 0
+        for level in self.levels:
+            for node in level.nodes():
+                label = level.get(node)
+                assert label is not None
+                for entrance, paths in label.entrances.items():
+                    total += 2 * int_size  # (node, entrance) key
+                    for path in paths:
+                        total += len(path.nodes) * int_size
+                        total += self.dim * float_size
+        total += self.top_graph.num_nodes * int_size
+        total += self.top_graph.num_edge_entries * (
+            2 * int_size + self.dim * float_size
+        )
+        total += self.landmarks.size_entries() * float_size
+        for sequence in self.provenance.values():
+            total += len(sequence) * int_size
+        return total
+
+    def stats(self) -> dict:
+        """A summary dictionary (levels, sizes, counts) for reporting."""
+        return {
+            "height": self.height,
+            "label_paths": self.label_path_count(),
+            "labelled_nodes": sum(len(level) for level in self.levels),
+            "top_graph_nodes": self.top_graph.num_nodes,
+            "top_graph_edges": self.top_graph.num_edge_entries,
+            "size_bytes": self.size_bytes(),
+            "build_seconds": self.build_stats.elapsed_seconds,
+            "shortcuts": len(self.provenance),
+        }
+
+    # ------------------------------------------------------------------
+    # queries (delegating to repro.core.query)
+    # ------------------------------------------------------------------
+
+    def query(self, source: int, target: int, **kwargs):
+        """Approximate skyline paths between two nodes (Algorithm 3)."""
+        from repro.core.query import backbone_query
+
+        return backbone_query(self, source, target, **kwargs).paths
+
+    def query_detailed(self, source: int, target: int, **kwargs):
+        """Like :meth:`query` but returns the full result with stats."""
+        from repro.core.query import backbone_query
+
+        return backbone_query(self, source, target, **kwargs)
+
+    def one_to_all(self, source: int, **kwargs):
+        """Approximate skyline paths from one node to every node."""
+        from repro.core.query import backbone_one_to_all
+
+        return backbone_one_to_all(self, source, **kwargs)
+
+    # ------------------------------------------------------------------
+    # path expansion
+    # ------------------------------------------------------------------
+
+    def expand_path(self, path: Path) -> Path:
+        """Best-effort expansion of an abstract path to an original walk.
+
+        Shortcut edges created by aggressive summarization are spliced
+        with their recorded underlying sequences, recursively, until
+        every consecutive pair is an edge of the original graph.  The
+        returned path is a *valid walk* in G_0 with its cost recomputed
+        from original edges; where parallel alternatives were collapsed
+        the recomputed cost may differ from the abstract estimate.
+        """
+        graph = self.original_graph
+        expanded = [path.nodes[0]]
+        for u, v in zip(path.nodes, path.nodes[1:]):
+            expanded.extend(self._expand_pair(u, v, depth=0)[1:])
+        cost = [0.0] * self.dim
+        for u, v in zip(expanded, expanded[1:]):
+            best = min(graph.edge_costs(u, v), key=sum)
+            for i, c in enumerate(best):
+                cost[i] += c
+        return Path(expanded, tuple(cost))
+
+    def _expand_pair(self, u: int, v: int, depth: int) -> list[int]:
+        if depth > 64:
+            raise BuildError(f"shortcut expansion too deep at edge ({u}, {v})")
+        if self.original_graph.has_edge(u, v):
+            return [u, v]
+        key = (min(u, v), max(u, v))
+        sequences = self._pair_provenance.get(key)
+        if not sequences:
+            raise BuildError(
+                f"edge ({u}, {v}) is neither original nor a recorded shortcut"
+            )
+        sequence = sequences[0]
+        if sequence[0] != u:
+            sequence = sequence[::-1]
+        result = [u]
+        for a, b in zip(sequence, sequence[1:]):
+            result.extend(self._expand_pair(a, b, depth + 1)[1:])
+        return result
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def save(self, path: FilePath | str) -> None:
+        """Write the index to a JSON file (versioned format)."""
+        document = {
+            "format": "repro-backbone-index",
+            "version": 1,
+            "dim": self.dim,
+            "params": {
+                "m_max": self.params.m_max,
+                "m_min": self.params.m_min,
+                "p": self.params.p,
+                "p_ind": self.params.p_ind,
+                "aggressive": self.params.aggressive.value,
+                "clustering": self.params.clustering.value,
+                "landmark_count": self.params.landmark_count,
+            },
+            "levels": [
+                {
+                    str(node): {
+                        str(entrance): [
+                            {"nodes": list(p.nodes), "cost": list(p.cost)}
+                            for p in paths
+                        ]
+                        for entrance, paths in level.get(node).entrances.items()
+                    }
+                    for node in level.nodes()
+                }
+                for level in self.levels
+            ],
+            "top_graph": {
+                "nodes": sorted(self.top_graph.nodes()),
+                "edges": [
+                    [u, v, list(cost)] for u, v, cost in self.top_graph.edges()
+                ],
+            },
+            "provenance": [
+                {"u": u, "v": v, "cost": list(cost), "seq": list(sequence)}
+                for (u, v, cost), sequence in self.provenance.items()
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+
+    @classmethod
+    def load(
+        cls, path: FilePath | str, original_graph: MultiCostGraph
+    ) -> "BackboneIndex":
+        """Load an index saved by :meth:`save`.
+
+        The original graph is supplied by the caller (the index file
+        stores only the derived structures, matching the paper's setup
+        where graphs live in the database and the index besides it).
+        """
+        with open(path) as handle:
+            document = json.load(handle)
+        if document.get("format") != "repro-backbone-index":
+            raise BuildError(f"{path}: not a backbone index file")
+        if document.get("version") != 1:
+            raise BuildError(f"{path}: unsupported index version")
+        raw = document["params"]
+        params = BackboneParams(
+            m_max=raw["m_max"],
+            m_min=raw["m_min"],
+            p=raw["p"],
+            p_ind=raw["p_ind"],
+            aggressive=AggressiveMode(raw["aggressive"]),
+            clustering=ClusteringStrategy(raw["clustering"]),
+            landmark_count=raw["landmark_count"],
+        )
+        levels: list[LevelIndex] = []
+        for level_doc in document["levels"]:
+            level = LevelIndex()
+            for node_str, entrances in level_doc.items():
+                node = int(node_str)
+                for entrance_str, paths in entrances.items():
+                    entrance = int(entrance_str)
+                    for payload in paths:
+                        level.add_path(
+                            node,
+                            entrance,
+                            Path(payload["nodes"], payload["cost"]),
+                        )
+            levels.append(level)
+        top_graph = MultiCostGraph(document["dim"])
+        for node in document["top_graph"]["nodes"]:
+            top_graph.add_node(node)
+        for u, v, cost in document["top_graph"]["edges"]:
+            top_graph.add_edge(u, v, cost)
+        provenance = {
+            (entry["u"], entry["v"], tuple(entry["cost"])): tuple(entry["seq"])
+            for entry in document["provenance"]
+        }
+        landmarks = LandmarkIndex(
+            top_graph, min(params.landmark_count, max(top_graph.num_nodes, 1))
+        )
+        return cls(
+            original_graph=original_graph,
+            params=params,
+            levels=levels,
+            top_graph=top_graph,
+            landmarks=landmarks,
+            provenance=provenance,
+            build_stats=BuildStats(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BackboneIndex(L={self.height}, "
+            f"|G_L.V|={self.top_graph.num_nodes}, "
+            f"label_paths={self.label_path_count()})"
+        )

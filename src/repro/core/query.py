@@ -1,0 +1,225 @@
+"""Query processing over the backbone index — Algorithm 3.
+
+A skyline path query (v_s, v_t) is answered approximately in three
+phases:
+
+1. **Grow S** — skyline paths from v_s climb the index level by level:
+   at level i, every reached node's label extends the partial paths to
+   that node's highway entrances.  Reaching v_t directly yields results.
+2. **Grow D** — the same from v_t, with the extra *meet* rule: reaching
+   a node already in S joins the two half-paths into a candidate
+   (the paper's first type of backbone paths).
+3. **m_BBS on G_L** — partial paths that survive into the most
+   abstracted graph are connected by one many-to-many skyline search
+   with landmark lower bounds (the second type).
+
+All candidate paths pass through one shared result skyline, so the
+returned set is mutually non-dominated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.index import BackboneIndex
+from repro.errors import NodeNotFoundError
+from repro.paths.frontier import PathSet
+from repro.paths.path import Path
+from repro.search.bbs import SearchStats
+from repro.search.bounds import LandmarkLowerBounds
+from repro.search.mbbs import Seed, many_to_many_skyline
+from repro.search.onetoall import one_to_all_skyline
+
+
+@dataclass
+class QueryStats:
+    """Diagnostics for one backbone query."""
+
+    elapsed_seconds: float = 0.0
+    source_keys: int = 0
+    target_keys: int = 0
+    first_type_candidates: int = 0
+    second_type_candidates: int = 0
+    mbbs_stats: SearchStats | None = None
+
+
+@dataclass
+class QueryResult:
+    """Approximate skyline paths plus diagnostics."""
+
+    paths: list[Path] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+
+def _grow(
+    index: BackboneIndex,
+    start: int,
+    *,
+    results: PathSet,
+    other: dict[int, PathSet] | None,
+    goal: int,
+    stats: QueryStats,
+) -> dict[int, PathSet]:
+    """Climb the index from ``start``; implements both loops of Alg. 3.
+
+    ``other`` is the already-grown map of the opposite endpoint (None
+    while growing S); meets against it produce first-type candidates.
+    Paths in the returned map run ``start -> key``.
+    """
+    reached: dict[int, PathSet] = {
+        start: PathSet([Path.trivial(start, index.dim)])
+    }
+    for level in index.levels:
+        for node in list(reached.keys()):
+            label = level.get(node)
+            if label is None:
+                continue
+            prefixes = reached[node].paths()
+            for entrance, hops in label.entrances.items():
+                combined = [
+                    prefix.concat(hop) for prefix in prefixes for hop in hops
+                ]
+                if entrance == goal:
+                    for path in combined:
+                        if results.add(path if other is None else path.reverse()):
+                            stats.first_type_candidates += 1
+                    continue
+                if other is not None and entrance in other:
+                    for half in other[entrance]:
+                        for path in combined:
+                            if results.add(half.concat(path.reverse())):
+                                stats.first_type_candidates += 1
+                bucket = reached.get(entrance)
+                if bucket is None:
+                    bucket = reached[entrance] = PathSet()
+                bucket.add_all(combined)
+    return reached
+
+
+def backbone_query(
+    index: BackboneIndex,
+    source: int,
+    target: int,
+    *,
+    time_budget: float | None = None,
+) -> QueryResult:
+    """Approximate skyline paths between two nodes (Algorithm 3)."""
+    graph = index.original_graph
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    started = time.perf_counter()
+    stats = QueryStats()
+    if source == target:
+        result = QueryResult(paths=[Path.trivial(source, index.dim)], stats=stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    results = PathSet()
+    # Phase 1: grow S from the source (paths run source -> key).
+    source_map = _grow(
+        index, source, results=results, other=None, goal=target, stats=stats
+    )
+    # Phase 2: grow D from the target, meeting S along the way.
+    target_map = _grow(
+        index, target, results=results, other=source_map, goal=source, stats=stats
+    )
+    stats.source_keys = len(source_map)
+    stats.target_keys = len(target_map)
+
+    # Phase 3: second-type paths through the most abstracted graph.
+    top = index.top_graph
+    source_possible = [node for node in source_map if top.has_node(node)]
+    target_possible = [node for node in target_map if top.has_node(node)]
+    if source_possible and target_possible:
+        seeds = [
+            Seed(node, prefix.cost, payload=prefix)
+            for node in source_possible
+            for prefix in source_map[node]
+        ]
+        bounds = LandmarkLowerBounds(index.landmarks, target_possible)
+        outcome = many_to_many_skyline(
+            top,
+            seeds,
+            target_possible,
+            bounds=bounds,
+            time_budget=time_budget,
+        )
+        stats.mbbs_stats = outcome.stats
+        for landing, hits in outcome.hits.items():
+            suffixes = target_map[landing].paths()
+            for _cost, (prefix, middle) in hits:
+                through = prefix.concat(middle)
+                for suffix in suffixes:
+                    if results.add(through.concat(suffix.reverse())):
+                        stats.second_type_candidates += 1
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return QueryResult(paths=results.paths(), stats=stats)
+
+
+def backbone_one_to_all(
+    index: BackboneIndex, source: int
+) -> dict[int, list[Path]]:
+    """Approximate one-to-all skyline paths (Section 5 extension).
+
+    The source's partial paths climb to G_L, a one-to-all skyline runs
+    there, and the results flow back *down* the index: at each level,
+    a labelled node inherits paths from its entrances by reversed-label
+    concatenation.  Returns a map node -> approximate skyline paths
+    (the source maps to its trivial path).
+    """
+    graph = index.original_graph
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+
+    stats = QueryStats()
+    results = PathSet()  # unused sink for the grow helper
+    reached = _grow(
+        index, source, results=results, other=None, goal=source, stats=stats
+    )
+
+    answers: dict[int, PathSet] = {}
+    for node, bucket in reached.items():
+        answers[node] = PathSet(bucket.paths())
+
+    # Sweep the most abstracted graph from every surviving key.
+    top = index.top_graph
+    for node in list(answers.keys()):
+        if not top.has_node(node):
+            continue
+        prefixes = answers[node].paths()
+        for landing, paths in one_to_all_skyline(top, node).items():
+            if landing == node:
+                continue
+            bucket = answers.setdefault(landing, PathSet())
+            for prefix in prefixes:
+                for middle in paths:
+                    bucket.add(prefix.concat(middle))
+
+    # Flow back down: a labelled node is reachable through any of its
+    # entrances by reversing the label paths.
+    for level in reversed(index.levels):
+        for node in level.nodes():
+            label = level.get(node)
+            assert label is not None
+            bucket = answers.setdefault(node, PathSet())
+            for entrance, hops in label.entrances.items():
+                upstream = answers.get(entrance)
+                if upstream is None or entrance == node:
+                    continue
+                for prefix in upstream.paths():
+                    for hop in hops:
+                        bucket.add(prefix.concat(hop.reverse()))
+
+    return {
+        node: bucket.paths() for node, bucket in answers.items() if bucket
+    }

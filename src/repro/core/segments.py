@@ -1,0 +1,176 @@
+"""Single segments and aggressive summarization (Definition 3.5, Ex. 4.9).
+
+A *single segment* is a maximal path whose interior nodes all have
+degree 2 (consecutive <2,2> degree-pair edges) bracketed by two
+higher-degree endpoints.  When regular summarization stalls — it cannot
+remove enough edges without destroying topology — the aggressive
+strategy replaces each segment with a *shortcut edge* between its
+endpoints whose cost is the segment's summed cost, and gives every
+removed interior node a label to the two endpoints.
+
+Parallel edges along a segment multiply path choices, so the shortcut
+is in general a *skyline set* of cost vectors, which the multigraph's
+parallel-edge pruning stores naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import CostedEdge, LevelIndex
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import CostVector
+from repro.paths.frontier import PathSet
+from repro.paths.path import Path
+
+
+@dataclass
+class Segment:
+    """One single segment: endpoints plus interior degree-2 nodes."""
+
+    nodes: list[int]  # [u, v0, ..., vj, w]
+
+    @property
+    def left(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def right(self) -> int:
+        return self.nodes[-1]
+
+    @property
+    def interior(self) -> list[int]:
+        return self.nodes[1:-1]
+
+
+@dataclass
+class AggressiveResult:
+    """Outcome of one aggressive summarization pass."""
+
+    removed_nodes: set[int] = field(default_factory=set)
+    removed_edges: list[CostedEdge] = field(default_factory=list)
+    index: LevelIndex = field(default_factory=LevelIndex)
+    shortcuts: list[CostedEdge] = field(default_factory=list)
+    # shortcut (u, w, cost) -> underlying node sequence in the level graph
+    provenance: dict[tuple[int, int, CostVector], tuple[int, ...]] = field(
+        default_factory=dict
+    )
+
+
+def find_single_segments(graph: MultiCostGraph) -> list[Segment]:
+    """All single segments of the graph (Definition 3.5).
+
+    Pure degree-2 cycles have no qualifying endpoints and are skipped —
+    condensing them to a single edge has no endpoint to anchor to.
+    """
+    segments: list[Segment] = []
+    assigned: set[int] = set()
+    for start in graph.nodes():
+        if graph.degree(start) != 2 or start in assigned:
+            continue
+        # Walk left and right from the degree-2 node until hitting a
+        # node whose degree differs from 2.
+        chain = [start]
+        is_cycle = False
+        for direction in (0, 1):
+            previous = start
+            neighbors = sorted(graph.neighbors(start))
+            current = neighbors[direction] if len(neighbors) > direction else None
+            if current is None:
+                break
+            while True:
+                if direction == 0:
+                    chain.insert(0, current)
+                else:
+                    chain.append(current)
+                if graph.degree(current) != 2:
+                    break
+                if current == start:
+                    is_cycle = True
+                    break
+                step = [n for n in graph.neighbors(current) if n != previous]
+                if not step:
+                    break
+                previous, current = current, step[0]
+            if is_cycle:
+                break
+        if is_cycle:
+            # Mark the whole cycle assigned so we do not rediscover it.
+            assigned.update(n for n in chain if graph.degree(n) == 2)
+            continue
+        interior = [n for n in chain if graph.degree(n) == 2]
+        if not interior:
+            continue
+        if graph.degree(chain[0]) < 3 or graph.degree(chain[-1]) < 3:
+            # Definition 3.5 requires the outer edges to touch a node of
+            # degree > 2; runs ending in degree-1 tails belong to the
+            # regular degree-1 stripping instead.
+            continue
+        assigned.update(interior)
+        segments.append(Segment(nodes=chain))
+    return segments
+
+
+def _segment_prefixes(
+    graph: MultiCostGraph, nodes: list[int]
+) -> list[PathSet]:
+    """Skyline paths from ``nodes[0]`` to each position along a segment."""
+    dim = graph.dim
+    prefixes: list[PathSet] = [PathSet([Path.trivial(nodes[0], dim)])]
+    for u, v in zip(nodes, nodes[1:]):
+        grown = PathSet()
+        for prefix in prefixes[-1]:
+            for cost in graph.edge_costs(u, v):
+                grown.add(prefix.concat(Path((u, v), cost)))
+        prefixes.append(grown)
+    return prefixes
+
+
+def condense_segments(
+    graph: MultiCostGraph, segments: list[Segment]
+) -> AggressiveResult:
+    """Condense segments into shortcuts, mutating ``graph`` (Ex. 4.9).
+
+    Every interior node receives labels to both segment endpoints (its
+    highway entrances).  When a segment's endpoints coincide (a
+    lollipop), no shortcut is added — the interior is reachable only
+    through that one endpoint anyway.
+    """
+    result = AggressiveResult()
+    for segment in segments:
+        nodes = segment.nodes
+        if any(node in result.removed_nodes for node in nodes):
+            continue  # already consumed by an overlapping segment
+        prefixes = _segment_prefixes(graph, nodes)
+        suffixes = _segment_prefixes(graph, nodes[::-1])[::-1]
+        # suffixes[k] holds skyline paths right-endpoint -> nodes[k];
+        # reverse each to get nodes[k] -> right-endpoint.
+
+        for position, node in enumerate(nodes[1:-1], start=1):
+            for prefix in prefixes[position]:
+                result.index.add_path(node, segment.left, prefix.reverse())
+            for suffix in suffixes[position]:
+                result.index.add_path(node, segment.right, suffix.reverse())
+
+        for u, v in zip(nodes, nodes[1:]):
+            for cost in graph.edge_costs(u, v):
+                result.removed_edges.append((u, v, cost))
+        result.removed_nodes.update(segment.interior)
+
+        if segment.left != segment.right:
+            for through in prefixes[-1]:
+                key = (segment.left, segment.right, through.cost)
+                result.shortcuts.append(key)
+                result.provenance.setdefault(key, through.nodes)
+
+        # Mutate the graph: drop the chain, add the shortcut skyline.
+        for u, v in zip(nodes, nodes[1:]):
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+        for node in segment.interior:
+            if graph.has_node(node):
+                graph.remove_node(node)
+        if segment.left != segment.right:
+            for through in prefixes[-1]:
+                graph.add_edge(segment.left, segment.right, through.cost)
+    return result

@@ -1,0 +1,179 @@
+"""Level summarization: degree-1 stripping and cluster condensation.
+
+Regular summarization of a level graph G_i (Section 4.3.1) runs in
+rounds until enough edges are gone:
+
+1. strip degree-1 edges recursively (dangling trees), labeling each
+   removed node with its unique path to the surviving anchor;
+2. find dense clusters (Algorithm 1) and condense each one (spanning
+   tree + 2-core pruning), labeling every cluster node with its skyline
+   paths to the cluster's highway entrances over the removed edges.
+
+Every round mutates a working copy of the level graph in place and
+returns the labels it generated; the caller folds rounds together with
+:meth:`LevelIndex.absorb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clustering import Clustering, find_dense_clusters
+from repro.core.labels import CostedEdge, LevelIndex, build_cluster_labels
+from repro.core.params import BackboneParams, ClusteringStrategy, LabelScope
+from repro.core.spanning import condense_cluster
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.traversal import bfs_order, peel_degree_one
+from repro.paths.frontier import PathSet
+from repro.paths.path import Path
+
+
+@dataclass
+class RoundResult:
+    """What one summarization round removed and recorded."""
+
+    removed_nodes: set[int] = field(default_factory=set)
+    removed_edges: list[CostedEdge] = field(default_factory=list)
+    index: LevelIndex = field(default_factory=LevelIndex)
+
+    @property
+    def removed_edge_count(self) -> int:
+        return len(self.removed_edges)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.removed_nodes or self.removed_edges)
+
+
+def strip_degree_one(graph: MultiCostGraph) -> RoundResult:
+    """Remove dangling trees, labeling removed nodes to their anchors.
+
+    "We first remove the degree-1 edges from graph G_i ... until every
+    remaining node has a degree of 2 or higher."  Each removed node's
+    highway entrance is the surviving node its dangling tree hangs
+    from; the label paths follow the unique tree route (parallel edges
+    contribute a skyline of cost combinations).
+    """
+    result = RoundResult()
+    order = peel_degree_one(graph)
+    removed = {node for node, _ in order}
+    # Process outermost-anchor first: iterate the peel order in reverse
+    # so a node's anchor paths are ready before the node needs them.
+    paths_to_anchor: dict[int, tuple[int, PathSet]] = {}
+    for node, anchor in reversed(order):
+        edge_paths = [
+            Path((node, anchor), cost) for cost in graph.edge_costs(node, anchor)
+        ]
+        if anchor in removed:
+            final_anchor, anchor_paths = paths_to_anchor[anchor]
+            bucket = PathSet()
+            for edge_path in edge_paths:
+                for continuation in anchor_paths:
+                    bucket.add(edge_path.concat(continuation))
+        else:
+            final_anchor = anchor
+            bucket = PathSet(edge_paths)
+        paths_to_anchor[node] = (final_anchor, bucket)
+
+    for node, anchor in order:
+        for cost in graph.edge_costs(node, anchor):
+            result.removed_edges.append((node, anchor, cost))
+        final_anchor, bucket = paths_to_anchor[node]
+        for path in bucket:
+            result.index.add_path(node, final_anchor, path)
+        result.removed_nodes.add(node)
+    for node, _ in order:
+        graph.remove_node(node)
+    return result
+
+
+def bfs_partitions(graph: MultiCostGraph, m_max: int) -> Clustering:
+    """Partition nodes into BFS chunks of at most ``m_max`` nodes.
+
+    The comparison method of Section 6.2.3: connected partitions that
+    ignore density.  Every node lands in some partition; there are no
+    noise nodes.
+    """
+    clustering = Clustering()
+    seen: set[int] = set()
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        chunk: set[int] = set()
+        for node in bfs_order(graph, start):
+            if node in seen:
+                continue
+            chunk.add(node)
+            seen.add(node)
+            if len(chunk) >= m_max:
+                clustering.clusters.append(chunk)
+                chunk = set()
+        if chunk:
+            clustering.clusters.append(chunk)
+    return clustering
+
+
+def _discover_clusters(
+    graph: MultiCostGraph, params: BackboneParams
+) -> Clustering:
+    if params.clustering is ClusteringStrategy.BFS:
+        return bfs_partitions(graph, params.m_max)
+    return find_dense_clusters(graph, params)
+
+
+def condense_round(graph: MultiCostGraph, params: BackboneParams) -> RoundResult:
+    """One full condensing round: strip degree-1, then condense clusters.
+
+    Mutates ``graph`` in place.  The returned index already folds the
+    stripping labels and the cluster labels together (strip labels whose
+    anchors get condensed are re-targeted through the cluster labels).
+    """
+    strip = strip_degree_one(graph)
+    clustering = _discover_clusters(graph, params)
+
+    cluster_result = RoundResult()
+    for cluster_nodes in clustering.clusters:
+        live_nodes = {node for node in cluster_nodes if graph.has_node(node)}
+        if len(live_nodes) < 2:
+            continue
+        condensed = condense_cluster(graph, live_nodes, policy=params.tree_policy)
+        costed: list[CostedEdge] = []
+        for u, v in condensed.removed_edges:
+            for cost in graph.edge_costs(u, v):
+                costed.append((u, v, cost))
+        label_edges = costed
+        if params.label_scope is LabelScope.FULL_CLUSTER:
+            # ablation: label searches may also use the kept cluster
+            # edges — richer labels at higher construction cost
+            removed_pairs = set(condensed.removed_edges)
+            label_edges = list(costed)
+            for u, v in graph.edge_pairs():
+                if (
+                    u in live_nodes
+                    and v in live_nodes
+                    and (min(u, v), max(u, v)) not in removed_pairs
+                ):
+                    for cost in graph.edge_costs(u, v):
+                        label_edges.append((u, v, cost))
+        build_cluster_labels(
+            graph.dim,
+            live_nodes,
+            label_edges,
+            condensed.kept_nodes,
+            into=cluster_result.index,
+            max_frontier=params.max_label_frontier,
+        )
+        for u, v in condensed.removed_edges:
+            graph.remove_edge(u, v)
+        for node in condensed.removed_nodes:
+            graph.remove_node(node)
+        cluster_result.removed_nodes |= condensed.removed_nodes
+        cluster_result.removed_edges.extend(costed)
+
+    surviving = set(graph.nodes())
+    strip.index.absorb(cluster_result.index, surviving)
+    return RoundResult(
+        removed_nodes=strip.removed_nodes | cluster_result.removed_nodes,
+        removed_edges=strip.removed_edges + cluster_result.removed_edges,
+        index=strip.index,
+    )

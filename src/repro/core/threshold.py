@@ -1,0 +1,59 @@
+"""The condensing threshold for noise-node detection (Definition 4.3).
+
+Sparse components (secluded roads) must survive summarization or their
+nodes become unreachable.  The paper flags a node as *noise* when its
+two-hop cardinality ``|N1(v) + N2(v)|`` falls below a data-driven
+threshold ``noise_val`` computed from the frequency histogram of
+two-hop cardinalities.
+
+Note on the paper's off-by-one: Definition 4.3's prefix-sum condition
+and Example 4.4 disagree by one position (the formula selects position
+2 while the example reads ``L[1]``).  We follow the worked example:
+with ``(frequency, cardinality)`` pairs sorted ascending by frequency
+(ties broken by cardinality), ``noise_val`` is the cardinality at the
+**largest** position whose frequency prefix-sum is still
+``<= p_ind * |V|``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.errors import BuildError
+
+
+def condensing_threshold(cardinalities: Iterable[int], p_ind: float) -> int:
+    """Compute ``noise_val`` from two-hop cardinalities (Definition 4.3).
+
+    Returns 0 (nothing is noise) when ``p_ind`` is 0 or no position's
+    prefix-sum fits under the budget.
+    """
+    if not 0.0 <= p_ind < 1.0:
+        raise BuildError(f"p_ind must lie in [0, 1), got {p_ind}")
+    values = list(cardinalities)
+    if not values:
+        raise BuildError("cannot compute a condensing threshold of zero nodes")
+    if p_ind == 0.0:
+        return 0
+    frequency = Counter(values)
+    # Ascending by frequency, ties by cardinality (matches Example 4.4,
+    # where L(G) = (1, 2, 2, 2, 3) lists freq(2), freq(3), freq(4), ...).
+    ordered = sorted(frequency.items(), key=lambda item: (item[1], item[0]))
+    budget = p_ind * len(values)
+    prefix = 0
+    chosen = -1
+    for position, (cardinality, freq) in enumerate(ordered):
+        prefix += freq
+        if prefix <= budget:
+            chosen = position
+        else:
+            break
+    if chosen < 0:
+        return 0
+    return ordered[chosen][0]
+
+
+def is_noise(cardinality: int, noise_val: int) -> bool:
+    """Noise test: a node is noise when its cardinality is below the threshold."""
+    return cardinality < noise_val

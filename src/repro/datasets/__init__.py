@@ -1,0 +1,19 @@
+"""Synthetic stand-ins for the paper's nine road networks (Table 1)."""
+
+from repro.datasets.catalog import (
+    DatasetSpec,
+    dataset_info,
+    list_datasets,
+    load,
+    load_subgraph,
+    load_with_distribution,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_info",
+    "list_datasets",
+    "load",
+    "load_subgraph",
+    "load_with_distribution",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph operation was invalid (bad edge, malformed input, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DimensionMismatchError(GraphError):
+    """An edge cost vector does not match the graph's cost dimensionality."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"cost vector has {actual} dimensions, graph expects {expected}"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class BuildError(ReproError):
+    """Index construction failed or was given invalid parameters."""
+
+
+class QueryError(ReproError):
+    """A query was malformed or could not be evaluated."""
+
+
+class SearchTimeoutError(ReproError):
+    """An exact search exceeded its wall-clock budget.
+
+    The partial results found so far are attached so callers that treat a
+    timeout as "best effort" can still use them.
+    """
+
+    def __init__(self, message: str, partial_results: list | None = None) -> None:
+        super().__init__(message)
+        self.partial_results = partial_results if partial_results is not None else []

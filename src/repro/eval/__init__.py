@@ -1,0 +1,44 @@
+"""Evaluation: quality metrics, workloads, runners, and reporting."""
+
+from repro.eval.analysis import query_stretch, stretch_vs_height
+from repro.eval.ascii_map import path_overlap, render_network
+from repro.eval.hypervolume import hypervolume, hypervolume_ratio, reference_point
+from repro.eval.metrics import cosine_similarity, goodness, rac, set_reduction
+from repro.eval.queries import Query, hop_stratified_queries, random_queries
+from repro.eval.reporting import (
+    fmt_bytes,
+    fmt_seconds,
+    format_series,
+    format_table,
+)
+from repro.eval.runner import (
+    QueryRecord,
+    SuiteSummary,
+    run_suite,
+    time_call,
+)
+
+__all__ = [
+    "Query",
+    "QueryRecord",
+    "SuiteSummary",
+    "cosine_similarity",
+    "fmt_bytes",
+    "fmt_seconds",
+    "format_series",
+    "format_table",
+    "goodness",
+    "hypervolume",
+    "hypervolume_ratio",
+    "hop_stratified_queries",
+    "path_overlap",
+    "query_stretch",
+    "rac",
+    "reference_point",
+    "random_queries",
+    "render_network",
+    "run_suite",
+    "set_reduction",
+    "stretch_vs_height",
+    "time_call",
+]

@@ -1,0 +1,78 @@
+"""Empirical analysis of the approximation bound (paper Section 5).
+
+The paper bounds an approximate solution's weight by ``O((F_val)^L)``,
+where L is the index height: every level climbed can multiply the
+detour factor.  The bound is loose in practice, but its *shape* — the
+stretch grows with the index height — is measurable.  This module
+provides the instrumentation:
+
+* :func:`query_stretch` — the per-dimension worst ratio between an
+  approximate answer's best costs and the exact optima for one query;
+* :func:`stretch_vs_height` — builds indexes of increasing height (by
+  shrinking ``p``) and reports the mean stretch per height, the
+  empirical analogue of the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from statistics import mean
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.errors import QueryError
+from repro.eval.queries import Query
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+from repro.search.dijkstra import shortest_costs
+
+
+def query_stretch(
+    graph: MultiCostGraph,
+    query: Query,
+    approximate: list[Path],
+) -> float:
+    """Worst per-dimension stretch of one approximate answer.
+
+    For each dimension, the best approximate cost is divided by the
+    exact single-dimension optimum (from Dijkstra); the maximum over
+    dimensions is the query's stretch.  A stretch of 1 means the
+    approximation contains every dimension's true optimum.
+    """
+    if not approximate:
+        raise QueryError("cannot measure the stretch of an empty answer")
+    stretch = 1.0
+    for dim_index in range(graph.dim):
+        optimum = shortest_costs(graph, query.source, dim_index).get(query.target)
+        if optimum is None or optimum <= 0:
+            continue
+        best = min(path.cost[dim_index] for path in approximate)
+        stretch = max(stretch, best / optimum)
+    return stretch
+
+
+def stretch_vs_height(
+    graph: MultiCostGraph,
+    base_params: BackboneParams,
+    queries: list[Query],
+    *,
+    p_values: tuple[float, ...] = (0.3, 0.15, 0.08, 0.04),
+) -> dict[int, float]:
+    """Mean query stretch per index height L.
+
+    Smaller ``p`` values yield taller indexes (more levels, more
+    summarization): the returned map ``L -> mean stretch`` traces the
+    empirical growth that the paper's O((F_val)^L) bound caps.  Heights
+    reached by several ``p`` values keep the last measurement.
+    """
+    results: dict[int, list[float]] = {}
+    for p in p_values:
+        index = build_backbone_index(graph, replace(base_params, p=p))
+        stretches = []
+        for query in queries:
+            paths = index.query(query.source, query.target)
+            if paths:
+                stretches.append(query_stretch(graph, query, paths))
+        if stretches:
+            results.setdefault(index.height, []).extend(stretches)
+    return {height: mean(values) for height, values in sorted(results.items())}

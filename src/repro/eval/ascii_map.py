@@ -1,0 +1,87 @@
+"""ASCII rendering of road networks and paths (Figure 16-style output).
+
+The paper's case study visualizes exact and approximate skyline path
+sets on the New York network.  In a terminal-only environment the same
+comparison is rendered as character maps: network nodes as dots, each
+path collection overdrawn with its own marker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+
+
+def render_network(
+    graph: MultiCostGraph,
+    overlays: Sequence[tuple[str, Iterable[Path]]] = (),
+    *,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render the network and path overlays as an ASCII map.
+
+    Parameters
+    ----------
+    graph:
+        A network whose nodes carry coordinates.
+    overlays:
+        ``(marker, paths)`` pairs drawn in order; later overlays win
+        contested cells.  Markers must be single characters.
+    width, height:
+        Canvas size in characters.
+    """
+    if width < 2 or height < 2:
+        raise QueryError("the canvas must be at least 2x2 characters")
+    coords = {
+        node: graph.coord(node)
+        for node in graph.nodes()
+        if graph.coord(node) is not None
+    }
+    if not coords:
+        raise QueryError("cannot render a network without coordinates")
+    xs = [c[0] for c in coords.values()]
+    ys = [c[1] for c in coords.values()]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+
+    def cell(node: int) -> tuple[int, int]:
+        x, y = coords[node]
+        col = int((x - x0) / (x1 - x0 + 1e-12) * (width - 1))
+        row = int((y - y0) / (y1 - y0 + 1e-12) * (height - 1))
+        return row, col
+
+    canvas = [[" "] * width for _ in range(height)]
+    for node in coords:
+        row, col = cell(node)
+        canvas[row][col] = "."
+    for marker, paths in overlays:
+        if len(marker) != 1:
+            raise QueryError(f"overlay marker must be one character, got {marker!r}")
+        for path in paths:
+            for node in path.nodes:
+                if node in coords:
+                    row, col = cell(node)
+                    canvas[row][col] = marker
+    return "\n".join("".join(row) for row in canvas)
+
+
+def path_overlap(paths: Sequence[Path], *, sample_cap: int = 40) -> float:
+    """Mean pairwise Jaccard overlap of the paths' node sets.
+
+    The paper's Figure 16 observation in one number: exact skyline
+    bundles score near 1 (paths share almost all nodes); genuinely
+    diverse answers score lower.  Single-path collections score 1.
+    """
+    sets = [set(path.nodes) for path in paths[:sample_cap]]
+    if len(sets) < 2:
+        return 1.0
+    total, pairs = 0.0, 0
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            total += len(sets[i] & sets[j]) / len(sets[i] | sets[j])
+            pairs += 1
+    return total / pairs

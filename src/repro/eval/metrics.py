@@ -1,0 +1,78 @@
+"""Approximation-quality measurements (Section 6.1).
+
+Two measures compare an approximate skyline set P' to the exact set P:
+
+* **RAC** — ratio of average cost per dimension:
+  ``RAC_i = mean(cost_i over P') / mean(cost_i over P)``.  Closer to 1
+  is better; the paper's methods land around 1.4-1.9.
+* **goodness** — for every exact path, the best cosine similarity of
+  its cost vector to any approximate path's cost vector, averaged over
+  the exact set.  Closer to 1 is better; the paper reports ~0.85.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import QueryError
+from repro.paths.path import Path
+
+
+def rac(
+    approximate: Sequence[Path], exact: Sequence[Path]
+) -> tuple[float, ...]:
+    """Ratio of average cost on each dimension (RAC_i).
+
+    Raises :class:`QueryError` when either set is empty — an empty
+    comparison has no defined ratio and silently returning one would
+    poison averages.
+    """
+    if not approximate or not exact:
+        raise QueryError("RAC needs non-empty approximate and exact sets")
+    dim = approximate[0].dim
+    approx_mean = [
+        sum(path.cost[i] for path in approximate) / len(approximate)
+        for i in range(dim)
+    ]
+    exact_mean = [
+        sum(path.cost[i] for path in exact) / len(exact) for i in range(dim)
+    ]
+    return tuple(
+        a / e if e > 0 else math.inf for a, e in zip(approx_mean, exact_mean)
+    )
+
+
+def cosine_similarity(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cosine similarity of two cost vectors (0 when either is zero)."""
+    dot = sum(x * y for x, y in zip(a, b, strict=True))
+    norm_a = math.sqrt(sum(x * x for x in a))
+    norm_b = math.sqrt(sum(y * y for y in b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def goodness(approximate: Sequence[Path], exact: Sequence[Path]) -> float:
+    """The paper's goodness score of an approximate set.
+
+    ``goodness(P') = mean over p in P of max over p' in P' of
+    cos(cost(p), cost(p'))`` — how well the approximate set covers the
+    directions of the exact Pareto front.
+    """
+    if not approximate or not exact:
+        raise QueryError("goodness needs non-empty approximate and exact sets")
+    total = 0.0
+    for exact_path in exact:
+        total += max(
+            cosine_similarity(exact_path.cost, approx.cost)
+            for approx in approximate
+        )
+    return total / len(exact)
+
+
+def set_reduction(approximate: Sequence[Path], exact: Sequence[Path]) -> float:
+    """|P| / |P'| — how much smaller the approximate set is (Fig. 9)."""
+    if not approximate:
+        raise QueryError("set_reduction needs a non-empty approximate set")
+    return len(exact) / len(approximate)

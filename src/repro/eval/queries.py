@@ -1,0 +1,133 @@
+"""Query-workload generation.
+
+The paper evaluates with random (source, target) pairs, and for the
+scalability study (Section 6.2.4) it *stratifies* queries by path hop —
+the average length of the per-dimension shortest paths — into buckets
+(< 50 hops, 50-100, > 100) so different graphs see comparable work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.mcrn import MultiCostGraph
+from repro.search.dijkstra import path_hops
+
+
+@dataclass(frozen=True)
+class Query:
+    """One skyline path query."""
+
+    source: int
+    target: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.source, self.target)
+
+
+def random_queries(
+    graph: MultiCostGraph,
+    count: int,
+    *,
+    seed: int | None = None,
+    min_hops: int = 1,
+) -> list[Query]:
+    """Uniformly random connected query pairs.
+
+    ``min_hops`` filters out degenerate pairs by BFS hop distance; pairs
+    in different components are rejected and redrawn.
+    """
+    nodes = sorted(graph.nodes())
+    if len(nodes) < 2:
+        raise QueryError("need at least two nodes to generate queries")
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    attempts = 0
+    max_attempts = 200 * count + 1000
+    while len(queries) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise QueryError(
+                f"could not find {count} connected query pairs with "
+                f"min_hops={min_hops} (graph too small or disconnected)"
+            )
+        source, target = (
+            nodes[int(rng.integers(len(nodes)))],
+            nodes[int(rng.integers(len(nodes)))],
+        )
+        if source == target:
+            continue
+        hops = _bfs_hops(graph, source, target)
+        if hops is None or hops < min_hops:
+            continue
+        queries.append(Query(source, target))
+    return queries
+
+
+def hop_stratified_queries(
+    graph: MultiCostGraph,
+    buckets: list[tuple[int, float, float]],
+    *,
+    seed: int | None = None,
+    max_attempts_per_bucket: int = 4000,
+) -> list[Query]:
+    """Queries stratified by the paper's path-hop statistic.
+
+    ``buckets`` is a list of ``(count, low, high)`` triples: draw
+    ``count`` queries whose path hop lies in ``[low, high)``.  Use
+    ``float('inf')`` for an open upper end.  Mirrors Section 6.2.4's
+    "two queries < 50 hops, three 50-100, five > 100" recipe.
+    """
+    nodes = sorted(graph.nodes())
+    if len(nodes) < 2:
+        raise QueryError("need at least two nodes to generate queries")
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    for count, low, high in buckets:
+        found = 0
+        attempts = 0
+        while found < count:
+            attempts += 1
+            if attempts > max_attempts_per_bucket:
+                raise QueryError(
+                    f"could not fill hop bucket [{low}, {high}) with "
+                    f"{count} queries after {attempts - 1} attempts"
+                )
+            source, target = (
+                nodes[int(rng.integers(len(nodes)))],
+                nodes[int(rng.integers(len(nodes)))],
+            )
+            if source == target:
+                continue
+            # Cheap BFS pre-filter before the exact path-hop statistic.
+            rough = _bfs_hops(graph, source, target)
+            if rough is None or rough < low / 2 or rough > (
+                high * 2 if high != float("inf") else float("inf")
+            ):
+                continue
+            hops = path_hops(graph, source, target)
+            if low <= hops < high:
+                queries.append(Query(source, target))
+                found += 1
+    return queries
+
+
+def _bfs_hops(graph: MultiCostGraph, source: int, target: int) -> int | None:
+    """Unweighted hop distance, or None when disconnected."""
+    if source == target:
+        return 0
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                if neighbor == target:
+                    return dist[neighbor]
+                queue.append(neighbor)
+    return None

@@ -1,0 +1,82 @@
+"""Plain-text table and series formatting for benchmark output.
+
+Every benchmark prints the same rows/series its paper artifact shows;
+these helpers keep that output aligned and copy-paste friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+            else:
+                widths.append(len(value))
+
+    def line(values: Sequence[str]) -> str:
+        padded = [
+            value.ljust(widths[index]) for index, value in enumerate(values)
+        ]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in cells:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], *, unit: str = ""
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs."""
+    pairs = ", ".join(f"{x}={_fmt(y)}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scaled duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60:.1f}min"
+
+
+def fmt_bytes(count: int | float) -> str:
+    """Human-scaled byte count."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GB"

@@ -1,0 +1,66 @@
+"""Multi-cost road network substrate: graphs, generators, I/O, stats."""
+
+from repro.graph.costs import CostDistribution, assign_costs
+from repro.graph.directed import to_directed
+from repro.graph.generators import (
+    attach_spurs,
+    delaunay_network,
+    grid_network,
+    road_network,
+    subdivide_edges,
+)
+from repro.graph.io import (
+    read_dimacs_co,
+    read_dimacs_gr,
+    write_dimacs_co,
+    write_dimacs_gr,
+)
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.stats import (
+    GraphStats,
+    average_degree,
+    degree_distribution,
+    degree_pair,
+    degree_pair_distribution,
+    graph_stats,
+    is_degree_one_edge,
+)
+from repro.graph.traversal import (
+    bfs_nodes,
+    bfs_order,
+    bfs_subgraph,
+    connected_components,
+    is_connected,
+    largest_component_subgraph,
+    peel_degree_one,
+)
+
+__all__ = [
+    "CostDistribution",
+    "GraphStats",
+    "MultiCostGraph",
+    "assign_costs",
+    "attach_spurs",
+    "average_degree",
+    "bfs_nodes",
+    "bfs_order",
+    "bfs_subgraph",
+    "connected_components",
+    "degree_distribution",
+    "degree_pair",
+    "degree_pair_distribution",
+    "delaunay_network",
+    "graph_stats",
+    "grid_network",
+    "is_connected",
+    "is_degree_one_edge",
+    "largest_component_subgraph",
+    "peel_degree_one",
+    "read_dimacs_co",
+    "read_dimacs_gr",
+    "road_network",
+    "subdivide_edges",
+    "to_directed",
+    "write_dimacs_co",
+    "write_dimacs_gr",
+]

@@ -1,0 +1,130 @@
+"""Reading and writing road networks in DIMACS challenge-9 format.
+
+The paper's primary datasets ship as DIMACS ``.gr`` (arcs) and ``.co``
+(coordinates) files.  This module parses and emits that format, with a
+natural extension for multiple costs per arc (extra weight columns on
+``a`` lines).  DIMACS files list each undirected road as two opposite
+arcs; the reader collapses them onto one undirected edge, keeping the
+skyline of the two cost vectors (the paper notes opposite-direction
+costs "do not differ much" and models the network as undirected).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path as FilePath
+from typing import IO
+
+from repro.errors import GraphError
+from repro.graph.mcrn import MultiCostGraph
+
+
+def _open_text(path: FilePath | str, mode: str) -> IO[str]:
+    path = FilePath(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_dimacs_gr(
+    path: FilePath | str,
+    *,
+    dim: int | None = None,
+    directed: bool = False,
+) -> MultiCostGraph:
+    """Parse a DIMACS ``.gr`` file (optionally gzipped) into a graph.
+
+    ``a u v w...`` lines carry one or more weights; ``dim`` defaults to
+    the number of weights on the first arc line.  In undirected mode
+    (default) the two opposite arcs of a road collapse to one edge.
+    """
+    graph: MultiCostGraph | None = None
+    with _open_text(path, "r") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in ("c", "p"):
+                continue
+            if line[0] != "a":
+                raise GraphError(
+                    f"{path}:{line_no}: unexpected DIMACS record {line[0]!r}"
+                )
+            fields = line.split()
+            if len(fields) < 4:
+                raise GraphError(f"{path}:{line_no}: malformed arc line {line!r}")
+            u, v = int(fields[1]), int(fields[2])
+            costs = tuple(float(w) for w in fields[3:])
+            if graph is None:
+                actual_dim = dim if dim is not None else len(costs)
+                graph = MultiCostGraph(actual_dim, directed=directed)
+            if len(costs) != graph.dim:
+                raise GraphError(
+                    f"{path}:{line_no}: arc has {len(costs)} weights, "
+                    f"expected {graph.dim}"
+                )
+            if u == v:
+                continue  # DIMACS files occasionally carry self-loop noise
+            graph.add_edge(u, v, costs)
+    if graph is None:
+        raise GraphError(f"{path}: no arcs found")
+    return graph
+
+
+def read_dimacs_co(graph: MultiCostGraph, path: FilePath | str) -> None:
+    """Attach coordinates from a DIMACS ``.co`` file to existing nodes.
+
+    Unknown node ids are ignored (the graph may be a subgraph of the
+    file's network).
+    """
+    with _open_text(path, "r") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in ("c", "p"):
+                continue
+            if line[0] != "v":
+                raise GraphError(
+                    f"{path}:{line_no}: unexpected DIMACS record {line[0]!r}"
+                )
+            fields = line.split()
+            if len(fields) != 4:
+                raise GraphError(f"{path}:{line_no}: malformed node line {line!r}")
+            node, x, y = int(fields[1]), float(fields[2]), float(fields[3])
+            if graph.has_node(node):
+                graph.set_coord(node, (x, y))
+
+
+def write_dimacs_gr(
+    graph: MultiCostGraph,
+    path: FilePath | str,
+    *,
+    comment: str = "written by repro",
+) -> None:
+    """Write the graph as a (multi-weight) DIMACS ``.gr`` file.
+
+    Undirected edges are emitted as two opposite arcs, the DIMACS
+    convention.  Parallel edges each get their own arc pair.
+    """
+    with _open_text(path, "w") as handle:
+        handle.write(f"c {comment}\n")
+        arc_count = graph.num_edge_entries * (1 if graph.directed else 2)
+        handle.write(f"p sp {graph.num_nodes} {arc_count}\n")
+        for u, v, cost in graph.edges():
+            weights = " ".join(f"{c:.17g}" for c in cost)
+            handle.write(f"a {u} {v} {weights}\n")
+            if not graph.directed:
+                handle.write(f"a {v} {u} {weights}\n")
+
+
+def write_dimacs_co(
+    graph: MultiCostGraph,
+    path: FilePath | str,
+    *,
+    comment: str = "written by repro",
+) -> None:
+    """Write node coordinates as a DIMACS ``.co`` file (nodes with coords)."""
+    rows = [(node, graph.coord(node)) for node in graph.nodes()]
+    rows = [(node, coord) for node, coord in rows if coord is not None]
+    with _open_text(path, "w") as handle:
+        handle.write(f"c {comment}\n")
+        handle.write(f"p aux sp co {len(rows)}\n")
+        for node, coord in rows:
+            handle.write(f"v {node} {coord[0]:.17g} {coord[1]:.17g}\n")

@@ -1,0 +1,104 @@
+"""Graph statistics: degree pairs, distributions, and summary records.
+
+Implements Definition 3.3 (degree pairs) and the dataset-statistics
+reporting used by Table 1 and the index-size accounting.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.mcrn import MultiCostGraph
+
+DegreePair = tuple[int, int]
+
+
+def degree_pair(graph: MultiCostGraph, u: int, v: int) -> DegreePair:
+    """The ordered degree pair of edge (u, v) — Definition 3.3.
+
+    The smaller endpoint degree comes first.
+    """
+    du, dv = graph.degree(u), graph.degree(v)
+    if du <= dv:
+        return (du, dv)
+    return (dv, du)
+
+
+def is_degree_one_edge(graph: MultiCostGraph, u: int, v: int) -> bool:
+    """True iff the edge has degree pair <1, x> — a degree-1 edge."""
+    return degree_pair(graph, u, v)[0] == 1
+
+
+def degree_distribution(graph: MultiCostGraph) -> dict[int, int]:
+    """Map node degree -> number of nodes with that degree."""
+    return dict(Counter(graph.degree(node) for node in graph.nodes()))
+
+
+def degree_pair_distribution(graph: MultiCostGraph) -> dict[DegreePair, int]:
+    """Map degree pair -> number of node pairs with that pair."""
+    return dict(Counter(degree_pair(graph, u, v) for u, v in graph.edge_pairs()))
+
+
+def average_degree(graph: MultiCostGraph) -> float:
+    """Mean node degree; 0 for the empty graph."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return sum(graph.degree(node) for node in graph.nodes()) / graph.num_nodes
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A summary record for one network, Table-1 style."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_edge_entries: int
+    dim: int
+    avg_degree: float
+    max_degree: int
+    approx_bytes: int
+
+    def as_row(self) -> list[str]:
+        """The statistics formatted as a report row."""
+        return [
+            self.name,
+            f"{self.num_nodes:,}",
+            f"{self.num_edges:,}",
+            f"{self.avg_degree:.2f}",
+            str(self.max_degree),
+            f"{self.approx_bytes / (1024 * 1024):.2f} MB",
+        ]
+
+
+def estimate_graph_bytes(graph: MultiCostGraph) -> int:
+    """Rough in-memory footprint of the graph's payload data.
+
+    Counts node ids, adjacency entries, and cost floats the way a
+    compact serialization would — good enough for relative index-size
+    comparisons (the quantity the paper's tables report).
+    """
+    node_bytes = graph.num_nodes * sys.getsizeof(0)
+    adjacency_bytes = 2 * graph.num_edges * sys.getsizeof(0)
+    cost_bytes = graph.num_edge_entries * graph.dim * sys.getsizeof(0.0)
+    coord_bytes = sum(
+        2 * sys.getsizeof(0.0) for node in graph.nodes() if graph.coord(node)
+    )
+    return node_bytes + adjacency_bytes + cost_bytes + coord_bytes
+
+
+def graph_stats(graph: MultiCostGraph, name: str = "graph") -> GraphStats:
+    """Compute a :class:`GraphStats` summary for the graph."""
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    return GraphStats(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_edge_entries=graph.num_edge_entries,
+        dim=graph.dim,
+        avg_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_degree=max(degrees, default=0),
+        approx_bytes=estimate_graph_bytes(graph),
+    )

@@ -1,0 +1,116 @@
+"""Structural traversals over multi-cost graphs.
+
+These are topology-only helpers (costs are ignored): breadth-first
+orders, connected components, BFS-bounded subgraph extraction (how the
+paper carves C9_NY_5K out of C9_NY), and the recursive degree-1
+stripping that yields a 2-core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+
+
+def bfs_order(graph: MultiCostGraph, source: int) -> Iterator[int]:
+    """Yield nodes in breadth-first order from ``source``."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    seen = {source}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+
+
+def bfs_nodes(graph: MultiCostGraph, source: int, max_nodes: int) -> set[int]:
+    """The first ``max_nodes`` nodes reached by BFS from ``source``."""
+    result: set[int] = set()
+    for node in bfs_order(graph, source):
+        result.add(node)
+        if len(result) >= max_nodes:
+            break
+    return result
+
+
+def bfs_subgraph(graph: MultiCostGraph, source: int, max_nodes: int) -> MultiCostGraph:
+    """Induced subgraph on the first ``max_nodes`` BFS-reached nodes.
+
+    This mirrors the paper's procedure for generating bounded-size
+    subgraphs of the real networks ("conducting BFS from a random
+    node").
+    """
+    return graph.induced_subgraph(bfs_nodes(graph, source, max_nodes))
+
+
+def connected_components(graph: MultiCostGraph) -> list[set[int]]:
+    """Connected components, largest first (undirected reachability)."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = set(bfs_order(graph, start))
+        seen |= component
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: MultiCostGraph) -> bool:
+    """True iff the graph is non-empty and fully connected."""
+    if graph.num_nodes == 0:
+        return False
+    first = next(iter(graph.nodes()))
+    return sum(1 for _ in bfs_order(graph, first)) == graph.num_nodes
+
+
+def largest_component_subgraph(graph: MultiCostGraph) -> MultiCostGraph:
+    """Induced subgraph of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return graph.copy()
+    return graph.induced_subgraph(components[0])
+
+
+def peel_degree_one(
+    graph: MultiCostGraph, *, protected: Iterable[int] = ()
+) -> list[tuple[int, int]]:
+    """Recursively find degree-1 removals that would leave a 2-core.
+
+    Returns the peel order as ``(node, anchor)`` pairs: ``node`` has
+    degree 1 at its removal step and ``anchor`` is its sole remaining
+    neighbor.  The graph itself is *not* modified; callers apply (and
+    record) the removals themselves.  ``protected`` nodes are never
+    peeled.
+    """
+    protected_set = set(protected)
+    degree = {node: graph.degree(node) for node in graph.nodes()}
+    removed: set[int] = set()
+    order: list[tuple[int, int]] = []
+    queue = deque(
+        node
+        for node, deg in degree.items()
+        if deg == 1 and node not in protected_set
+    )
+    while queue:
+        node = queue.popleft()
+        if node in removed or degree[node] != 1:
+            continue
+        anchor = next(
+            neighbor for neighbor in graph.neighbors(node) if neighbor not in removed
+        )
+        removed.add(node)
+        order.append((node, anchor))
+        degree[anchor] -= 1
+        degree[node] = 0
+        if degree[anchor] == 1 and anchor not in protected_set:
+            queue.append(anchor)
+    return order

@@ -1,0 +1,76 @@
+"""Pareto-dominance tests for multi-dimensional cost vectors.
+
+Cost vectors are plain tuples of floats.  For the low dimensionalities
+typical of multi-cost road networks (d = 2..5) hand-rolled loops beat
+numpy by a wide margin, so these helpers intentionally avoid array
+machinery.
+
+Definition 3.1 of the paper: ``p`` dominates ``p'`` iff ``cost(p)`` is
+less than or equal to ``cost(p')`` on every dimension and strictly less
+on at least one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+CostVector = tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Return True iff cost vector ``a`` strictly Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when ``a[i] <= b[i]`` for every dimension ``i``
+    and ``a[i] < b[i]`` for at least one.  A vector never dominates
+    itself.
+    """
+    strictly_better = False
+    for x, y in zip(a, b, strict=True):
+        if x > y:
+            return False
+        if x < y:
+            strictly_better = True
+    return strictly_better
+
+
+def dominates_or_equal(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Return True iff ``a`` dominates ``b`` or the two vectors are equal.
+
+    This is the pruning test used inside searches: a candidate that is
+    merely *equal* to something already found adds no information.
+    """
+    for x, y in zip(a, b, strict=True):
+        if x > y:
+            return False
+    return True
+
+
+def incomparable(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Return True iff neither vector dominates the other and they differ."""
+    return not dominates_or_equal(a, b) and not dominates_or_equal(b, a)
+
+
+def add_costs(a: Sequence[float], b: Sequence[float]) -> CostVector:
+    """Component-wise sum of two cost vectors."""
+    return tuple(x + y for x, y in zip(a, b, strict=True))
+
+
+def zero_cost(dim: int) -> CostVector:
+    """The additive identity cost vector for ``dim`` dimensions."""
+    return (0.0,) * dim
+
+
+def skyline_of(costs: Iterable[Sequence[float]]) -> list[CostVector]:
+    """Return the Pareto skyline of an iterable of cost vectors.
+
+    Duplicate vectors are collapsed to a single representative.  The
+    result order follows first appearance of each surviving vector.
+    """
+    frontier: list[CostVector] = []
+    for raw in costs:
+        cost = tuple(raw)
+        if any(dominates_or_equal(kept, cost) for kept in frontier):
+            continue
+        frontier = [kept for kept in frontier if not dominates(cost, kept)]
+        frontier.append(cost)
+    return frontier

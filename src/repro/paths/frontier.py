@@ -1,0 +1,157 @@
+"""Pareto frontier containers.
+
+Two containers cover every skyline-maintenance need in the library:
+
+* :class:`ParetoSet` keeps arbitrary payloads keyed by their cost vector
+  and guarantees no member dominates another.  It is the result-set and
+  label-set structure (``addToSkyline`` in the paper's pseudo-code).
+* :class:`PathSet` is a thin specialization whose payloads are
+  :class:`~repro.paths.path.Path` objects and whose costs are taken from
+  the paths themselves.
+
+Insertion is linear in the frontier size, which is the right trade-off
+for the small frontiers (tens of entries) seen per node in road-network
+skyline search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Generic, TypeVar
+
+from repro.paths.dominance import CostVector, dominates, dominates_or_equal
+from repro.paths.path import Path
+
+T = TypeVar("T")
+
+
+class ParetoSet(Generic[T]):
+    """A set of (cost, payload) pairs in which no cost dominates another.
+
+    Parameters
+    ----------
+    keep_equal_costs:
+        When False (default) an entry whose cost exactly equals an
+        existing entry's cost is rejected — the usual choice inside
+        searches where equal-cost alternatives add no information.
+        When True, distinct payloads with equal costs coexist, which
+        matches the paper's result-set semantics (equal costs do not
+        dominate each other).
+    """
+
+    __slots__ = ("_entries", "_keep_equal_costs")
+
+    def __init__(self, *, keep_equal_costs: bool = False) -> None:
+        self._entries: list[tuple[CostVector, T]] = []
+        self._keep_equal_costs = keep_equal_costs
+
+    def add(self, cost: Sequence[float], payload: T) -> bool:
+        """Insert a candidate; return True iff it joined the frontier.
+
+        Entries dominated by the candidate are evicted.  A rejected
+        candidate leaves the frontier untouched.
+        """
+        cost = tuple(cost)
+        if self._keep_equal_costs:
+            for kept_cost, kept_payload in self._entries:
+                if dominates(kept_cost, cost):
+                    return False
+                if kept_cost == cost and kept_payload == payload:
+                    return False
+            self._entries = [
+                entry for entry in self._entries if not dominates(cost, entry[0])
+            ]
+        else:
+            if any(dominates_or_equal(kept, cost) for kept, _ in self._entries):
+                return False
+            self._entries = [
+                entry for entry in self._entries if not dominates(cost, entry[0])
+            ]
+        self._entries.append((cost, payload))
+        return True
+
+    def would_accept(self, cost: Sequence[float]) -> bool:
+        """True iff :meth:`add` with this cost would currently succeed."""
+        cost = tuple(cost)
+        if self._keep_equal_costs:
+            return not any(dominates(kept, cost) for kept, _ in self._entries)
+        return not any(dominates_or_equal(kept, cost) for kept, _ in self._entries)
+
+    def dominates_candidate(self, cost: Sequence[float]) -> bool:
+        """True iff some member dominates-or-equals the candidate cost."""
+        return any(dominates_or_equal(kept, cost) for kept, _ in self._entries)
+
+    def merge(self, other: "ParetoSet[T]") -> int:
+        """Add every entry of ``other``; return how many were accepted."""
+        return sum(1 for cost, payload in other._entries if self.add(cost, payload))
+
+    def payloads(self) -> list[T]:
+        """The payloads currently on the frontier, in insertion order."""
+        return [payload for _, payload in self._entries]
+
+    def costs(self) -> list[CostVector]:
+        """The cost vectors currently on the frontier."""
+        return [cost for cost, _ in self._entries]
+
+    def __iter__(self) -> Iterator[tuple[CostVector, T]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ParetoSet({len(self._entries)} entries)"
+
+
+class PathSet:
+    """A Pareto frontier of :class:`Path` objects.
+
+    Costs are read from the paths.  Equal-cost distinct paths are kept,
+    matching the skyline-path-set semantics of Definition 3.2.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, paths: Iterable[Path] = ()) -> None:
+        self._inner: ParetoSet[Path] = ParetoSet(keep_equal_costs=True)
+        for path in paths:
+            self._inner.add(path.cost, path)
+
+    def add(self, path: Path) -> bool:
+        """Insert a path; return True iff it is (now) on the skyline."""
+        return self._inner.add(path.cost, path)
+
+    def add_all(self, paths: Iterable[Path]) -> int:
+        """Insert many paths; return how many were accepted."""
+        return sum(1 for path in paths if self.add(path))
+
+    def would_accept(self, cost: Sequence[float]) -> bool:
+        """True iff a path with this cost would join the skyline."""
+        return self._inner.would_accept(cost)
+
+    def dominates_candidate(self, cost: Sequence[float]) -> bool:
+        """True iff some stored path dominates-or-equals this cost."""
+        return self._inner.dominates_candidate(cost)
+
+    def paths(self) -> list[Path]:
+        """The skyline paths, in insertion order."""
+        return self._inner.payloads()
+
+    def costs(self) -> list[CostVector]:
+        """Cost vectors of the skyline paths."""
+        return self._inner.costs()
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._inner.payloads())
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __bool__(self) -> bool:
+        return bool(self._inner)
+
+    def __repr__(self) -> str:
+        return f"PathSet({len(self)} skyline paths)"

@@ -1,0 +1,126 @@
+"""Immutable path objects over multi-cost graphs.
+
+A :class:`Path` is a sequence of node identifiers plus the accumulated
+d-dimensional cost of traversing it.  Paths are value objects: they can
+be concatenated, reversed, hashed, and compared, but never mutated.
+
+The cost is stored explicitly rather than recomputed from a graph so a
+path remains meaningful after the graph it was found on has been
+summarized away (the whole point of the backbone index).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import QueryError
+from repro.paths.dominance import CostVector, add_costs, dominates
+
+
+class Path:
+    """An immutable walk through a graph with its accumulated cost.
+
+    Parameters
+    ----------
+    nodes:
+        The node sequence, at least one node long.  A single-node path
+        is the empty walk anchored at that node.
+    cost:
+        The d-dimensional accumulated cost of the walk.
+    """
+
+    __slots__ = ("_nodes", "_cost")
+
+    def __init__(self, nodes: Sequence[int], cost: Sequence[float]) -> None:
+        if not nodes:
+            raise QueryError("a path must contain at least one node")
+        self._nodes: tuple[int, ...] = tuple(nodes)
+        self._cost: CostVector = tuple(float(c) for c in cost)
+
+    @classmethod
+    def trivial(cls, node: int, dim: int) -> "Path":
+        """The zero-cost empty walk anchored at ``node``."""
+        return cls((node,), (0.0,) * dim)
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """The node sequence of the path."""
+        return self._nodes
+
+    @property
+    def cost(self) -> CostVector:
+        """The accumulated d-dimensional cost."""
+        return self._cost
+
+    @property
+    def source(self) -> int:
+        """First node of the path."""
+        return self._nodes[0]
+
+    @property
+    def target(self) -> int:
+        """Last node of the path."""
+        return self._nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of edges in the path (paper Section 3)."""
+        return len(self._nodes) - 1
+
+    @property
+    def dim(self) -> int:
+        """Number of cost dimensions."""
+        return len(self._cost)
+
+    def is_trivial(self) -> bool:
+        """True for the empty walk (a single node, zero edges)."""
+        return len(self._nodes) == 1
+
+    def concat(self, other: "Path") -> "Path":
+        """Concatenate ``self || other`` (paper Section 3).
+
+        The target of ``self`` must equal the source of ``other``;
+        costs add component-wise.
+        """
+        if self.target != other.source:
+            raise QueryError(
+                f"cannot concatenate: path ends at {self.target} but the "
+                f"next path starts at {other.source}"
+            )
+        if other.is_trivial():
+            return self
+        if self.is_trivial():
+            return other
+        return Path(self._nodes + other._nodes[1:], add_costs(self._cost, other._cost))
+
+    def reverse(self) -> "Path":
+        """The same walk traversed backwards (undirected-graph view)."""
+        return Path(self._nodes[::-1], self._cost)
+
+    def dominates(self, other: "Path") -> bool:
+        """True iff this path's cost strictly dominates the other's."""
+        return dominates(self._cost, other._cost)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self._nodes == other._nodes and self._cost == other._cost
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._cost))
+
+    def __repr__(self) -> str:
+        if len(self._nodes) <= 8:
+            shown = "->".join(str(n) for n in self._nodes)
+        else:
+            head = "->".join(str(n) for n in self._nodes[:3])
+            tail = "->".join(str(n) for n in self._nodes[-3:])
+            shown = f"{head}->...->{tail}"
+        cost = ", ".join(f"{c:g}" for c in self._cost)
+        return f"Path({shown} | cost=({cost}))"

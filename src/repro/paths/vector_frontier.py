@@ -1,0 +1,116 @@
+"""A numpy-vectorized Pareto frontier for large result sets.
+
+:class:`~repro.paths.frontier.ParetoSet` scans its members with Python
+loops — unbeatable for the small frontiers of per-node label sets, but
+linear-in-Python for result skylines that grow to hundreds of entries.
+:class:`VectorParetoSet` keeps the cost vectors in one contiguous numpy
+matrix, turning every dominance test into a handful of vectorized
+comparisons.  Semantics match ``ParetoSet(keep_equal_costs=False)``
+exactly (property-tested in ``tests/test_vector_frontier.py``).
+
+BBS accepts either container; the crossover where vectorization wins is
+measured in ``benchmarks/bench_frontier_performance.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Generic, TypeVar
+
+import numpy as np
+
+from repro.paths.dominance import CostVector
+
+T = TypeVar("T")
+
+_INITIAL_CAPACITY = 32
+
+
+class VectorParetoSet(Generic[T]):
+    """A Pareto frontier backed by a contiguous cost matrix.
+
+    Payloads are kept in a parallel Python list.  Equal-cost candidates
+    are rejected (the search-pruning semantics of
+    ``ParetoSet(keep_equal_costs=False)``).
+    """
+
+    __slots__ = ("_dim", "_costs", "_payloads", "_size")
+
+    def __init__(self, dim: int) -> None:
+        self._dim = dim
+        self._costs = np.empty((_INITIAL_CAPACITY, dim), dtype=np.float64)
+        self._payloads: list[T] = []
+        self._size = 0
+
+    def _view(self) -> np.ndarray:
+        return self._costs[: self._size]
+
+    def _grow(self) -> None:
+        if self._size == len(self._costs):
+            doubled = np.empty(
+                (2 * len(self._costs), self._dim), dtype=np.float64
+            )
+            doubled[: self._size] = self._costs[: self._size]
+            self._costs = doubled
+
+    def add(self, cost: Sequence[float], payload: T) -> bool:
+        """Insert a candidate; return True iff it joined the frontier."""
+        vector = np.asarray(cost, dtype=np.float64)
+        view = self._view()
+        if self._size:
+            # reject if any member dominates-or-equals the candidate
+            if bool(((view <= vector).all(axis=1)).any()):
+                # the check above includes equality; a member that is
+                # <= everywhere dominates-or-equals
+                return False
+            # evict members the candidate dominates: candidate <= member
+            # everywhere and < somewhere; since no member dominates the
+            # candidate, <= everywhere already implies strict domination
+            # unless equal (impossible here — equal would have rejected)
+            dominated = (vector <= view).all(axis=1)
+            if bool(dominated.any()):
+                keep = ~dominated
+                kept_count = int(keep.sum())
+                self._costs[:kept_count] = view[keep]
+                self._payloads = [
+                    payload_
+                    for payload_, flag in zip(self._payloads, keep)
+                    if flag
+                ]
+                self._size = kept_count
+        self._grow()
+        self._costs[self._size] = vector
+        self._payloads.append(payload)
+        self._size += 1
+        return True
+
+    def dominates_candidate(self, cost: Sequence[float]) -> bool:
+        """True iff some member dominates-or-equals the candidate."""
+        if not self._size:
+            return False
+        vector = np.asarray(cost, dtype=np.float64)
+        return bool((self._view() <= vector).all(axis=1).any())
+
+    def would_accept(self, cost: Sequence[float]) -> bool:
+        """True iff :meth:`add` with this cost would currently succeed."""
+        return not self.dominates_candidate(cost)
+
+    def costs(self) -> list[CostVector]:
+        """The cost vectors currently on the frontier."""
+        return [tuple(row) for row in self._view()]
+
+    def payloads(self) -> list[T]:
+        """The payloads currently on the frontier."""
+        return list(self._payloads)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self):
+        return iter(zip(self.costs(), self._payloads))
+
+    def __repr__(self) -> str:
+        return f"VectorParetoSet({self._size} entries, dim={self._dim})"

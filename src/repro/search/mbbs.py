@@ -1,0 +1,152 @@
+"""m_BBS — many-to-many skyline search over the abstracted graph.
+
+The backbone query algorithm ends with partial paths from the source
+reaching several nodes of the most abstracted graph G_L
+(``S_possible``) and partial paths from the target reaching several
+others (``D_possible``).  The paper's m_BBS (Section 5) modifies BBS to
+accept *multiple* seeded sources and estimate lower bounds "to all the
+possible destinations (not one destination)", so a single run replaces
+one BBS run per (source, target) pair.
+
+Each seed carries the cost of the partial path that reached it and a
+payload identifying that partial path; result labels inherit the
+payload, letting the caller stitch the full approximate path back
+together.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import CostVector
+from repro.paths.frontier import ParetoSet
+from repro.paths.path import Path
+from repro.search.bbs import SearchStats
+from repro.search.bounds import LowerBoundProvider, ZeroBounds
+from repro.search.labels import Label, NodeFrontier
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One starting point for the many-to-many search."""
+
+    node: int
+    cost: CostVector
+    payload: object = None
+
+
+@dataclass
+class ManyToManyResult:
+    """Skyline labels per reached target node.
+
+    ``hits[t]`` is a Pareto set keyed by total cost (seed cost plus
+    cost through the searched graph); payloads are ``(seed_payload,
+    path_in_graph)`` pairs.
+    """
+
+    hits: dict[int, ParetoSet] = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def many_to_many_skyline(
+    graph: MultiCostGraph,
+    seeds: Iterable[Seed],
+    targets: Sequence[int],
+    *,
+    bounds: LowerBoundProvider | None = None,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+) -> ManyToManyResult:
+    """Run one best-first skyline search from many seeds to many targets.
+
+    ``bounds`` should lower-bound the cost from a node to the *nearest*
+    target (:meth:`LandmarkIndex.lower_bound_to_any` wrapped in
+    :class:`~repro.search.bounds.LandmarkLowerBounds`, or
+    :class:`~repro.search.bounds.ExactBounds` built with all targets).
+    """
+    target_set = set(targets)
+    for node in target_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    if bounds is None:
+        bounds = ZeroBounds(graph.dim)
+
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    result = ManyToManyResult(stats=stats)
+    frontiers: dict[int, NodeFrontier] = {}
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    def push(label: Label) -> None:
+        bound = bounds.bound(label.node)
+        projected = tuple(c + b for c, b in zip(label.cost, bound))
+        if _INF in projected:
+            stats.pruned_by_bound += 1
+            return
+        frontier = frontiers.get(label.node)
+        if frontier is None:
+            frontier = frontiers[label.node] = NodeFrontier()
+        if not frontier.try_add(label.cost):
+            stats.pruned_by_frontier += 1
+            return
+        stats.pushes += 1
+        heapq.heappush(heap, (sum(projected), next(tie_breaker), label))
+
+    seed_list = list(seeds)
+    for seed in seed_list:
+        if not graph.has_node(seed.node):
+            raise NodeNotFoundError(seed.node)
+        push(Label(seed.node, tuple(seed.cost), seed=seed))
+
+    while heap:
+        if time_budget is not None and stats.expansions % 512 == 0:
+            if time.perf_counter() - start_time > time_budget:
+                stats.timed_out = True
+                break
+        if max_expansions is not None and stats.expansions >= max_expansions:
+            stats.timed_out = True
+            break
+
+        _, _, label = heapq.heappop(heap)
+        if not frontiers[label.node].is_current(label.cost):
+            continue
+        stats.expansions += 1
+
+        if label.node in target_set:
+            seed: Seed = label.seed  # type: ignore[assignment]
+            hits = result.hits.get(label.node)
+            if hits is None:
+                hits = result.hits[label.node] = ParetoSet(keep_equal_costs=True)
+            hits.add(label.cost, (seed.payload, _label_to_local_path(label, seed)))
+            # Targets are ordinary nodes of G_L; keep expanding through
+            # them — a skyline path may pass one target to reach another.
+
+        for neighbor in graph.neighbors(label.node):
+            for edge_cost in graph.edge_costs(label.node, neighbor):
+                extended = tuple(c + w for c, w in zip(label.cost, edge_cost))
+                push(Label(neighbor, extended, parent=label))
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    return result
+
+
+def _label_to_local_path(label: Label, seed: Seed) -> Path:
+    """The path through the searched graph only (seed cost stripped)."""
+    nodes = []
+    walker: Label | None = label
+    while walker is not None:
+        nodes.append(walker.node)
+        walker = walker.parent
+    nodes.reverse()
+    local_cost = tuple(c - s for c, s in zip(label.cost, seed.cost))
+    # Guard against float drift producing tiny negative components.
+    return Path(nodes, tuple(max(c, 0.0) for c in local_cost))

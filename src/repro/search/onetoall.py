@@ -1,0 +1,94 @@
+"""One-to-all skyline path search.
+
+A label-correcting best-first search that computes, from one source,
+the Pareto-skyline paths to *every* reachable node.  Two callers rely
+on it:
+
+* backbone-index label construction — each cluster node needs its
+  skyline paths (over the cluster's removed edges) to every highway
+  entrance, which is exactly a one-to-all run on a small restricted
+  subgraph (Section 4.3.1);
+* the paper's one-to-all SPQ extension (Section 5, "Support to other
+  types of queries").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable
+
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+from repro.search.labels import Label, NodeFrontier
+
+
+def one_to_all_skyline(
+    graph: MultiCostGraph,
+    source: int,
+    *,
+    targets: Iterable[int] | None = None,
+    max_frontier: int | None = None,
+) -> dict[int, list[Path]]:
+    """Skyline paths from ``source`` to every node (or just ``targets``).
+
+    Parameters
+    ----------
+    targets:
+        When given, only these nodes appear in the result map (the
+        search itself still explores everything reachable — any node can
+        lie on a skyline path to a target).
+    max_frontier:
+        Optional cap on the number of skyline labels kept per node.  A
+        cap turns the search into an under-approximation; the backbone
+        builder exposes it as a guard against pathological clusters.
+
+    Returns a map ``node -> skyline paths``; the source maps to its
+    trivial path.  Unreachable nodes are absent.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    wanted = set(targets) if targets is not None else None
+
+    frontiers: dict[int, NodeFrontier] = {}
+    best_labels: dict[int, list[Label]] = {}
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    def push(label: Label) -> None:
+        frontier = frontiers.get(label.node)
+        if frontier is None:
+            frontier = frontiers[label.node] = NodeFrontier()
+        if max_frontier is not None and len(frontier) >= max_frontier:
+            return
+        if not frontier.try_add(label.cost):
+            return
+        heapq.heappush(heap, (sum(label.cost), next(tie_breaker), label))
+
+    push(Label(source, (0.0,) * graph.dim))
+
+    while heap:
+        _, _, label = heapq.heappop(heap)
+        frontier = frontiers[label.node]
+        if not frontier.is_current(label.cost):
+            continue
+        kept = best_labels.setdefault(label.node, [])
+        kept[:] = [old for old in kept if frontier.is_current(old.cost)]
+        kept.append(label)
+        for neighbor in graph.neighbors(label.node):
+            for edge_cost in graph.edge_costs(label.node, neighbor):
+                extended = tuple(c + w for c, w in zip(label.cost, edge_cost))
+                push(Label(neighbor, extended, parent=label))
+
+    result: dict[int, list[Path]] = {}
+    for node, labels in best_labels.items():
+        if wanted is not None and node not in wanted:
+            continue
+        frontier = frontiers[node]
+        paths = [
+            label.to_path() for label in labels if frontier.is_current(label.cost)
+        ]
+        if paths:
+            result[node] = paths
+    return result

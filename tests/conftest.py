@@ -1,0 +1,115 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.generators import road_network
+from repro.paths.path import Path
+
+
+def make_figure2_graph() -> MultiCostGraph:
+    """A reconstruction of the paper's Figure 2 example graph.
+
+    The figure's exact edge list is not published; this graph
+    reproduces every quantity Examples 3.4 and 4.2 state:
+
+    * ``DP(v1, v2) = <4, 4>`` (both hubs have degree 4);
+    * ``DP(v10, v2) = <3, 4>``, ``DP(v19, v10) = <2, 3>``, and the
+      spur edge ``(16, 21)`` has the degree-1 pair ``<1, 4>``;
+    * ``cc(v1) = 1/4`` — v1's neighbors v2, v4, v6, v8 share the three
+      common two-hop nodes v3, v5, v7;
+    * ``cc(v9) = 1/12`` — only (v12, v13) share a node (v15);
+    * ``cc(v10) = 1/3`` — (v2, v18) share v3 and (v18, v19) share v20;
+    * ``|N1 + N2|(v10) = 7`` and ``|N1 + N2|(v9) = 10``.
+    """
+    g = MultiCostGraph(1)
+    edges = [
+        # v1 hub and the ring giving cc(v1) = 1/4
+        (1, 2), (1, 4), (1, 6), (1, 8),
+        (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
+        # v2 completes degree 4 with v9 and v10
+        (2, 9), (2, 10),
+        # v9: degree 4; exactly one neighbor pair (v12, v13) shares v15
+        (9, 12), (9, 13), (9, 14),
+        (12, 15), (13, 15), (14, 16), (14, 17),
+        # v10: degree 3; (v18, v19) share v20, (v2, v18) share v3
+        (10, 18), (10, 19), (18, 20), (19, 20), (3, 18),
+        # degree-1 spurs on the degree-4 node v16
+        (16, 21), (16, 22), (16, 23),
+    ]
+    for u, v in edges:
+        g.add_edge(u, v, (1.0,))
+    return g
+
+
+@pytest.fixture
+def figure2_graph() -> MultiCostGraph:
+    return make_figure2_graph()
+
+
+def make_line_graph(n: int, dim: int = 2) -> MultiCostGraph:
+    """A simple path graph 0-1-...-n-1 with unit costs."""
+    g = MultiCostGraph(dim)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, tuple(float(i % 3 + 1) for _ in range(dim)))
+    return g
+
+
+def make_diamond_graph() -> MultiCostGraph:
+    """Two incomparable routes 0->3: costs (1,4)+(1,4) vs (4,1)+(4,1)."""
+    g = MultiCostGraph(2)
+    g.add_edge(0, 1, (1.0, 4.0))
+    g.add_edge(1, 3, (1.0, 4.0))
+    g.add_edge(0, 2, (4.0, 1.0))
+    g.add_edge(2, 3, (4.0, 1.0))
+    return g
+
+
+@pytest.fixture
+def diamond_graph() -> MultiCostGraph:
+    return make_diamond_graph()
+
+
+@pytest.fixture(scope="session")
+def small_road_network() -> MultiCostGraph:
+    """A ~300-node synthetic road network shared across tests."""
+    return road_network(300, dim=3, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def medium_road_network() -> MultiCostGraph:
+    """A ~700-node synthetic road network for integration tests."""
+    return road_network(700, dim=3, seed=777)
+
+
+def assert_valid_walk(graph: MultiCostGraph, path: Path) -> None:
+    """Assert the path's node sequence is a real walk with its cost.
+
+    When consecutive node pairs have parallel edges the cost check
+    verifies achievability with a small dynamic program over the
+    parallel choices; otherwise exact summation is required.
+    """
+    assert len(path.nodes) >= 1
+    if path.is_trivial():
+        assert all(abs(c) < 1e-9 for c in path.cost)
+        return
+    achievable = {tuple(0.0 for _ in range(graph.dim))}
+    for u, v in zip(path.nodes, path.nodes[1:]):
+        options = graph.edge_costs(u, v)  # raises if the edge is absent
+        achievable = {
+            tuple(a + o for a, o in zip(acc, option))
+            for acc in achievable
+            for option in options
+        }
+        assert len(achievable) < 4096, "parallel-edge blow-up in test helper"
+    assert any(
+        all(abs(a - c) < 1e-6 for a, c in zip(candidate, path.cost))
+        for candidate in achievable
+    ), f"cost {path.cost} not achievable along {path.nodes}"
+
+
+def costs_of(paths) -> set[tuple[float, ...]]:
+    """The set of rounded cost vectors of a path collection."""
+    return {tuple(round(c, 6) for c in p.cost) for p in paths}

@@ -1,0 +1,62 @@
+"""Tests for the solution-bound analysis instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.errors import QueryError
+from repro.eval.analysis import query_stretch, stretch_vs_height
+from repro.eval.queries import Query, random_queries
+from repro.graph.generators import road_network
+from repro.paths.path import Path
+from repro.search.bbs import skyline_paths
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(300, dim=3, seed=181)
+
+
+class TestQueryStretch:
+    def test_exact_answer_has_stretch_one(self, network):
+        [q] = random_queries(network, 1, seed=1, min_hops=8)
+        exact = skyline_paths(network, q.source, q.target).paths
+        assert query_stretch(network, q, exact) == pytest.approx(1.0)
+
+    def test_detour_increases_stretch(self, network):
+        [q] = random_queries(network, 1, seed=2, min_hops=8)
+        exact = skyline_paths(network, q.source, q.target).paths
+        doubled = [
+            Path(p.nodes, tuple(2 * c for c in p.cost)) for p in exact
+        ]
+        assert query_stretch(network, q, doubled) == pytest.approx(2.0)
+
+    def test_stretch_never_below_one(self, network):
+        index = build_backbone_index(
+            network, BackboneParams(m_max=30, m_min=5, p=0.1)
+        )
+        for q in random_queries(network, 4, seed=3, min_hops=8):
+            paths = index.query(q.source, q.target)
+            if paths:
+                assert query_stretch(network, q, paths) >= 1.0
+
+    def test_empty_answer_rejected(self, network):
+        with pytest.raises(QueryError):
+            query_stretch(network, Query(0, 1), [])
+
+
+class TestStretchVsHeight:
+    def test_reports_per_height_means(self, network):
+        queries = random_queries(network, 4, seed=5, min_hops=8)
+        table = stretch_vs_height(
+            network,
+            BackboneParams(m_max=30, m_min=5),
+            queries,
+            p_values=(0.3, 0.08),
+        )
+        assert table
+        for height, stretch in table.items():
+            assert height >= 1
+            assert stretch >= 1.0

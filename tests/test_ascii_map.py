@@ -1,0 +1,85 @@
+"""Tests for the ASCII map renderer and overlap statistic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.eval.ascii_map import path_overlap, render_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+
+
+def square_graph() -> MultiCostGraph:
+    g = MultiCostGraph(1)
+    g.add_node(0, (0.0, 0.0))
+    g.add_node(1, (1.0, 0.0))
+    g.add_node(2, (0.0, 1.0))
+    g.add_node(3, (1.0, 1.0))
+    for u, v in [(0, 1), (1, 3), (0, 2), (2, 3)]:
+        g.add_edge(u, v, (1.0,))
+    return g
+
+
+class TestRenderNetwork:
+    def test_dimensions(self):
+        text = render_network(square_graph(), width=20, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 20 for line in lines)
+
+    def test_nodes_drawn_as_dots(self):
+        text = render_network(square_graph(), width=20, height=8)
+        assert text.count(".") == 4
+
+    def test_overlay_markers_win(self):
+        g = square_graph()
+        path = Path((0, 1, 3), (2.0,))
+        text = render_network(g, [("#", [path])], width=20, height=8)
+        assert text.count("#") == 3
+        assert text.count(".") == 1  # node 2 untouched
+
+    def test_later_overlays_overwrite(self):
+        g = square_graph()
+        a = Path((0, 1), (1.0,))
+        b = Path((0, 2), (1.0,))
+        text = render_network(g, [("a", [a]), ("b", [b])], width=20, height=8)
+        assert text.count("b") == 2  # node 0 contested, 'b' drew last
+        assert text.count("a") == 1
+
+    def test_no_coords_rejected(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        with pytest.raises(QueryError):
+            render_network(g)
+
+    def test_bad_marker_rejected(self):
+        g = square_graph()
+        with pytest.raises(QueryError):
+            render_network(g, [("##", [Path((0, 1), (1.0,))])])
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(QueryError):
+            render_network(square_graph(), width=1, height=5)
+
+
+class TestPathOverlap:
+    def test_identical_paths_full_overlap(self):
+        p = Path((0, 1, 2), (1.0,))
+        assert path_overlap([p, p]) == pytest.approx(1.0)
+
+    def test_disjoint_paths_zero_overlap(self):
+        a = Path((0, 1), (1.0,))
+        b = Path((5, 6), (1.0,))
+        assert path_overlap([a, b]) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        a = Path((0, 1, 2), (1.0,))
+        b = Path((2, 3, 4), (1.0,))
+        assert path_overlap([a, b]) == pytest.approx(1 / 5)
+
+    def test_single_path(self):
+        assert path_overlap([Path((0, 1), (1.0,))]) == 1.0
+
+    def test_empty(self):
+        assert path_overlap([]) == 1.0

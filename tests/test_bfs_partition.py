@@ -1,0 +1,49 @@
+"""Tests for the BFS-partition condensing ablation (Section 6.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bfs_partition import build_bfs_partition_index
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams, ClusteringStrategy
+from repro.graph.generators import road_network
+from repro.search.dijkstra import shortest_costs
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(300, dim=3, seed=141)
+
+
+def test_builds_a_working_index(network):
+    index = build_bfs_partition_index(
+        network, BackboneParams(m_max=30, m_min=5, p=0.05)
+    )
+    assert index.params.clustering is ClusteringStrategy.BFS
+    nodes = sorted(network.nodes())
+    s, t = nodes[1], nodes[-2]
+    paths = index.query(s, t)
+    assert paths
+    minima = [shortest_costs(network, s, i)[t] for i in range(3)]
+    for p in paths:
+        for i in range(3):
+            assert p.cost[i] >= minima[i] - 1e-6
+
+
+def test_original_params_not_mutated(network):
+    params = BackboneParams(m_max=30, m_min=5, p=0.05)
+    build_bfs_partition_index(network, params)
+    assert params.clustering is ClusteringStrategy.DENSE
+
+
+def test_differs_from_dense_clustering(network):
+    params = BackboneParams(m_max=30, m_min=5, p=0.05)
+    dense = build_backbone_index(network, params)
+    bfs = build_bfs_partition_index(network, params)
+    # the two strategies produce structurally different indexes
+    assert (
+        dense.label_path_count() != bfs.label_path_count()
+        or dense.height != bfs.height
+        or sorted(dense.top_graph.nodes()) != sorted(bfs.top_graph.nodes())
+    )

@@ -1,0 +1,125 @@
+"""Tests for backbone index construction (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index, required_edge_removals
+from repro.core.params import AggressiveMode, BackboneParams
+from repro.errors import BuildError
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.traversal import is_connected
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(400, dim=3, seed=81)
+
+
+def params(**kwargs) -> BackboneParams:
+    defaults = dict(m_max=40, m_min=8, p=0.02)
+    defaults.update(kwargs)
+    return BackboneParams(**defaults)
+
+
+class TestConstruction:
+    def test_builds_with_defaults(self, network):
+        index = build_backbone_index(network, params())
+        assert index.height >= 1
+        assert index.top_graph.num_nodes >= 1
+        assert index.label_path_count() > 0
+
+    def test_original_graph_untouched(self, network):
+        nodes, edges = network.num_nodes, network.num_edge_entries
+        build_backbone_index(network, params())
+        assert network.num_nodes == nodes
+        assert network.num_edge_entries == edges
+
+    def test_top_graph_is_connected_if_input_was(self, network):
+        assert is_connected(network)
+        index = build_backbone_index(network, params())
+        assert is_connected(index.top_graph)
+
+    def test_level_stats_consistent(self, network):
+        index = build_backbone_index(network, params())
+        stats = index.build_stats
+        assert len(stats.levels) == index.height
+        assert stats.levels[0].nodes_before == network.num_nodes
+        for level in stats.levels:
+            assert level.removed_edges > 0
+        # levels shrink monotonically
+        sizes = [level.nodes_before for level in stats.levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_deterministic(self, network):
+        a = build_backbone_index(network, params())
+        b = build_backbone_index(network, params())
+        assert a.height == b.height
+        assert sorted(a.top_graph.nodes()) == sorted(b.top_graph.nodes())
+        assert a.label_path_count() == b.label_path_count()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(BuildError):
+            build_backbone_index(MultiCostGraph(2))
+
+    def test_directed_graph_rejected(self):
+        g = MultiCostGraph(2, directed=True)
+        g.add_edge(0, 1, (1.0, 1.0))
+        with pytest.raises(BuildError):
+            build_backbone_index(g)
+
+    def test_tiny_graph(self):
+        g = MultiCostGraph(2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        index = build_backbone_index(g, BackboneParams(m_max=5, m_min=1))
+        assert index.top_graph.num_nodes >= 1
+
+    def test_required_edge_removals(self, network):
+        assert required_edge_removals(network, params(p=0.5)) == int(
+            0.5 * network.num_edge_entries
+        )
+
+
+class TestVariants:
+    def test_none_keeps_biggest_top_graph(self, network):
+        """backbone_none keeps more nodes/edges in G_L (Section 6.2.1)."""
+        none = build_backbone_index(
+            network, params(aggressive=AggressiveMode.NONE)
+        )
+        each = build_backbone_index(
+            network, params(aggressive=AggressiveMode.EACH)
+        )
+        assert none.top_graph.num_nodes >= each.top_graph.num_nodes
+
+    def test_each_triggers_aggressive_on_some_level(self, network):
+        index = build_backbone_index(
+            network, params(aggressive=AggressiveMode.EACH)
+        )
+        assert any(level.aggressive_used for level in index.build_stats.levels)
+
+    def test_none_never_aggressive(self, network):
+        index = build_backbone_index(
+            network, params(aggressive=AggressiveMode.NONE)
+        )
+        assert not any(
+            level.aggressive_used for level in index.build_stats.levels
+        )
+        assert index.provenance == {}
+
+    def test_max_levels_cap(self, network):
+        index = build_backbone_index(network, params(max_levels=2))
+        assert index.height <= 2
+
+
+class TestParameterEffects:
+    def test_larger_p_means_fewer_levels(self, network):
+        small_p = build_backbone_index(network, params(p=0.01))
+        large_p = build_backbone_index(network, params(p=0.2))
+        assert large_p.height <= small_p.height
+
+    def test_m_max_one_is_degenerate_but_legal(self, network):
+        index = build_backbone_index(
+            network, BackboneParams(m_max=2, m_min=1, p=0.02)
+        )
+        assert index.height >= 1

@@ -1,0 +1,91 @@
+"""Tests for the skyline Contraction Hierarchies baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.ch import CHIndex
+from repro.errors import BuildError
+from repro.graph.generators import road_network
+from repro.search.bbs import skyline_paths
+
+from tests.conftest import costs_of, make_diamond_graph
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(150, dim=3, seed=131)
+
+
+@pytest.fixture(scope="module")
+def ch(network):
+    return CHIndex(network)
+
+
+class TestConstruction:
+    def test_contracts_everything(self, ch, network):
+        assert ch.report.contracted_nodes == network.num_nodes
+        assert ch.overlay.num_nodes == 0
+        assert ch.report.finished
+
+    def test_final_graph_keeps_all_nodes(self, ch, network):
+        assert ch.report.final_nodes == network.num_nodes
+
+    def test_edge_count_grows(self, ch, network):
+        """The paper's headline CH observation: shortcut blow-up."""
+        assert ch.report.final_edge_entries > network.num_edge_entries
+
+    def test_time_budget_dnf(self, network):
+        with pytest.raises(BuildError):
+            CHIndex(network, time_budget=0.0)
+
+
+class TestShortcutSoundness:
+    def test_shortcuts_never_change_the_skyline(self, ch, network):
+        """Adding CH shortcuts is cost-lossless: skyline cost sets on
+        the final graph equal those on the original graph."""
+        nodes = sorted(network.nodes())
+        pairs = [
+            (nodes[1], nodes[-2]),
+            (nodes[len(nodes) // 3], nodes[2 * len(nodes) // 3]),
+            (nodes[0], nodes[len(nodes) // 2]),
+        ]
+        for s, t in pairs:
+            original = costs_of(skyline_paths(network, s, t).paths)
+            augmented = costs_of(skyline_paths(ch.final_graph, s, t).paths)
+            assert augmented == original
+
+    def test_diamond_contraction(self):
+        g = make_diamond_graph()
+        ch = CHIndex(g)
+        assert costs_of(skyline_paths(ch.final_graph, 0, 3).paths) == {
+            (2.0, 8.0),
+            (8.0, 2.0),
+        }
+
+
+class TestWitnessSearch:
+    def test_direct_dominating_edge_suppresses_shortcut(self):
+        # contracting 1 should not add a 0-2 shortcut: the direct edge
+        # 0-2 dominates the path through 1
+        from repro.graph.mcrn import MultiCostGraph
+
+        g = MultiCostGraph(2)
+        g.add_edge(0, 1, (5.0, 5.0))
+        g.add_edge(1, 2, (5.0, 5.0))
+        g.add_edge(0, 2, (1.0, 1.0))
+        ch = CHIndex(g)
+        assert ch.final_graph.edge_costs(0, 2) == [(1.0, 1.0)]
+
+    def test_needed_shortcut_added(self):
+        from repro.graph.mcrn import MultiCostGraph
+
+        g = MultiCostGraph(2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        g.add_edge(1, 2, (1.0, 1.0))
+        ch = CHIndex(g)
+        # contracting node 1 first would need the 0-2 shortcut; whatever
+        # the order, the final graph answers 0-2 at cost (2,2)
+        assert costs_of(skyline_paths(ch.final_graph, 0, 2).paths) == {
+            (2.0, 2.0)
+        }

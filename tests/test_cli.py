@@ -1,0 +1,165 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def network_files(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cli")
+    prefix = base / "net"
+    code = main(
+        ["generate", "--nodes", "300", "--seed", "5", "--out", str(prefix)]
+    )
+    assert code == 0
+    return prefix
+
+
+@pytest.fixture(scope="module")
+def index_file(network_files, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-index") / "net.index.json"
+    code = main(
+        [
+            "build",
+            f"{network_files}.gr",
+            "--out",
+            str(out),
+            "--m-max",
+            "25",
+            "--m-min",
+            "5",
+            "--p",
+            "0.1",
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    return out
+
+
+class TestGenerate:
+    def test_writes_both_files(self, network_files):
+        assert (network_files.parent / "net.gr").exists()
+        assert (network_files.parent / "net.co").exists()
+
+    def test_build_with_verify(self, network_files, tmp_path, capsys):
+        out = tmp_path / "verified.index.json"
+        code = main(
+            [
+                "build",
+                f"{network_files}.gr",
+                "--out",
+                str(out),
+                "--m-max",
+                "25",
+                "--m-min",
+                "5",
+                "--p",
+                "0.1",
+                "--verify",
+            ]
+        )
+        assert code == 0
+        assert "verification ok" in capsys.readouterr().out
+
+    def test_grid_style(self, tmp_path):
+        prefix = tmp_path / "grid"
+        assert main(
+            [
+                "generate",
+                "--nodes",
+                "100",
+                "--style",
+                "grid",
+                "--seed",
+                "1",
+                "--out",
+                str(prefix),
+            ]
+        ) == 0
+
+
+class TestBuildAndQuery:
+    def test_query_runs(self, network_files, index_file, capsys):
+        from repro.graph.io import read_dimacs_gr
+
+        graph = read_dimacs_gr(f"{network_files}.gr")
+        nodes = sorted(graph.nodes())
+        code = main(
+            [
+                "query",
+                f"{network_files}.gr",
+                str(index_file),
+                "--source",
+                str(nodes[0]),
+                "--target",
+                str(nodes[-1]),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approximate skyline paths" in out
+
+    def test_query_with_exact(self, network_files, index_file, capsys):
+        from repro.graph.io import read_dimacs_gr
+
+        graph = read_dimacs_gr(f"{network_files}.gr")
+        nodes = sorted(graph.nodes())
+        code = main(
+            [
+                "query",
+                f"{network_files}.gr",
+                str(index_file),
+                "--source",
+                str(nodes[1]),
+                "--target",
+                str(nodes[-2]),
+                "--exact",
+                "--exact-budget",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact BBS" in out
+
+    def test_query_missing_node_fails_cleanly(
+        self, network_files, index_file, capsys
+    ):
+        code = main(
+            [
+                "query",
+                f"{network_files}.gr",
+                str(index_file),
+                "--source",
+                "999999",
+                "--target",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_graph_stats(self, network_files, capsys):
+        assert main(["stats", f"{network_files}.gr"]) == 0
+        assert "graph" in capsys.readouterr().out
+
+    def test_graph_and_index_stats(self, network_files, index_file, capsys):
+        assert (
+            main(["stats", f"{network_files}.gr", "--index", str(index_file)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "index" in out and "levels" in out
+
+
+class TestDatasets:
+    def test_lists_nine(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "C9_NY" in out and "L_NA" in out

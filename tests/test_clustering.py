@@ -1,0 +1,121 @@
+"""Tests for dense-cluster discovery (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import find_dense_clusters
+from repro.core.coefficients import all_two_hop_cardinalities
+from repro.core.params import BackboneParams
+from repro.core.threshold import condensing_threshold
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+
+from tests.conftest import make_figure2_graph
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(400, dim=3, seed=51)
+
+
+def params(**kwargs) -> BackboneParams:
+    defaults = dict(m_max=40, m_min=5, p=0.01, p_ind=0.3)
+    defaults.update(kwargs)
+    return BackboneParams(**defaults)
+
+
+class TestCoverage:
+    def test_every_node_clustered_or_noise(self, network):
+        clustering = find_dense_clusters(network, params())
+        covered = clustering.clustered_nodes | clustering.noise
+        assert covered == set(network.nodes())
+
+    def test_clusters_are_disjoint(self, network):
+        clustering = find_dense_clusters(network, params())
+        seen: set[int] = set()
+        for cluster in clustering.clusters:
+            assert not (cluster & seen)
+            seen |= cluster
+
+    def test_noise_disjoint_from_clusters(self, network):
+        clustering = find_dense_clusters(network, params())
+        assert not (clustering.noise & clustering.clustered_nodes)
+
+    def test_membership_map(self, network):
+        clustering = find_dense_clusters(network, params())
+        owner = clustering.membership()
+        for index, cluster in enumerate(clustering.clusters):
+            for node in cluster:
+                assert owner[node] == index
+
+
+class TestNoise:
+    def test_noise_nodes_have_low_cardinality(self, network):
+        clustering = find_dense_clusters(network, params())
+        cards = all_two_hop_cardinalities(network)
+        threshold = condensing_threshold(cards.values(), 0.3)
+        assert clustering.noise_val == threshold
+        for node in clustering.noise:
+            assert cards[node] < threshold
+
+    def test_p_ind_zero_no_noise(self, network):
+        clustering = find_dense_clusters(network, params(p_ind=0.0))
+        assert clustering.noise == set()
+
+
+class TestSizeControls:
+    def test_m_max_bounds_growth(self, network):
+        # the queue may overshoot m_max by the pending backlog of an
+        # already-full cluster, but never unboundedly
+        clustering = find_dense_clusters(network, params(m_max=20, m_min=1))
+        for cluster in clustering.clusters:
+            assert len(cluster) <= 20 * 3
+
+    def test_m_min_merges_small_clusters(self, network):
+        merged = find_dense_clusters(network, params(m_max=60, m_min=25))
+        # small clusters with dense neighbors were merged away; any
+        # survivors below m_min must have had no adjacent cluster
+        owner = merged.membership()
+        for cluster in merged.clusters:
+            if len(cluster) >= 25:
+                continue
+            neighbor_clusters = set()
+            for node in cluster:
+                for neighbor in network.neighbors(node):
+                    other = owner.get(neighbor)
+                    if other is not None and other != owner[node]:
+                        neighbor_clusters.add(other)
+            assert not neighbor_clusters
+
+    def test_m_min_one_disables_merging(self, network):
+        a = find_dense_clusters(network, params(m_min=1))
+        b = find_dense_clusters(network, params(m_min=1))
+        assert [sorted(c) for c in a.clusters] == [sorted(c) for c in b.clusters]
+
+
+class TestSeedOrder:
+    def test_highest_coefficient_seeds_first_cluster(self):
+        from repro.core.coefficients import all_cluster_coefficients
+
+        g = make_figure2_graph()
+        clustering = find_dense_clusters(
+            g, BackboneParams(m_max=6, m_min=1, p_ind=0.0)
+        )
+        coefficients = all_cluster_coefficients(g)
+        best = max(coefficients.values())
+        top_nodes = {n for n, c in coefficients.items() if c == best}
+        # the first cluster grew from one of the maximal-coefficient seeds
+        assert clustering.clusters
+        assert clustering.clusters[0] & top_nodes
+
+    def test_empty_graph(self):
+        clustering = find_dense_clusters(MultiCostGraph(1), params())
+        assert clustering.clusters == []
+        assert clustering.noise == set()
+
+    def test_deterministic(self, network):
+        a = find_dense_clusters(network, params())
+        b = find_dense_clusters(network, params())
+        assert [sorted(c) for c in a.clusters] == [sorted(c) for c in b.clusters]
+        assert a.noise == b.noise

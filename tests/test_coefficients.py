@@ -1,0 +1,87 @@
+"""Tests for cluster coefficients and two-hop neighborhoods (Def. 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coefficients import (
+    all_cluster_coefficients,
+    all_two_hop_cardinalities,
+    cluster_coefficient,
+    two_hop_cardinality,
+    two_hop_neighborhood,
+)
+from repro.graph.mcrn import MultiCostGraph
+
+from tests.conftest import make_figure2_graph
+
+
+class TestFigure2WorkedExamples:
+    """Example 4.2 and the Section 4.2.2 cardinalities, verbatim."""
+
+    def setup_method(self):
+        self.g = make_figure2_graph()
+
+    def test_cc_v1_is_one_quarter(self):
+        assert cluster_coefficient(self.g, 1) == pytest.approx(1 / 4)
+
+    def test_cc_v9_is_one_twelfth(self):
+        assert cluster_coefficient(self.g, 9) == pytest.approx(1 / 12)
+
+    def test_cc_v10_is_one_third(self):
+        assert cluster_coefficient(self.g, 10) == pytest.approx(1 / 3)
+
+    def test_cardinality_v10_is_7(self):
+        assert two_hop_cardinality(self.g, 10) == 7
+
+    def test_cardinality_v9_is_10(self):
+        assert two_hop_cardinality(self.g, 9) == 10
+
+
+class TestNeighborhoods:
+    def test_strict_two_hop_excludes_first_hop_and_self(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_edge(1, 2, (1.0,))
+        g.add_edge(0, 2, (1.0,))  # triangle
+        g.add_edge(2, 3, (1.0,))
+        first, second = two_hop_neighborhood(g, 0)
+        assert first == {1, 2}
+        assert second == {3}  # 1 and 2 are first-hop; 0 itself excluded
+
+    def test_isolated_node(self):
+        g = MultiCostGraph(1)
+        g.add_node(5)
+        first, second = two_hop_neighborhood(g, 5)
+        assert first == set() and second == set()
+        assert cluster_coefficient(g, 5) == 0.0
+
+    def test_degree_one_coefficient_zero(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        assert cluster_coefficient(g, 0) == 0.0
+
+    def test_pair_counted_once_despite_multiple_witnesses(self):
+        # u and w connect through TWO common two-hop nodes; still 1 pair
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_edge(0, 2, (1.0,))
+        g.add_edge(1, 3, (1.0,))
+        g.add_edge(2, 3, (1.0,))
+        g.add_edge(1, 4, (1.0,))
+        g.add_edge(2, 4, (1.0,))
+        assert cluster_coefficient(g, 0) == pytest.approx(1 / 2)
+
+
+class TestBulk:
+    def test_all_coefficients_match_single(self):
+        g = make_figure2_graph()
+        table = all_cluster_coefficients(g)
+        for node in g.nodes():
+            assert table[node] == pytest.approx(cluster_coefficient(g, node))
+
+    def test_all_cardinalities_match_single(self):
+        g = make_figure2_graph()
+        table = all_two_hop_cardinalities(g)
+        for node in g.nodes():
+            assert table[node] == two_hop_cardinality(g, node)

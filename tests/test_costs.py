@@ -1,0 +1,115 @@
+"""Tests for synthetic edge-cost generation (Sections 6.1 and 6.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.costs import (
+    CostDistribution,
+    assign_costs,
+    euclidean_base_cost,
+)
+from repro.graph.generators import delaunay_network
+from repro.graph.mcrn import MultiCostGraph
+
+
+def topology(n: int = 300, seed: int = 3) -> MultiCostGraph:
+    return delaunay_network(n, seed=seed)
+
+
+def correlation(graph: MultiCostGraph, dim_a: int, dim_b: int) -> float:
+    rows = np.array(
+        [graph.edge_costs(u, v)[0] for u, v in graph.edge_pairs()], dtype=float
+    )
+    return float(np.corrcoef(rows[:, dim_a], rows[:, dim_b])[0, 1])
+
+
+class TestEuclideanBase:
+    def test_distance(self):
+        g = MultiCostGraph(1)
+        g.add_node(0, (0.0, 0.0))
+        g.add_node(1, (3.0, 4.0))
+        g.add_edge(0, 1, (1.0,))
+        assert euclidean_base_cost(g, 0, 1) == pytest.approx(5.0)
+
+    def test_missing_coordinate_raises(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        with pytest.raises(GraphError):
+            euclidean_base_cost(g, 0, 1)
+
+
+class TestAssignCosts:
+    def test_uniform_default_range(self):
+        g = assign_costs(topology(), 3, seed=1)
+        assert g.dim == 3
+        for _, _, cost in g.edges():
+            assert len(cost) == 3
+            assert 1.0 <= cost[1] <= 100.0
+            assert 1.0 <= cost[2] <= 100.0
+            assert cost[0] > 0
+
+    def test_first_dimension_is_euclidean(self):
+        g = assign_costs(topology(), 2, seed=1)
+        for u, v in list(g.edge_pairs())[:20]:
+            assert g.edge_costs(u, v)[0][0] == pytest.approx(
+                max(euclidean_base_cost(g, u, v), 1e-9)
+            )
+
+    def test_deterministic_for_seed(self):
+        a = assign_costs(topology(), 3, seed=7)
+        b = assign_costs(topology(), 3, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = assign_costs(topology(), 3, seed=7)
+        b = assign_costs(topology(), 3, seed=8)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_positive_costs_always(self):
+        for dist in CostDistribution:
+            g = assign_costs(topology(150, seed=5), 3, distribution=dist, seed=2)
+            for _, _, cost in g.edges():
+                assert all(c > 0 for c in cost), (dist, cost)
+
+    def test_dim_validation(self):
+        with pytest.raises(GraphError):
+            assign_costs(topology(), 0)
+
+    def test_preserves_topology_and_coords(self):
+        base = topology()
+        g = assign_costs(base, 3, seed=1)
+        assert g.num_nodes == base.num_nodes
+        assert set(g.edge_pairs()) == set(base.edge_pairs())
+        node = next(iter(g.nodes()))
+        assert g.coord(node) == base.coord(node)
+
+
+class TestDistributionShapes:
+    """Section 6.3: CORR/ANTI/INDE relative to the distance dimension."""
+
+    def test_correlated_positive(self):
+        g = assign_costs(
+            topology(), 2, distribution=CostDistribution.CORRELATED, seed=11
+        )
+        assert correlation(g, 0, 1) > 0.5
+
+    def test_anti_correlated_negative(self):
+        g = assign_costs(
+            topology(), 2, distribution=CostDistribution.ANTI_CORRELATED, seed=11
+        )
+        assert correlation(g, 0, 1) < -0.5
+
+    def test_independent_near_zero(self):
+        g = assign_costs(
+            topology(), 2, distribution=CostDistribution.INDEPENDENT, seed=11
+        )
+        assert abs(correlation(g, 0, 1)) < 0.25
+
+    def test_uniform_matches_independent_semantics(self):
+        g = assign_costs(
+            topology(), 2, distribution=CostDistribution.UNIFORM, seed=11
+        )
+        assert abs(correlation(g, 0, 1)) < 0.25

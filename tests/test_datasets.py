@@ -1,0 +1,85 @@
+"""Tests for the dataset catalog of synthetic Table-1 stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.catalog import (
+    dataset_info,
+    list_datasets,
+    load,
+    load_subgraph,
+    load_with_distribution,
+)
+from repro.errors import GraphError
+from repro.graph.costs import CostDistribution
+from repro.graph.traversal import is_connected
+
+
+class TestCatalog:
+    def test_nine_networks_listed(self):
+        names = list_datasets()
+        assert len(names) == 9
+        assert names[0] == "C9_NY"
+        assert "L_NA" in names
+
+    def test_info_fields(self):
+        spec = dataset_info("C9_NY")
+        assert spec.paper_nodes == 254_346
+        assert spec.paper_edges == 365_050
+        assert spec.scale_factor > 50
+
+    def test_unknown_name(self):
+        with pytest.raises(GraphError):
+            dataset_info("C9_MOON")
+        with pytest.raises(GraphError):
+            load("C9_MOON")
+
+    def test_load_matches_spec_approximately(self):
+        spec = dataset_info("L_CAL")
+        g = load("L_CAL")
+        assert abs(g.num_nodes - spec.scaled_nodes) / spec.scaled_nodes < 0.25
+        ratio = g.num_edges / g.num_nodes
+        assert abs(ratio - spec.edge_ratio) < 0.3
+
+    def test_connected_and_three_costs(self):
+        g = load("L_CAL")
+        assert is_connected(g)
+        assert g.dim == 3
+
+    def test_cached_identity(self):
+        assert load("L_CAL") is load("L_CAL")
+
+    def test_scale_parameter(self):
+        small = load("L_CAL", scale=0.5)
+        assert small.num_nodes < load("L_CAL").num_nodes
+        with pytest.raises(GraphError):
+            load("L_CAL", scale=0.0)
+
+
+class TestSubgraphs:
+    def test_bfs_subgraph_size(self):
+        sub = load_subgraph("C9_NY", 400)
+        assert sub.num_nodes == 400
+        assert is_connected(sub)
+
+    def test_too_large_request(self):
+        with pytest.raises(GraphError):
+            load_subgraph("L_CAL", 10**7)
+
+    def test_seed_changes_start(self):
+        a = load_subgraph("C9_NY", 300, seed=0)
+        b = load_subgraph("C9_NY", 300, seed=5)
+        assert set(a.nodes()) != set(b.nodes())
+
+
+class TestDistributions:
+    def test_each_distribution_loads(self):
+        for dist in (
+            CostDistribution.CORRELATED,
+            CostDistribution.ANTI_CORRELATED,
+            CostDistribution.INDEPENDENT,
+        ):
+            g = load_with_distribution("C9_NY", 300, dist)
+            assert g.dim == 3
+            assert g.num_nodes == 300

@@ -1,0 +1,122 @@
+"""Tests for single-dimension Dijkstra over multi-cost graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError, QueryError
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.search.dijkstra import (
+    path_hops,
+    per_dimension_shortest_paths,
+    shortest_costs,
+    shortest_path,
+)
+
+from tests.conftest import assert_valid_walk, make_diamond_graph
+
+
+class TestShortestCosts:
+    def test_line(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (2.0,))
+        g.add_edge(1, 2, (3.0,))
+        dist = shortest_costs(g, 0, 0)
+        assert dist == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_dimension_selection(self):
+        g = make_diamond_graph()
+        d0 = shortest_costs(g, 0, 0)
+        d1 = shortest_costs(g, 0, 1)
+        assert d0[3] == pytest.approx(2.0)  # via node 1 on dim 0
+        assert d1[3] == pytest.approx(2.0)  # via node 2 on dim 1
+
+    def test_parallel_edges_use_cheapest(self):
+        g = MultiCostGraph(2)
+        g.add_edge(0, 1, (10.0, 1.0))
+        g.add_edge(0, 1, (1.0, 10.0))
+        assert shortest_costs(g, 0, 0)[1] == 1.0
+        assert shortest_costs(g, 0, 1)[1] == 1.0
+
+    def test_unreachable_absent(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_node(5)
+        assert 5 not in shortest_costs(g, 0, 0)
+
+    def test_targets_early_stop(self):
+        g = MultiCostGraph(1)
+        for i in range(10):
+            g.add_edge(i, i + 1, (1.0,))
+        dist = shortest_costs(g, 0, 0, targets=[2])
+        assert dist[2] == 2.0
+
+    def test_bad_dimension(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        with pytest.raises(QueryError):
+            shortest_costs(g, 0, 5)
+
+    def test_missing_source(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        with pytest.raises(NodeNotFoundError):
+            shortest_costs(g, 99, 0)
+
+    def test_directed_reverse(self):
+        g = MultiCostGraph(1, directed=True)
+        g.add_edge(0, 1, (1.0,))
+        g.add_edge(1, 2, (1.0,))
+        forward = shortest_costs(g, 0, 0)
+        assert forward[2] == 2.0
+        backward = shortest_costs(g, 2, 0, reverse=True)
+        assert backward[0] == 2.0
+
+
+class TestShortestPath:
+    def test_path_and_full_cost(self):
+        g = make_diamond_graph()
+        p = shortest_path(g, 0, 3, 0)
+        assert p.nodes == (0, 1, 3)
+        assert p.cost == (2.0, 8.0)
+        assert_valid_walk(g, p)
+
+    def test_source_equals_target(self):
+        g = make_diamond_graph()
+        p = shortest_path(g, 0, 0, 0)
+        assert p.is_trivial()
+
+    def test_unreachable_none(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_node(5)
+        assert shortest_path(g, 0, 5, 0) is None
+
+    def test_optimality_against_all_dims(self, small_road_network):
+        g = small_road_network
+        nodes = sorted(g.nodes())
+        s, t = nodes[0], nodes[len(nodes) // 2]
+        for dim_index in range(g.dim):
+            p = shortest_path(g, s, t, dim_index)
+            dist = shortest_costs(g, s, dim_index)
+            assert p.cost[dim_index] == pytest.approx(dist[t])
+            assert_valid_walk(g, p)
+
+
+class TestPerDimension:
+    def test_diamond_returns_both_routes(self):
+        g = make_diamond_graph()
+        paths = per_dimension_shortest_paths(g, 0, 3)
+        assert len(paths) == 2
+        assert {p.nodes for p in paths} == {(0, 1, 3), (0, 2, 3)}
+
+    def test_path_hops(self):
+        g = make_diamond_graph()
+        assert path_hops(g, 0, 3) == pytest.approx(2.0)
+
+    def test_path_hops_unreachable(self):
+        g = MultiCostGraph(2)
+        g.add_edge(0, 1, (1.0, 1.0))
+        g.add_node(9)
+        assert path_hops(g, 0, 9) == float("inf")

@@ -1,0 +1,135 @@
+"""Unit and property tests for Pareto-dominance primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paths.dominance import (
+    add_costs,
+    dominates,
+    dominates_or_equal,
+    incomparable,
+    skyline_of,
+    zero_cost,
+)
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=3, max_size=3
+).map(tuple)
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_on_one_dimension(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_worse_on_any_dimension_blocks(self):
+        assert not dominates((1.0, 5.0), (2.0, 4.0))
+
+    def test_definition_3_1_example(self):
+        # p <= p' everywhere and strictly better somewhere.
+        p = (3.0, 7.0, 2.0)
+        p_prime = (3.0, 8.0, 2.0)
+        assert dominates(p, p_prime)
+        assert not dominates(p_prime, p)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestDominatesOrEqual:
+    def test_equal(self):
+        assert dominates_or_equal((1.0, 2.0), (1.0, 2.0))
+
+    def test_dominating(self):
+        assert dominates_or_equal((0.5, 2.0), (1.0, 2.0))
+
+    def test_incomparable(self):
+        assert not dominates_or_equal((0.5, 3.0), (1.0, 2.0))
+
+
+class TestIncomparable:
+    def test_cross_vectors(self):
+        assert incomparable((1.0, 3.0), (3.0, 1.0))
+
+    def test_equal_not_incomparable(self):
+        assert not incomparable((1.0, 1.0), (1.0, 1.0))
+
+    def test_dominated_not_incomparable(self):
+        assert not incomparable((1.0, 1.0), (2.0, 2.0))
+
+
+class TestHelpers:
+    def test_add_costs(self):
+        assert add_costs((1.0, 2.0), (3.0, 4.5)) == (4.0, 6.5)
+
+    def test_zero_cost(self):
+        assert zero_cost(3) == (0.0, 0.0, 0.0)
+
+    def test_skyline_of_filters_dominated(self):
+        frontier = skyline_of([(1, 5), (5, 1), (3, 3), (4, 4), (1, 5)])
+        assert set(frontier) == {(1.0, 5.0), (5.0, 1.0), (3.0, 3.0)}
+
+    def test_skyline_of_empty(self):
+        assert skyline_of([]) == []
+
+    def test_skyline_collapses_duplicates(self):
+        assert skyline_of([(2, 2), (2, 2)]) == [(2.0, 2.0)]
+
+
+@given(vectors, vectors)
+def test_dominance_is_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(vectors)
+def test_dominance_is_irreflexive(a):
+    assert not dominates(a, a)
+
+
+@given(vectors, vectors, vectors)
+def test_dominance_is_transitive(a, b, c):
+    if dominates(a, b) and dominates(b, c):
+        assert dominates(a, c)
+
+
+@given(vectors, vectors)
+def test_trichotomy_of_relations(a, b):
+    relations = [
+        dominates(a, b),
+        dominates(b, a),
+        a == b,
+        incomparable(a, b),
+    ]
+    assert sum(bool(r) for r in relations) == 1
+
+
+@given(st.lists(vectors, max_size=30))
+def test_skyline_members_mutually_nondominated(costs):
+    frontier = skyline_of(costs)
+    for i, a in enumerate(frontier):
+        for j, b in enumerate(frontier):
+            if i != j:
+                assert not dominates_or_equal(a, b)
+
+
+@given(st.lists(vectors, max_size=30))
+def test_every_input_dominated_or_on_skyline(costs):
+    frontier = skyline_of(costs)
+    for cost in costs:
+        assert any(dominates_or_equal(member, tuple(cost)) for member in frontier)
+
+
+@given(st.lists(vectors, max_size=20))
+def test_skyline_is_idempotent(costs):
+    once = skyline_of(costs)
+    twice = skyline_of(once)
+    assert set(once) == set(twice)

@@ -1,0 +1,163 @@
+"""Unit and property tests for ParetoSet / PathSet containers."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paths.dominance import dominates, dominates_or_equal
+from repro.paths.frontier import ParetoSet, PathSet
+from repro.paths.path import Path
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=2, max_size=2
+).map(tuple)
+
+
+class TestParetoSet:
+    def test_accepts_first_entry(self):
+        ps = ParetoSet()
+        assert ps.add((1.0, 2.0), "a")
+        assert len(ps) == 1
+
+    def test_rejects_dominated(self):
+        ps = ParetoSet()
+        ps.add((1.0, 1.0), "a")
+        assert not ps.add((2.0, 2.0), "b")
+        assert ps.payloads() == ["a"]
+
+    def test_evicts_dominated_members(self):
+        ps = ParetoSet()
+        ps.add((2.0, 2.0), "a")
+        ps.add((3.0, 1.0), "b")
+        assert ps.add((1.0, 1.0), "c")
+        assert set(ps.payloads()) == {"c"}
+
+    def test_rejects_equal_cost_by_default(self):
+        ps = ParetoSet()
+        ps.add((1.0, 2.0), "a")
+        assert not ps.add((1.0, 2.0), "b")
+
+    def test_keep_equal_costs_mode(self):
+        ps = ParetoSet(keep_equal_costs=True)
+        ps.add((1.0, 2.0), "a")
+        assert ps.add((1.0, 2.0), "b")
+        assert not ps.add((1.0, 2.0), "a")  # exact duplicate payload
+        assert len(ps) == 2
+
+    def test_would_accept_matches_add(self):
+        ps = ParetoSet()
+        ps.add((1.0, 1.0), "a")
+        assert not ps.would_accept((1.0, 1.0))
+        assert not ps.would_accept((2.0, 2.0))
+        assert ps.would_accept((0.5, 3.0))
+
+    def test_dominates_candidate(self):
+        ps = ParetoSet()
+        ps.add((1.0, 1.0), "a")
+        assert ps.dominates_candidate((1.0, 1.0))
+        assert ps.dominates_candidate((5.0, 5.0))
+        assert not ps.dominates_candidate((0.5, 5.0))
+
+    def test_merge_counts_accepted(self):
+        a = ParetoSet()
+        a.add((1.0, 5.0), "x")
+        b = ParetoSet()
+        b.add((5.0, 1.0), "y")
+        b.add((2.0, 6.0), "z")  # incomparable with (1,5)? 2>1, 6>5 -> dominated
+        assert a.merge(b) == 1
+        assert set(a.payloads()) == {"x", "y"}
+
+    def test_incomparable_coexist(self):
+        ps = ParetoSet()
+        ps.add((1.0, 5.0), "a")
+        assert ps.add((5.0, 1.0), "b")
+        assert len(ps) == 2
+
+    def test_bool_and_iter(self):
+        ps = ParetoSet()
+        assert not ps
+        ps.add((1.0, 1.0), "a")
+        assert ps
+        assert list(ps) == [((1.0, 1.0), "a")]
+
+
+class TestPathSet:
+    def test_add_and_paths(self):
+        ps = PathSet()
+        p = Path((0, 1), (1.0, 2.0))
+        assert ps.add(p)
+        assert ps.paths() == [p]
+
+    def test_keeps_equal_cost_distinct_paths(self):
+        ps = PathSet()
+        assert ps.add(Path((0, 1, 3), (2.0, 2.0)))
+        assert ps.add(Path((0, 2, 3), (2.0, 2.0)))
+        assert len(ps) == 2
+
+    def test_rejects_duplicate_path(self):
+        ps = PathSet()
+        p = Path((0, 1), (1.0, 2.0))
+        ps.add(p)
+        assert not ps.add(Path((0, 1), (1.0, 2.0)))
+
+    def test_construct_from_iterable(self):
+        paths = [Path((0, 1), (1.0, 5.0)), Path((0, 2), (5.0, 1.0))]
+        ps = PathSet(paths)
+        assert len(ps) == 2
+
+    def test_dominated_path_evicted(self):
+        ps = PathSet()
+        ps.add(Path((0, 1), (5.0, 5.0)))
+        ps.add(Path((0, 2), (1.0, 1.0)))
+        assert len(ps) == 1
+        assert ps.paths()[0].cost == (1.0, 1.0)
+
+    def test_add_all(self):
+        ps = PathSet()
+        n = ps.add_all([Path((0, 1), (1.0, 5.0)), Path((0, 2), (2.0, 6.0))])
+        assert n == 1  # the second is dominated
+
+
+@given(st.lists(vectors, max_size=40))
+def test_pareto_set_invariant_no_mutual_domination(costs):
+    ps = ParetoSet()
+    for index, cost in enumerate(costs):
+        ps.add(cost, index)
+    kept = ps.costs()
+    for i, a in enumerate(kept):
+        for j, b in enumerate(kept):
+            if i != j:
+                assert not dominates_or_equal(a, b)
+
+
+@given(st.lists(vectors, max_size=40))
+def test_pareto_set_covers_all_inputs(costs):
+    ps = ParetoSet()
+    for index, cost in enumerate(costs):
+        ps.add(cost, index)
+    for cost in costs:
+        assert ps.dominates_candidate(cost)
+
+
+@given(st.lists(vectors, max_size=40))
+def test_pareto_set_order_independent_cost_front(costs):
+    forward = ParetoSet()
+    for index, cost in enumerate(costs):
+        forward.add(cost, index)
+    backward = ParetoSet()
+    for index, cost in enumerate(reversed(costs)):
+        backward.add(cost, index)
+    assert set(forward.costs()) == set(backward.costs())
+
+
+@given(st.lists(vectors, max_size=30))
+def test_keep_equal_front_weakly_dominates(costs):
+    ps = ParetoSet(keep_equal_costs=True)
+    for index, cost in enumerate(costs):
+        ps.add(cost, index)
+    kept = ps.costs()
+    for i, a in enumerate(kept):
+        for j, b in enumerate(kept):
+            if i != j:
+                assert not dominates(a, b)

@@ -1,0 +1,114 @@
+"""Tests for synthetic road-network generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    attach_spurs,
+    delaunay_network,
+    grid_network,
+    road_network,
+    subdivide_edges,
+)
+from repro.graph.stats import degree_distribution
+from repro.graph.traversal import is_connected
+
+
+class TestGrid:
+    def test_connected_and_sized(self):
+        g = grid_network(10, 10, seed=1)
+        assert is_connected(g)
+        assert 60 <= g.num_nodes <= 100
+
+    def test_coordinates_present(self):
+        g = grid_network(5, 5, seed=1)
+        assert all(g.coord(n) is not None for n in g.nodes())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            grid_network(1, 5)
+
+    def test_deterministic(self):
+        a = grid_network(8, 8, seed=3)
+        b = grid_network(8, 8, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestDelaunay:
+    def test_connected(self):
+        g = delaunay_network(200, seed=2)
+        assert is_connected(g)
+
+    def test_edge_ratio_close_to_target(self):
+        g = delaunay_network(500, edge_ratio=1.3, seed=2)
+        ratio = g.num_edges / g.num_nodes
+        assert 1.15 <= ratio <= 1.45
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphError):
+            delaunay_network(3)
+
+    def test_road_like_degrees(self):
+        g = delaunay_network(400, seed=9)
+        dist = degree_distribution(g)
+        # road networks: low maximum degree, most mass on 2-4
+        assert max(dist) <= 10
+        core = sum(count for deg, count in dist.items() if 2 <= deg <= 4)
+        assert core / g.num_nodes > 0.5
+
+
+class TestSpursAndChains:
+    def test_attach_spurs_adds_degree_one(self):
+        base = delaunay_network(100, seed=4)
+        spurred = attach_spurs(base, fraction=0.2, seed=4)
+        assert spurred.num_nodes > base.num_nodes
+        ones = degree_distribution(spurred).get(1, 0)
+        assert ones > 0
+        assert is_connected(spurred)
+
+    def test_attach_spurs_does_not_mutate_input(self):
+        base = delaunay_network(100, seed=4)
+        before = base.num_nodes
+        attach_spurs(base, fraction=0.2, seed=4)
+        assert base.num_nodes == before
+
+    def test_subdivide_creates_degree_two_chains(self):
+        base = delaunay_network(100, seed=4)
+        chained = subdivide_edges(base, fraction=0.5, seed=4)
+        assert chained.num_nodes > base.num_nodes
+        twos = degree_distribution(chained).get(2, 0)
+        assert twos >= degree_distribution(base).get(2, 0)
+        assert is_connected(chained)
+
+    def test_subdivide_preserves_total_length(self):
+        # subdivision replaces one edge with a chain of roughly equal
+        # geometric length (up to jitter)
+        base = delaunay_network(60, seed=8)
+        chained = subdivide_edges(base, fraction=1.0, seed=8)
+        base_total = sum(cost[0] for _, _, cost in base.edges())
+        chained_total = sum(cost[0] for _, _, cost in chained.edges())
+        assert chained_total == pytest.approx(base_total, rel=0.35)
+
+
+class TestRoadNetwork:
+    def test_end_to_end(self):
+        g = road_network(500, dim=3, seed=6)
+        assert g.dim == 3
+        assert is_connected(g)
+        assert 350 <= g.num_nodes <= 700
+
+    def test_grid_style(self):
+        g = road_network(300, dim=2, style="grid", seed=6)
+        assert g.dim == 2
+        assert is_connected(g)
+
+    def test_unknown_style(self):
+        with pytest.raises(GraphError):
+            road_network(100, style="hexagons")
+
+    def test_deterministic(self):
+        a = road_network(200, dim=3, seed=42)
+        b = road_network(200, dim=3, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,64 @@
+"""Tests for the to_directed conversion utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.directed import to_directed
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+
+
+@pytest.fixture(scope="module")
+def base():
+    return road_network(150, dim=3, seed=201)
+
+
+class TestToDirected:
+    def test_symmetric_when_asymmetry_zero(self, base):
+        directed = to_directed(base, asymmetry=0.0, seed=1)
+        for u, v, cost in list(base.edges())[:30]:
+            assert directed.edge_costs(u, v) == [cost]
+            assert directed.edge_costs(v, u) == [cost]
+
+    def test_asymmetry_bounds_respected(self, base):
+        directed = to_directed(base, asymmetry=0.2, seed=2)
+        for u, v, cost in list(base.edges())[:30]:
+            for direction in ((u, v), (v, u)):
+                [scaled] = directed.edge_costs(*direction)
+                for original, got in zip(cost, scaled):
+                    assert 0.8 * original - 1e-9 <= got <= 1.2 * original + 1e-9
+
+    def test_one_way_fraction(self, base):
+        directed = to_directed(base, one_way_fraction=0.5, seed=3)
+        one_ways = sum(
+            1
+            for u, v in base.edge_pairs()
+            if directed.has_edge(u, v) != directed.has_edge(v, u)
+            or not (directed.has_edge(u, v) and directed.has_edge(v, u))
+        )
+        assert 0.3 * base.num_edges <= one_ways <= 0.7 * base.num_edges
+
+    def test_all_two_way_by_default(self, base):
+        directed = to_directed(base, seed=4)
+        for u, v in list(base.edge_pairs())[:40]:
+            assert directed.has_edge(u, v) and directed.has_edge(v, u)
+
+    def test_coords_preserved(self, base):
+        directed = to_directed(base, seed=5)
+        node = next(iter(base.nodes()))
+        assert directed.coord(node) == base.coord(node)
+
+    def test_deterministic(self, base):
+        a = to_directed(base, seed=6)
+        b = to_directed(base, seed=6)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validation(self, base):
+        with pytest.raises(GraphError):
+            to_directed(to_directed(base, seed=1))
+        with pytest.raises(GraphError):
+            to_directed(base, asymmetry=1.5)
+        with pytest.raises(GraphError):
+            to_directed(base, one_way_fraction=-0.1)

@@ -1,0 +1,130 @@
+"""Tests for the GTree baseline with skyline border matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.gtree import GTreeIndex, _multi_seed_partition
+from repro.errors import BuildError
+from repro.graph.generators import road_network
+from repro.search.bbs import skyline_paths
+
+from tests.conftest import costs_of
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(250, dim=3, seed=121)
+
+
+@pytest.fixture(scope="module")
+def gtree(network):
+    return GTreeIndex(network, fanout=4, leaf_size=40)
+
+
+class TestPartitioning:
+    def test_covers_all_vertices(self, network):
+        vertices = set(network.nodes())
+        parts = _multi_seed_partition(network, vertices, 4)
+        union = set()
+        for part in parts:
+            assert not (part & union)
+            union |= part
+        assert union == vertices
+
+    def test_roughly_balanced(self, network):
+        vertices = set(network.nodes())
+        parts = _multi_seed_partition(network, vertices, 4)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes[-1] <= 4 * max(1, sizes[0])
+
+    def test_tiny_set(self, network):
+        nodes = list(network.nodes())[:3]
+        parts = _multi_seed_partition(network, set(nodes), 8)
+        assert sorted(len(p) for p in parts) == [1, 1, 1]
+
+
+class TestTreeStructure:
+    def test_leaves_respect_leaf_size(self, gtree):
+        def walk(node):
+            if node.is_leaf:
+                assert len(node.vertices) <= gtree.leaf_size
+            for child in node.children:
+                assert child.vertices <= node.vertices
+                walk(child)
+
+        walk(gtree.root)
+
+    def test_root_covers_graph(self, gtree, network):
+        assert gtree.root.vertices == set(network.nodes())
+
+    def test_borders_have_outside_neighbors(self, gtree, network):
+        def walk(node):
+            for border in node.borders:
+                assert any(
+                    n not in node.vertices for n in network.neighbors(border)
+                )
+            for child in node.children:
+                walk(child)
+
+        walk(gtree.root)
+
+    def test_report_populated(self, gtree):
+        assert gtree.report.finished
+        assert gtree.report.tree_nodes >= 1
+        assert gtree.report.stored_vectors > 0
+        assert gtree.size_vectors() == gtree.report.stored_vectors
+
+    def test_bad_params(self, network):
+        with pytest.raises(BuildError):
+            GTreeIndex(network, fanout=1)
+        with pytest.raises(BuildError):
+            GTreeIndex(network, leaf_size=1)
+
+    def test_time_budget_dnf(self, network):
+        with pytest.raises(BuildError):
+            GTreeIndex(network, leaf_size=8, time_budget=0.0)
+
+
+class TestQueries:
+    def test_same_leaf_query_exact(self, gtree, network):
+        leaf = next(
+            node
+            for node in _iter_leaves(gtree.root)
+            if len(node.vertices) >= 10
+        )
+        vertices = sorted(leaf.vertices)
+        s, t = vertices[0], vertices[-1]
+        got = costs_of(gtree.query(s, t))
+        # exact within the leaf subgraph by construction
+        sub = network.induced_subgraph(leaf.vertices)
+        expected = costs_of(skyline_paths(sub, s, t).paths)
+        assert got == expected
+
+    def test_cross_leaf_query_covers_exact_costs(self, gtree, network):
+        """GTree answers must at least weakly cover the exact skyline:
+        for each exact cost there is a GTree cost dominating-or-equal
+        or matching it; GTree costs never beat the exact frontier."""
+        from repro.paths.dominance import dominates
+
+        nodes = sorted(network.nodes())
+        s, t = nodes[0], nodes[-1]
+        exact = skyline_paths(network, s, t).paths
+        got = gtree.query(s, t)
+        assert got
+        # compare on rounded costs: GTree composes many partial sums, so
+        # raw floats drift by ~1e-13 relative to BBS
+        exact_costs = costs_of(exact)
+        got_costs = costs_of(got)
+        for cost in got_costs:
+            assert not any(dominates(cost, e) for e in exact_costs), (
+                cost,
+                exact_costs,
+            )
+
+
+def _iter_leaves(node):
+    if node.is_leaf:
+        yield node
+    for child in node.children:
+        yield from _iter_leaves(child)

@@ -1,0 +1,132 @@
+"""Tests for the hypervolume indicator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.eval.hypervolume import (
+    hypervolume,
+    hypervolume_ratio,
+    reference_point,
+)
+from repro.paths.path import Path
+
+
+class TestHypervolume:
+    def test_single_point_2d(self):
+        assert hypervolume([(1.0, 1.0)], (2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_two_incomparable_points_2d(self):
+        value = hypervolume([(1.0, 3.0), (3.0, 1.0)], (4.0, 4.0))
+        assert value == pytest.approx(5.0)  # 3 + 3 - 1 overlap
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume([(1.0, 1.0)], (4.0, 4.0))
+        with_dominated = hypervolume([(1.0, 1.0), (2.0, 2.0)], (4.0, 4.0))
+        assert with_dominated == pytest.approx(base)
+
+    def test_point_beyond_reference_clipped(self):
+        assert hypervolume([(5.0, 5.0)], (2.0, 2.0)) == 0.0
+
+    def test_empty_set(self):
+        assert hypervolume([], (1.0, 1.0)) == 0.0
+
+    def test_single_dimension(self):
+        assert hypervolume([(2.0,), (5.0,)], (10.0,)) == pytest.approx(8.0)
+
+    def test_three_dimensions(self):
+        # unit cube corner: volume of [1,2]^3 from point (1,1,1)
+        assert hypervolume([(1.0, 1.0, 1.0)], (2.0, 2.0, 2.0)) == pytest.approx(
+            1.0
+        )
+
+    def test_three_dimensions_two_points(self):
+        value = hypervolume(
+            [(1.0, 2.0, 2.0), (2.0, 1.0, 1.0)], (3.0, 3.0, 3.0)
+        )
+        # volumes 2*1*1=2 and 1*2*2=4 with overlap 1*1*1=1
+        assert value == pytest.approx(5.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(QueryError):
+            hypervolume([(1.0,)], (1.0, 2.0))
+
+
+class TestReferencePoint:
+    def test_margin_applied(self):
+        paths = [Path((0, 1), (2.0, 4.0))]
+        assert reference_point(paths) == pytest.approx((2.1, 4.2))
+
+    def test_across_sets(self):
+        a = [Path((0, 1), (1.0, 9.0))]
+        b = [Path((0, 2), (8.0, 2.0))]
+        ref = reference_point(a, b, margin=1.0)
+        assert ref == pytest.approx((8.0, 9.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            reference_point([])
+
+
+class TestHypervolumeRatio:
+    def test_identical_sets_give_one(self):
+        paths = [Path((0, 1), (1.0, 3.0)), Path((0, 2), (3.0, 1.0))]
+        assert hypervolume_ratio(paths, paths) == pytest.approx(1.0)
+
+    def test_subset_loses_coverage(self):
+        exact = [Path((0, 1), (1.0, 3.0)), Path((0, 2), (3.0, 1.0))]
+        approx = [exact[0]]
+        ratio = hypervolume_ratio(approx, exact)
+        assert 0.0 < ratio < 1.0
+
+    def test_worse_costs_lose_coverage(self):
+        exact = [Path((0, 1), (1.0, 1.0))]
+        approx = [Path((0, 2), (2.0, 2.0))]
+        assert hypervolume_ratio(approx, exact) < 1.0
+
+    def test_empty_rejected(self):
+        paths = [Path((0, 1), (1.0, 1.0))]
+        with pytest.raises(QueryError):
+            hypervolume_ratio([], paths)
+
+
+coords = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+point_sets = st.lists(
+    st.tuples(coords, coords), min_size=1, max_size=12
+)
+
+
+@given(point_sets)
+def test_hypervolume_nonnegative_and_bounded(points):
+    reference = (60.0, 60.0)
+    value = hypervolume(points, reference)
+    assert 0.0 <= value <= 60.0 * 60.0
+
+
+@given(point_sets, st.tuples(coords, coords))
+def test_hypervolume_monotone_in_points(points, extra):
+    """Adding a point never decreases the hypervolume."""
+    reference = (60.0, 60.0)
+    before = hypervolume(points, reference)
+    after = hypervolume(points + [extra], reference)
+    assert after >= before - 1e-9
+
+
+@given(point_sets)
+def test_hypervolume_matches_monte_carlo(points):
+    """Cross-check the sweep against direct numerical integration."""
+    import numpy as np
+
+    reference = (60.0, 60.0)
+    exact = hypervolume(points, reference)
+    rng = np.random.default_rng(42)
+    samples = rng.uniform(0.0, 60.0, size=(4000, 2))
+    arr = np.array(points)
+    dominated = (
+        (samples[:, None, :] >= arr[None, :, :]).all(axis=2).any(axis=1)
+    )
+    estimate = dominated.mean() * 3600.0
+    assert exact == pytest.approx(estimate, abs=3600.0 * 0.05)

@@ -1,0 +1,129 @@
+"""Tests for DIMACS .gr/.co reading and writing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import road_network
+from repro.graph.io import (
+    read_dimacs_co,
+    read_dimacs_gr,
+    write_dimacs_co,
+    write_dimacs_gr,
+)
+from repro.graph.mcrn import MultiCostGraph
+
+
+class TestReadGr:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "toy.gr"
+        path.write_text(
+            "c a comment\n"
+            "p sp 3 4\n"
+            "a 1 2 5 7\n"
+            "a 2 1 5 7\n"
+            "a 2 3 1 2\n"
+            "a 3 2 1 2\n"
+        )
+        g = read_dimacs_gr(path)
+        assert g.dim == 2
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.edge_costs(1, 2) == [(5.0, 7.0)]
+
+    def test_opposite_arcs_collapse_to_skyline(self, tmp_path):
+        path = tmp_path / "asym.gr"
+        path.write_text("a 1 2 5 1\na 2 1 1 5\n")
+        g = read_dimacs_gr(path)
+        assert sorted(g.edge_costs(1, 2)) == [(1.0, 5.0), (5.0, 1.0)]
+
+    def test_directed_mode(self, tmp_path):
+        path = tmp_path / "dir.gr"
+        path.write_text("a 1 2 5\n")
+        g = read_dimacs_gr(path, directed=True)
+        assert g.directed
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "loop.gr"
+        path.write_text("a 1 1 5\na 1 2 3\n")
+        g = read_dimacs_gr(path)
+        assert g.num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2\n")
+        with pytest.raises(GraphError):
+            read_dimacs_gr(path)
+
+    def test_unexpected_record(self, tmp_path):
+        path = tmp_path / "bad2.gr"
+        path.write_text("x nonsense\n")
+        with pytest.raises(GraphError):
+            read_dimacs_gr(path)
+
+    def test_inconsistent_dim(self, tmp_path):
+        path = tmp_path / "bad3.gr"
+        path.write_text("a 1 2 5 6\na 2 3 1\n")
+        with pytest.raises(GraphError):
+            read_dimacs_gr(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.gr"
+        path.write_text("c nothing\n")
+        with pytest.raises(GraphError):
+            read_dimacs_gr(path)
+
+
+class TestCoordinates:
+    def test_read_co(self, tmp_path):
+        g = MultiCostGraph(1)
+        g.add_edge(1, 2, (1.0,))
+        path = tmp_path / "toy.co"
+        path.write_text("p aux sp co 2\nv 1 100 200\nv 2 300 400\nv 9 0 0\n")
+        read_dimacs_co(g, path)
+        assert g.coord(1) == (100.0, 200.0)
+        assert g.coord(2) == (300.0, 400.0)
+
+    def test_bad_co_record(self, tmp_path):
+        g = MultiCostGraph(1)
+        g.add_node(1)
+        path = tmp_path / "bad.co"
+        path.write_text("v 1 2\n")
+        with pytest.raises(GraphError):
+            read_dimacs_co(g, path)
+
+
+class TestRoundTrip:
+    def test_gr_roundtrip(self, tmp_path):
+        original = road_network(120, dim=3, seed=9)
+        path = tmp_path / "net.gr"
+        write_dimacs_gr(original, path)
+        loaded = read_dimacs_gr(path)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+        for u, v in list(original.edge_pairs())[:25]:
+            assert sorted(loaded.edge_costs(u, v)) == sorted(
+                original.edge_costs(u, v)
+            )
+
+    def test_co_roundtrip(self, tmp_path):
+        original = road_network(80, dim=2, seed=9)
+        gr, co = tmp_path / "net.gr", tmp_path / "net.co"
+        write_dimacs_gr(original, gr)
+        write_dimacs_co(original, co)
+        loaded = read_dimacs_gr(gr)
+        read_dimacs_co(loaded, co)
+        for node in list(original.nodes())[:25]:
+            ox, oy = original.coord(node)
+            lx, ly = loaded.coord(node)
+            assert (lx, ly) == pytest.approx((ox, oy), rel=1e-5)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        original = road_network(60, dim=2, seed=9)
+        path = tmp_path / "net.gr.gz"
+        write_dimacs_gr(original, path)
+        loaded = read_dimacs_gr(path)
+        assert loaded.num_edges == original.num_edges

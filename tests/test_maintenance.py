@@ -1,0 +1,134 @@
+"""Tests for dynamic index maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintenance import MaintainableIndex
+from repro.core.params import BackboneParams
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.generators import road_network
+from repro.search.dijkstra import shortest_costs
+
+
+def make_maintainer(seed=111, n=250):
+    graph = road_network(n, dim=3, seed=seed)
+    return MaintainableIndex(graph, BackboneParams(m_max=25, m_min=5, p=0.05))
+
+
+@pytest.fixture(scope="module")
+def maintainer():
+    return make_maintainer()
+
+
+def check_query_sound(m, s, t):
+    """Query succeeds and never beats the exact per-dimension minima."""
+    paths = m.query(s, t)
+    assert paths
+    minima = [shortest_costs(m.graph, s, i).get(t) for i in range(3)]
+    for p in paths:
+        for i in range(3):
+            if minima[i] is not None:
+                assert p.cost[i] >= minima[i] - 1e-6
+    return paths
+
+
+class TestEdgeOperations:
+    def test_insert_edge(self):
+        m = make_maintainer(seed=112)
+        nodes = sorted(m.graph.nodes())
+        s, t = nodes[1], nodes[-2]
+        # add a superhighway directly between the endpoints
+        m.insert_edge(s, t, (0.5, 0.5, 0.5))
+        assert m.graph.has_edge(s, t)
+        paths = check_query_sound(m, s, t)
+        # the new edge dominates everything: it must be the single answer
+        assert any(abs(p.cost[0] - 0.5) < 1e-6 for p in paths)
+
+    def test_delete_edge(self):
+        m = make_maintainer(seed=113)
+        u, v = next(iter(m.graph.edge_pairs()))
+        m.delete_edge(u, v)
+        assert not m.graph.has_edge(u, v)
+        nodes = sorted(m.graph.nodes())
+        check_query_sound(m, nodes[0], nodes[-1])
+
+    def test_delete_missing_edge(self, maintainer):
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.delete_edge(-1, -2)
+
+    def test_update_edge_cost_reflected(self):
+        m = make_maintainer(seed=114)
+        nodes = sorted(m.graph.nodes())
+        s, t = nodes[1], nodes[-2]
+        before = {p.cost for p in m.query(s, t)}
+        u, v = next(iter(m.graph.edge_pairs()))
+        old = m.graph.edge_costs(u, v)[0]
+        m.update_edge_cost(u, v, old, tuple(c * 50 for c in old))
+        assert tuple(c * 50 for c in old) in m.graph.edge_costs(u, v)
+        check_query_sound(m, s, t)
+
+    def test_stats_track_updates(self):
+        m = make_maintainer(seed=115)
+        u, v = next(iter(m.graph.edge_pairs()))
+        old = m.graph.edge_costs(u, v)[0]
+        m.update_edge_cost(u, v, old, tuple(c + 1 for c in old))
+        assert m.maintenance_stats.updates == 1
+
+
+class TestNodeOperations:
+    def test_insert_node(self):
+        m = make_maintainer(seed=116)
+        nodes = sorted(m.graph.nodes())
+        new = max(nodes) + 1
+        m.insert_node(new, [(nodes[0], (1.0, 1.0, 1.0))])
+        assert m.graph.has_node(new)
+        paths = m.query(new, nodes[0])
+        assert paths and paths[0].cost == (1.0, 1.0, 1.0)
+
+    def test_insert_existing_node_rejected(self, maintainer):
+        node = next(iter(maintainer.graph.nodes()))
+        with pytest.raises(GraphError):
+            maintainer.insert_node(node, [(node, (1.0, 1.0, 1.0))])
+
+    def test_insert_isolated_node_rejected(self, maintainer):
+        with pytest.raises(GraphError):
+            maintainer.insert_node(10**6, [])
+
+    def test_delete_node(self):
+        m = make_maintainer(seed=117)
+        nodes = sorted(m.graph.nodes())
+        victim = nodes[len(nodes) // 2]
+        m.delete_node(victim)
+        assert not m.graph.has_node(victim)
+        # remaining network still answers queries
+        others = [n for n in nodes if n != victim]
+        check_query_sound(m, others[0], others[-1])
+
+    def test_delete_missing_node(self, maintainer):
+        with pytest.raises(NodeNotFoundError):
+            maintainer.delete_node(-99)
+
+
+class TestReplayEconomy:
+    def test_deep_edge_update_avoids_full_rebuild(self):
+        """An update to an edge surviving into higher levels replays
+        only from that level."""
+        m = make_maintainer(seed=118)
+        index = m.index
+        # pick an edge of a mid-level snapshot graph
+        deep_edge = None
+        for level in range(index.height - 1, 0, -1):
+            snapshot = m._snapshots[level]
+            if snapshot.num_edges:
+                deep_edge = (level, next(iter(snapshot.edge_pairs())))
+                break
+        if deep_edge is None:
+            pytest.skip("index too shallow for a deep edge")
+        level, (u, v) = deep_edge
+        old = m.graph.edge_costs(u, v)[0]
+        m.update_edge_cost(u, v, old, tuple(c * 2 for c in old))
+        assert m.maintenance_stats.full_rebuilds == 0
+        assert m.maintenance_stats.levels_replayed >= 1
+        nodes = sorted(m.graph.nodes())
+        check_query_sound(m, nodes[0], nodes[-1])

@@ -1,0 +1,113 @@
+"""Tests for the many-to-many m_BBS search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.generators import road_network
+from repro.paths.path import Path
+from repro.search.bbs import skyline_paths
+from repro.search.bounds import ExactBounds
+from repro.search.landmark import LandmarkIndex
+from repro.search.bounds import LandmarkLowerBounds
+from repro.search.mbbs import Seed, many_to_many_skyline
+
+from tests.conftest import costs_of, make_diamond_graph
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(150, dim=3, seed=31)
+
+
+class TestBasics:
+    def test_single_pair_matches_bbs(self, network):
+        nodes = sorted(network.nodes())
+        s, t = nodes[0], nodes[-1]
+        dim = network.dim
+        outcome = many_to_many_skyline(
+            network,
+            [Seed(s, (0.0,) * dim, payload="origin")],
+            [t],
+            bounds=ExactBounds(network, [t]),
+        )
+        expected = costs_of(skyline_paths(network, s, t).paths)
+        got = {
+            tuple(round(c, 6) for c in cost) for cost, _ in outcome.hits[t]
+        }
+        assert got == expected
+
+    def test_seed_cost_offsets_results(self):
+        g = make_diamond_graph()
+        offset = (100.0, 100.0)
+        outcome = many_to_many_skyline(g, [Seed(0, offset, payload="p")], [3])
+        costs = {cost for cost, _ in outcome.hits[3]}
+        assert costs == {(102.0, 108.0), (108.0, 102.0)}
+
+    def test_payload_and_local_path_returned(self):
+        g = make_diamond_graph()
+        prefix = Path((42, 0), (1.0, 1.0))
+        outcome = many_to_many_skyline(
+            g, [Seed(0, prefix.cost, payload=prefix)], [3]
+        )
+        for _cost, (payload, local) in outcome.hits[3]:
+            assert payload is prefix
+            assert local.source == 0 and local.target == 3
+            assert local.cost in {(2.0, 8.0), (8.0, 2.0)}
+
+    def test_multiple_seeds_pareto_merge(self):
+        g = make_diamond_graph()
+        # seed at node 1 with zero cost reaches 3 at (1,4); seed at node
+        # 2 reaches 3 at (4,1); both survive at the target.
+        outcome = many_to_many_skyline(
+            g,
+            [Seed(1, (0.0, 0.0), payload="a"), Seed(2, (0.0, 0.0), payload="b")],
+            [3],
+        )
+        costs = {cost for cost, _ in outcome.hits[3]}
+        assert costs == {(1.0, 4.0), (4.0, 1.0)}
+
+    def test_seed_on_target(self):
+        g = make_diamond_graph()
+        outcome = many_to_many_skyline(g, [Seed(3, (0.0, 0.0), payload="x")], [3])
+        costs = {cost for cost, _ in outcome.hits[3]}
+        assert (0.0, 0.0) in costs
+
+    def test_multiple_targets(self, network):
+        nodes = sorted(network.nodes())
+        s = nodes[0]
+        targets = [nodes[-1], nodes[-2], nodes[len(nodes) // 2]]
+        index = LandmarkIndex(network, 4)
+        outcome = many_to_many_skyline(
+            network,
+            [Seed(s, (0.0,) * network.dim, payload=None)],
+            targets,
+            bounds=LandmarkLowerBounds(index, targets),
+        )
+        for t in targets:
+            expected = costs_of(skyline_paths(network, s, t).paths)
+            got = {
+                tuple(round(c, 6) for c in cost) for cost, _ in outcome.hits[t]
+            }
+            assert got == expected
+
+    def test_missing_target_raises(self):
+        g = make_diamond_graph()
+        with pytest.raises(NodeNotFoundError):
+            many_to_many_skyline(g, [Seed(0, (0.0, 0.0), payload=None)], [99])
+
+    def test_missing_seed_raises(self):
+        g = make_diamond_graph()
+        with pytest.raises(NodeNotFoundError):
+            many_to_many_skyline(g, [Seed(99, (0.0, 0.0), payload=None)], [3])
+
+    def test_expansion_budget(self, network):
+        nodes = sorted(network.nodes())
+        outcome = many_to_many_skyline(
+            network,
+            [Seed(nodes[0], (0.0,) * network.dim, payload=None)],
+            [nodes[-1]],
+            max_expansions=2,
+        )
+        assert outcome.stats.timed_out

@@ -1,0 +1,247 @@
+"""Unit tests for the MultiCostGraph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DimensionMismatchError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import dominates, dominates_or_equal
+
+
+class TestNodes:
+    def test_add_and_contains(self):
+        g = MultiCostGraph(2)
+        g.add_node(1, (0.5, 0.5))
+        assert g.has_node(1)
+        assert 1 in g
+        assert g.coord(1) == (0.5, 0.5)
+        assert g.num_nodes == 1
+
+    def test_add_node_idempotent_keeps_coord(self):
+        g = MultiCostGraph(2)
+        g.add_node(1, (1.0, 1.0))
+        g.add_node(1)
+        assert g.coord(1) == (1.0, 1.0)
+
+    def test_remove_node_drops_incident_edges(self):
+        g = MultiCostGraph(1)
+        g.add_edge(1, 2, (1.0,))
+        g.add_edge(2, 3, (1.0,))
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 0
+        assert g.degree(1) == 0
+
+    def test_remove_missing_node_raises(self):
+        g = MultiCostGraph(1)
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(42)
+
+    def test_set_coord_requires_node(self):
+        g = MultiCostGraph(1)
+        with pytest.raises(NodeNotFoundError):
+            g.set_coord(1, (0.0, 0.0))
+
+
+class TestEdges:
+    def test_add_edge_creates_nodes(self):
+        g = MultiCostGraph(2)
+        assert g.add_edge(1, 2, (1.0, 2.0))
+        assert g.has_node(1) and g.has_node(2)
+        assert g.edge_costs(1, 2) == [(1.0, 2.0)]
+        assert g.edge_costs(2, 1) == [(1.0, 2.0)]  # undirected
+
+    def test_dimension_checked(self):
+        g = MultiCostGraph(2)
+        with pytest.raises(DimensionMismatchError):
+            g.add_edge(1, 2, (1.0,))
+
+    def test_self_loop_rejected(self):
+        g = MultiCostGraph(1)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, (1.0,))
+
+    def test_negative_cost_rejected(self):
+        g = MultiCostGraph(1)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, (-1.0,))
+
+    def test_parallel_edges_keep_skyline(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1.0, 5.0))
+        assert g.add_edge(1, 2, (5.0, 1.0))  # incomparable: kept
+        assert not g.add_edge(1, 2, (6.0, 6.0))  # dominated: rejected
+        assert g.add_edge(1, 2, (0.5, 0.5))  # dominates both: evicts
+        assert g.edge_costs(1, 2) == [(0.5, 0.5)]
+        assert g.num_edges == 1
+        assert g.num_edge_entries == 1
+
+    def test_parallel_edge_counting(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1.0, 5.0))
+        g.add_edge(1, 2, (5.0, 1.0))
+        assert g.num_edges == 1
+        assert g.num_edge_entries == 2
+
+    def test_remove_specific_parallel(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1.0, 5.0))
+        g.add_edge(1, 2, (5.0, 1.0))
+        g.remove_edge(1, 2, (1.0, 5.0))
+        assert g.edge_costs(1, 2) == [(5.0, 1.0)]
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.degree(1) == 0
+
+    def test_remove_missing_edge_raises(self):
+        g = MultiCostGraph(1)
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+        g.add_edge(1, 2, (1.0,))
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2, (9.0,))
+
+    def test_edges_iteration_canonical(self):
+        g = MultiCostGraph(1)
+        g.add_edge(5, 2, (1.0,))
+        assert list(g.edges()) == [(2, 5, (1.0,))]
+        assert list(g.edge_pairs()) == [(2, 5)]
+
+    def test_edge_costs_missing_raises(self):
+        g = MultiCostGraph(1)
+        g.add_node(1)
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_costs(1, 2)
+
+
+class TestDegreesAndNeighbors:
+    def test_degree_counts_neighbors_not_parallels(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1.0, 5.0))
+        g.add_edge(1, 2, (5.0, 1.0))
+        g.add_edge(1, 3, (1.0, 1.0))
+        assert g.degree(1) == 2
+        assert g.neighbors(1) == {2, 3}
+
+    def test_neighbors_missing_node(self):
+        g = MultiCostGraph(1)
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(9)
+
+
+class TestDirected:
+    def test_directed_edges_one_way(self):
+        g = MultiCostGraph(1, directed=True)
+        g.add_edge(1, 2, (1.0,))
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.neighbors(1) == {2}
+        assert g.neighbors(2) == set()
+        assert g.in_neighbors(2) == {1}
+
+    def test_directed_remove(self):
+        g = MultiCostGraph(1, directed=True)
+        g.add_edge(1, 2, (1.0,))
+        g.add_edge(2, 1, (2.0,))
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_directed_remove_node(self):
+        g = MultiCostGraph(1, directed=True)
+        g.add_edge(1, 2, (1.0,))
+        g.add_edge(3, 1, (1.0,))
+        g.remove_node(1)
+        assert g.has_node(2) and g.has_node(3)
+        assert g.num_edges == 0
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = MultiCostGraph(1)
+        g.add_edge(1, 2, (1.0,))
+        clone = g.copy()
+        clone.add_edge(2, 3, (1.0,))
+        assert not g.has_node(3)
+        assert clone.num_edges == 2
+
+    def test_copy_preserves_coords_and_parallels(self):
+        g = MultiCostGraph(2)
+        g.add_node(1, (3.0, 4.0))
+        g.add_edge(1, 2, (1.0, 5.0))
+        g.add_edge(1, 2, (5.0, 1.0))
+        clone = g.copy()
+        assert clone.coord(1) == (3.0, 4.0)
+        assert sorted(clone.edge_costs(1, 2)) == [(1.0, 5.0), (5.0, 1.0)]
+
+    def test_induced_subgraph(self):
+        g = MultiCostGraph(1)
+        g.add_edge(1, 2, (1.0,))
+        g.add_edge(2, 3, (1.0,))
+        g.add_edge(3, 1, (1.0,))
+        sub = g.induced_subgraph({1, 2})
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_node(3)
+
+    def test_induced_subgraph_missing_node(self):
+        g = MultiCostGraph(1)
+        g.add_node(1)
+        with pytest.raises(NodeNotFoundError):
+            g.induced_subgraph({1, 99})
+
+    def test_restore_from(self):
+        g = MultiCostGraph(1)
+        g.add_edge(1, 2, (1.0,))
+        snapshot = g.copy()
+        g.add_edge(2, 3, (1.0,))
+        g.restore_from(snapshot)
+        assert not g.has_node(3)
+        assert g.num_edges == 1
+
+    def test_restore_from_incompatible(self):
+        g = MultiCostGraph(1)
+        other = MultiCostGraph(2)
+        with pytest.raises(GraphError):
+            g.restore_from(other)
+
+    def test_dim_validation(self):
+        with pytest.raises(GraphError):
+            MultiCostGraph(0)
+
+
+cost_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(cost_lists)
+def test_parallel_edge_store_is_exactly_the_skyline(costs):
+    g = MultiCostGraph(2)
+    for cost in costs:
+        g.add_edge(1, 2, cost)
+    stored = g.edge_costs(1, 2)
+    # mutually non-dominated
+    for i, a in enumerate(stored):
+        for j, b in enumerate(stored):
+            if i != j:
+                assert not dominates(a, b)
+    # every input is covered by a stored vector
+    for cost in costs:
+        assert any(dominates_or_equal(s, cost) for s in stored)

@@ -1,0 +1,114 @@
+"""Tests for approximation-quality metrics (RAC, goodness)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.eval.metrics import cosine_similarity, goodness, rac, set_reduction
+from repro.paths.path import Path
+
+
+def paths_from_costs(costs):
+    return [Path((0, 1), c) for c in costs]
+
+
+class TestRac:
+    def test_identical_sets_give_one(self):
+        paths = paths_from_costs([(1.0, 2.0), (3.0, 4.0)])
+        assert rac(paths, paths) == pytest.approx((1.0, 1.0))
+
+    def test_doubled_costs_give_two(self):
+        exact = paths_from_costs([(1.0, 2.0)])
+        approx = paths_from_costs([(2.0, 4.0)])
+        assert rac(approx, exact) == pytest.approx((2.0, 2.0))
+
+    def test_per_dimension_independence(self):
+        exact = paths_from_costs([(1.0, 10.0)])
+        approx = paths_from_costs([(3.0, 10.0)])
+        assert rac(approx, exact) == pytest.approx((3.0, 1.0))
+
+    def test_empty_sets_rejected(self):
+        paths = paths_from_costs([(1.0, 1.0)])
+        with pytest.raises(QueryError):
+            rac([], paths)
+        with pytest.raises(QueryError):
+            rac(paths, [])
+
+    def test_zero_exact_mean_gives_inf(self):
+        exact = [Path((0,), (0.0, 1.0))]
+        approx = paths_from_costs([(1.0, 1.0)])
+        assert rac(approx, exact)[0] == math.inf
+
+
+class TestCosine:
+    def test_parallel_vectors(self):
+        assert cosine_similarity((1.0, 2.0), (2.0, 4.0)) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity((1.0, 0.0), (0.0, 1.0)) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity((0.0, 0.0), (1.0, 1.0)) == 0.0
+
+
+class TestGoodness:
+    def test_identical_sets_perfect(self):
+        paths = paths_from_costs([(1.0, 2.0), (5.0, 1.0)])
+        assert goodness(paths, paths) == pytest.approx(1.0)
+
+    def test_single_direction_coverage(self):
+        exact = paths_from_costs([(1.0, 0.0), (0.0, 1.0)])
+        approx = paths_from_costs([(1.0, 0.0)])
+        assert goodness(approx, exact) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        paths = paths_from_costs([(1.0, 1.0)])
+        with pytest.raises(QueryError):
+            goodness([], paths)
+        with pytest.raises(QueryError):
+            goodness(paths, [])
+
+
+class TestSetReduction:
+    def test_ratio(self):
+        exact = paths_from_costs([(1.0, 1.0)] * 10)
+        approx = paths_from_costs([(1.0, 1.0)] * 2)
+        assert set_reduction(approx, exact) == pytest.approx(5.0)
+
+    def test_empty_approx_rejected(self):
+        with pytest.raises(QueryError):
+            set_reduction([], paths_from_costs([(1.0, 1.0)]))
+
+
+cost_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(cost_sets, cost_sets)
+def test_goodness_bounded_zero_one(a, b):
+    value = goodness(paths_from_costs(a), paths_from_costs(b))
+    assert 0.0 <= value <= 1.0 + 1e-9
+
+
+@given(cost_sets)
+def test_goodness_of_self_is_one(costs):
+    paths = paths_from_costs(costs)
+    assert goodness(paths, paths) == pytest.approx(1.0)
+
+
+@given(cost_sets)
+def test_rac_positive(costs):
+    paths = paths_from_costs(costs)
+    values = rac(paths, paths)
+    assert all(v == pytest.approx(1.0) for v in values)

@@ -1,0 +1,136 @@
+"""Unit and property tests for the Path value object."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.paths.path import Path
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Path((1, 2, 3), (1.0, 2.0))
+        assert p.nodes == (1, 2, 3)
+        assert p.cost == (1.0, 2.0)
+        assert p.source == 1
+        assert p.target == 3
+        assert p.length == 2
+        assert p.dim == 2
+        assert len(p) == 3
+
+    def test_trivial(self):
+        p = Path.trivial(7, 3)
+        assert p.is_trivial()
+        assert p.nodes == (7,)
+        assert p.cost == (0.0, 0.0, 0.0)
+        assert p.length == 0
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(QueryError):
+            Path((), (1.0,))
+
+    def test_costs_coerced_to_float(self):
+        p = Path((1, 2), (1, 2))
+        assert p.cost == (1.0, 2.0)
+        assert all(isinstance(c, float) for c in p.cost)
+
+
+class TestConcat:
+    def test_costs_add(self):
+        a = Path((1, 2), (1.0, 2.0))
+        b = Path((2, 3), (10.0, 20.0))
+        c = a.concat(b)
+        assert c.nodes == (1, 2, 3)
+        assert c.cost == (11.0, 22.0)
+
+    def test_endpoint_mismatch_rejected(self):
+        a = Path((1, 2), (1.0,))
+        b = Path((3, 4), (1.0,))
+        with pytest.raises(QueryError):
+            a.concat(b)
+
+    def test_trivial_left_identity(self):
+        t = Path.trivial(1, 2)
+        p = Path((1, 2), (1.0, 2.0))
+        assert t.concat(p) == p
+
+    def test_trivial_right_identity(self):
+        t = Path.trivial(2, 2)
+        p = Path((1, 2), (1.0, 2.0))
+        assert p.concat(t) == p
+
+    def test_associative(self):
+        a = Path((1, 2), (1.0,))
+        b = Path((2, 3), (2.0,))
+        c = Path((3, 4), (4.0,))
+        assert a.concat(b).concat(c) == a.concat(b.concat(c))
+
+
+class TestReverse:
+    def test_reverse(self):
+        p = Path((1, 2, 3), (1.0, 2.0))
+        r = p.reverse()
+        assert r.nodes == (3, 2, 1)
+        assert r.cost == p.cost
+
+    def test_double_reverse_is_identity(self):
+        p = Path((1, 2, 3), (1.0, 2.0))
+        assert p.reverse().reverse() == p
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Path((1, 2), (1.0, 2.0))
+        b = Path([1, 2], [1.0, 2.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Path((1, 2), (1.0, 3.0))
+        assert a != "not a path"
+
+    def test_dominates(self):
+        a = Path((1, 2), (1.0, 1.0))
+        b = Path((1, 3), (2.0, 2.0))
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_repr_short_and_long(self):
+        short = repr(Path((1, 2, 3), (1.5,)))
+        assert "1->2->3" in short
+        long = repr(Path(tuple(range(20)), (1.0,)))
+        assert "..." in long
+
+    def test_iter(self):
+        assert list(Path((5, 6, 7), (0.0,))) == [5, 6, 7]
+
+
+node_lists = st.lists(st.integers(min_value=0, max_value=99), min_size=2, max_size=8)
+cost_vecs = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=2,
+    max_size=2,
+).map(tuple)
+
+
+@given(node_lists, cost_vecs, node_lists, cost_vecs)
+def test_concat_cost_additivity(nodes_a, cost_a, nodes_b, cost_b):
+    nodes_b = [nodes_a[-1]] + nodes_b  # force endpoint compatibility
+    a = Path(nodes_a, cost_a)
+    b = Path(nodes_b, cost_b)
+    c = a.concat(b)
+    assert c.length == a.length + b.length
+    for got, x, y in zip(c.cost, cost_a, cost_b):
+        assert got == pytest.approx(x + y)
+    assert c.source == a.source
+    assert c.target == b.target
+
+
+@given(node_lists, cost_vecs)
+def test_reverse_preserves_cost_and_flips_ends(nodes, cost):
+    p = Path(nodes, cost)
+    r = p.reverse()
+    assert r.cost == p.cost
+    assert r.source == p.target
+    assert r.target == p.source

@@ -1,0 +1,117 @@
+"""White-box tests for Algorithm 3's internal machinery.
+
+These pin down behaviors the black-box query tests cannot distinguish:
+which phase produced an answer (first-type meets vs second-type m_BBS),
+how S/D maps grow across levels, and the handling of endpoints that are
+themselves highway entrances or G_L nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.core.query import backbone_query
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(350, dim=3, seed=231)
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return build_backbone_index(
+        network, BackboneParams(m_max=30, m_min=6, p=0.12)
+    )
+
+
+class TestPhases:
+    def test_far_queries_use_second_type(self, index, network):
+        """Distant endpoints must connect through G_L (m_BBS ran)."""
+        nodes = sorted(network.nodes())
+        ran_mbbs = 0
+        for s, t in [(nodes[0], nodes[-1]), (nodes[1], nodes[-2])]:
+            result = backbone_query(index, s, t)
+            if result.stats.mbbs_stats is not None:
+                ran_mbbs += 1
+        assert ran_mbbs >= 1
+
+    def test_first_type_meets_exist_somewhere(self, index, network):
+        """Across a spread of queries, some answers come from meets at
+        common highway entrances (the first type)."""
+        nodes = sorted(network.nodes())
+        step = max(1, len(nodes) // 12)
+        total_first = 0
+        for i in range(1, 11):
+            s, t = nodes[i * step], nodes[min(i * step + 4, len(nodes) - 1)]
+            if s == t:
+                continue
+            result = backbone_query(index, s, t)
+            total_first += result.stats.first_type_candidates
+        assert total_first > 0
+
+    def test_query_to_gl_node_directly(self, index, network):
+        """Querying toward a node that survives in G_L works: the
+        target never gets condensed, so D stays anchored there."""
+        gl_node = next(iter(index.top_graph.nodes()))
+        other = next(n for n in sorted(network.nodes()) if n != gl_node)
+        result = backbone_query(index, other, gl_node)
+        assert result.paths
+        assert all(p.target == gl_node for p in result.paths)
+
+    def test_query_between_two_gl_nodes(self, index, network):
+        gl_nodes = sorted(index.top_graph.nodes())
+        if len(gl_nodes) < 2:
+            pytest.skip("top graph too small")
+        result = backbone_query(index, gl_nodes[0], gl_nodes[-1])
+        assert result.paths
+        # both endpoints live in G_L: the connection is pure m_BBS
+        assert result.stats.mbbs_stats is not None
+
+    def test_adjacent_condensed_nodes(self, index, network):
+        """Endpoints removed at level 0 still answer (through labels)."""
+        level0 = list(index.levels[0].nodes()) if index.levels else []
+        if len(level0) < 2:
+            pytest.skip("no level-0 labels")
+        result = backbone_query(index, level0[0], level0[1])
+        assert result.paths
+
+
+class TestStatsAccounting:
+    def test_keys_monotone_with_levels(self, index, network):
+        nodes = sorted(network.nodes())
+        result = backbone_query(index, nodes[0], nodes[-1])
+        assert result.stats.source_keys >= 1
+        assert result.stats.target_keys >= 1
+        # keys can never exceed the number of labelled nodes + 1
+        labelled = sum(len(level) for level in index.levels) + 1
+        assert result.stats.source_keys <= labelled
+
+    def test_candidate_counters_consistent(self, index, network):
+        nodes = sorted(network.nodes())
+        result = backbone_query(index, nodes[2], nodes[-3])
+        produced = (
+            result.stats.first_type_candidates
+            + result.stats.second_type_candidates
+        )
+        # every returned path was counted as a candidate at least once
+        assert produced >= len(result.paths) or not result.paths
+
+
+class TestTimeBudget:
+    def test_mbbs_budget_respected(self, network):
+        # an index with a big G_L so m_BBS has real work
+        big_top = build_backbone_index(
+            network, BackboneParams(m_max=10, m_min=2, p=0.45, max_levels=1)
+        )
+        nodes = sorted(network.nodes())
+        result = backbone_query(
+            big_top, nodes[0], nodes[-1], time_budget=0.0
+        )
+        # the budget applies to the m_BBS phase: it must have timed out
+        if result.stats.mbbs_stats is not None:
+            assert result.stats.mbbs_stats.timed_out

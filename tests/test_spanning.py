@@ -1,0 +1,144 @@
+"""Tests for cluster condensing: spanning forest and 2-core pruning."""
+
+from __future__ import annotations
+
+from repro.core.spanning import condense_cluster, degree_pair_spanning_forest
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.stats import degree_pair
+
+
+def union_find_components(nodes, edges):
+    parent = {n: n for n in nodes}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    groups = {}
+    for n in nodes:
+        groups.setdefault(find(n), set()).add(n)
+    return list(groups.values())
+
+
+class TestSpanningForest:
+    def test_spans_connected_cluster(self):
+        g = road_network(150, dim=2, seed=61)
+        cluster = set(list(g.nodes())[:40])
+        forest = degree_pair_spanning_forest(g, cluster)
+        # forest must connect exactly the cluster-internal components
+        internal = [
+            (u, v) for u, v in g.edge_pairs() if u in cluster and v in cluster
+        ]
+        expected = union_find_components(cluster, internal)
+        got = union_find_components(cluster, forest)
+        assert sorted(map(sorted, expected)) == sorted(map(sorted, got))
+
+    def test_forest_is_acyclic(self):
+        g = road_network(150, dim=2, seed=62)
+        cluster = set(list(g.nodes())[:50])
+        forest = degree_pair_spanning_forest(g, cluster)
+        components = union_find_components(cluster, [])
+        # |forest| = |cluster| - number of components => acyclic
+        internal = [
+            (u, v) for u, v in g.edge_pairs() if u in cluster and v in cluster
+        ]
+        n_components = len(union_find_components(cluster, internal))
+        assert len(forest) == len(cluster) - n_components
+
+    def test_prefers_high_degree_pairs(self):
+        # a triangle where one edge has lower degree pair: build a
+        # square 0-1-2-3 plus diagonal 1-3 and pendant 4 on 0.
+        g = MultiCostGraph(1)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (0, 4)]:
+            g.add_edge(u, v, (1.0,))
+        cluster = {0, 1, 2, 3}
+        forest = degree_pair_spanning_forest(g, cluster)
+        # edges (0,1), (0,3), (1,3) carry the top degree pair <3,3>;
+        # Kruskal admits two of them (the third closes a cycle) before
+        # reaching for a <2,3> edge to span node 2
+        pairs = sorted(degree_pair(g, u, v) for u, v in forest)
+        assert len(forest) == 3
+        assert pairs.count((3, 3)) == 2
+        assert pairs[0] == (2, 3)
+
+
+class TestCondenseCluster:
+    def test_removed_plus_kept_partition_cluster(self):
+        g = road_network(200, dim=2, seed=63)
+        cluster = set(list(g.nodes())[:60])
+        result = condense_cluster(g, cluster)
+        assert result.kept_nodes | result.removed_nodes == cluster
+        assert not (result.kept_nodes & result.removed_nodes)
+
+    def test_boundary_nodes_never_removed(self):
+        g = road_network(200, dim=2, seed=64)
+        cluster = set(list(g.nodes())[:60])
+        result = condense_cluster(g, cluster)
+        for node in cluster:
+            if any(n not in cluster for n in g.neighbors(node)):
+                assert node in result.kept_nodes
+
+    def test_graph_unmodified(self):
+        g = road_network(150, dim=2, seed=65)
+        edges_before = g.num_edge_entries
+        condense_cluster(g, set(list(g.nodes())[:40]))
+        assert g.num_edge_entries == edges_before
+
+    def test_removed_edges_are_real_and_internal(self):
+        g = road_network(200, dim=2, seed=66)
+        cluster = set(list(g.nodes())[:60])
+        result = condense_cluster(g, cluster)
+        for u, v in result.removed_edges:
+            assert g.has_edge(u, v)
+            assert u in cluster and v in cluster
+
+    def test_survivors_form_two_core_within_cluster(self):
+        """After applying the removals, every kept cluster node has
+        degree >= 2, or an external anchor edge."""
+        g = road_network(250, dim=2, seed=67)
+        cluster = set(list(g.nodes())[:70])
+        result = condense_cluster(g, cluster)
+        work = g.copy()
+        for u, v in result.removed_edges:
+            if work.has_edge(u, v):
+                work.remove_edge(u, v)
+        for node in result.removed_nodes:
+            work.remove_node(node)
+        for node in result.kept_nodes:
+            external = sum(
+                1 for n in work.neighbors(node) if n not in cluster
+            )
+            if external == 0:
+                assert work.degree(node) >= 2
+
+    def test_connectivity_preserved(self):
+        """Applying a cluster condensation never disconnects survivors."""
+        from repro.graph.traversal import connected_components
+
+        g = road_network(250, dim=2, seed=68)
+        baseline = len(connected_components(g))
+        cluster = set(list(g.nodes())[:70])
+        result = condense_cluster(g, cluster)
+        work = g.copy()
+        for u, v in result.removed_edges:
+            if work.has_edge(u, v):
+                work.remove_edge(u, v)
+        for node in result.removed_nodes:
+            work.remove_node(node)
+        assert len(connected_components(work)) <= baseline + 0
+
+    def test_pure_tree_cluster_with_anchor(self):
+        # a path cluster anchored externally on one side: interior peels
+        g = MultiCostGraph(1)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 10), (10, 11), (11, 12)]:
+            g.add_edge(u, v, (1.0,))
+        cluster = {10, 11, 12}
+        result = condense_cluster(g, cluster)
+        # 10 anchors to the cycle via node 2; 11, 12 dangle and peel
+        assert 10 in result.kept_nodes
+        assert result.removed_nodes == {11, 12}

@@ -1,0 +1,88 @@
+"""Tests for degree pairs and graph statistics (paper Definition 3.3)."""
+
+from __future__ import annotations
+
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.stats import (
+    average_degree,
+    degree_distribution,
+    degree_pair,
+    degree_pair_distribution,
+    estimate_graph_bytes,
+    graph_stats,
+    is_degree_one_edge,
+)
+
+from tests.conftest import make_figure2_graph
+
+
+class TestDegreePairsOnFigure2:
+    """Example 3.4's worked degree pairs."""
+
+    def setup_method(self):
+        self.g = make_figure2_graph()
+
+    def test_e1_is_4_4(self):
+        assert degree_pair(self.g, 1, 2) == (4, 4)
+
+    def test_e2_is_2_3(self):
+        assert degree_pair(self.g, 19, 10) == (2, 3)
+
+    def test_e3_is_3_4(self):
+        assert degree_pair(self.g, 10, 2) == (3, 4)
+
+    def test_e4_is_1_4_degree_one_edge(self):
+        assert degree_pair(self.g, 16, 21) == (1, 4)
+        assert is_degree_one_edge(self.g, 16, 21)
+        assert not is_degree_one_edge(self.g, 1, 2)
+
+    def test_ordering_is_symmetric(self):
+        assert degree_pair(self.g, 2, 1) == degree_pair(self.g, 1, 2)
+
+
+class TestDistributions:
+    def test_degree_distribution(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_edge(1, 2, (1.0,))
+        dist = degree_distribution(g)
+        assert dist == {1: 2, 2: 1}
+
+    def test_degree_pair_distribution(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        g.add_edge(1, 2, (1.0,))
+        dist = degree_pair_distribution(g)
+        assert dist == {(1, 2): 2}
+
+    def test_average_degree(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        assert average_degree(g) == 1.0
+        assert average_degree(MultiCostGraph(1)) == 0.0
+
+
+class TestGraphStats:
+    def test_summary_fields(self):
+        g = MultiCostGraph(2)
+        g.add_node(0, (0.0, 0.0))
+        g.add_edge(0, 1, (1.0, 2.0))
+        g.add_edge(1, 2, (1.0, 2.0))
+        stats = graph_stats(g, "tiny")
+        assert stats.name == "tiny"
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 2
+        assert stats.dim == 2
+        assert stats.max_degree == 2
+        assert stats.approx_bytes > 0
+        row = stats.as_row()
+        assert row[0] == "tiny"
+        assert "MB" in row[-1]
+
+    def test_size_estimate_grows_with_graph(self):
+        small = MultiCostGraph(2)
+        small.add_edge(0, 1, (1.0, 1.0))
+        big = MultiCostGraph(2)
+        for i in range(100):
+            big.add_edge(i, i + 1, (1.0, 1.0))
+        assert estimate_graph_bytes(big) > estimate_graph_bytes(small)

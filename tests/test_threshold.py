@@ -1,0 +1,93 @@
+"""Tests for the condensing threshold (Definition 4.3, Example 4.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.threshold import condensing_threshold, is_noise
+from repro.errors import BuildError
+
+
+class TestWorkedExample:
+    def test_example_4_4(self):
+        """Cardinalities {8,3,6,3,6,4,4,8,2,8}, p_ind=0.3 -> noise_val=3."""
+        cardinalities = [8, 3, 6, 3, 6, 4, 4, 8, 2, 8]
+        assert condensing_threshold(cardinalities, 0.3) == 3
+
+    def test_example_noise_classification(self):
+        noise_val = condensing_threshold([8, 3, 6, 3, 6, 4, 4, 8, 2, 8], 0.3)
+        assert is_noise(2, noise_val)
+        assert not is_noise(3, noise_val)
+        assert not is_noise(8, noise_val)
+
+
+class TestEdgeCases:
+    def test_p_ind_zero_means_no_noise(self):
+        assert condensing_threshold([1, 2, 3], 0.0) == 0
+        assert not is_noise(1, 0)
+
+    def test_tiny_budget_gives_zero(self):
+        # p_ind so small no frequency position fits
+        assert condensing_threshold([5, 5, 5, 5, 5, 5, 5, 5, 5, 9], 0.05) == 0
+
+    def test_uniform_cardinalities(self):
+        # one distinct value with frequency n > p*n: nothing is noise
+        assert condensing_threshold([4] * 10, 0.3) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            condensing_threshold([], 0.3)
+
+    def test_bad_p_ind(self):
+        with pytest.raises(BuildError):
+            condensing_threshold([1, 2], 1.0)
+        with pytest.raises(BuildError):
+            condensing_threshold([1, 2], -0.1)
+
+    def test_all_rare_values(self):
+        # every value unique -> frequencies all 1 -> prefix fills up to
+        # floor(p * n) positions; threshold is the cardinality at the
+        # last fitting position (ascending freq, then cardinality)
+        values = list(range(10, 20))
+        noise_val = condensing_threshold(values, 0.3)
+        assert noise_val == 12  # positions 10, 11, 12 fit the budget of 3
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    st.floats(min_value=0.0, max_value=0.99),
+)
+def test_threshold_is_an_observed_cardinality_or_zero(cardinalities, p_ind):
+    noise_val = condensing_threshold(cardinalities, p_ind)
+    assert noise_val == 0 or noise_val in set(cardinalities)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    st.floats(min_value=0.0, max_value=0.99),
+)
+def test_threshold_deterministic_and_order_free(cardinalities, p_ind):
+    forward = condensing_threshold(cardinalities, p_ind)
+    backward = condensing_threshold(list(reversed(cardinalities)), p_ind)
+    assert forward == backward
+
+
+@given(st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=100))
+def test_budget_monotonicity_in_rare_bucket_count(cardinalities):
+    # cardinality 0 is excluded: it collides with the function's
+    # "nothing is noise" sentinel return value
+    """A larger p_ind budget never admits fewer frequency buckets."""
+    small = condensing_threshold(cardinalities, 0.1)
+    large = condensing_threshold(cardinalities, 0.9)
+    from collections import Counter
+
+    freq = Counter(cardinalities)
+    ordered = sorted(freq.items(), key=lambda kv: (kv[1], kv[0]))
+    positions = {card: i for i, (card, _) in enumerate(ordered)}
+
+    def position(noise_val: int) -> int:
+        return positions.get(noise_val, -1)
+
+    assert position(large) >= position(small)

@@ -1,0 +1,132 @@
+"""Tests for structural traversals (BFS, components, degree-1 peeling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.graph.traversal import (
+    bfs_nodes,
+    bfs_order,
+    bfs_subgraph,
+    connected_components,
+    is_connected,
+    largest_component_subgraph,
+    peel_degree_one,
+)
+
+
+def chain(n: int) -> MultiCostGraph:
+    g = MultiCostGraph(1)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, (1.0,))
+    return g
+
+
+def cycle(n: int) -> MultiCostGraph:
+    g = chain(n)
+    g.add_edge(n - 1, 0, (1.0,))
+    return g
+
+
+class TestBFS:
+    def test_order_starts_at_source(self):
+        g = chain(5)
+        order = list(bfs_order(g, 2))
+        assert order[0] == 2
+        assert set(order) == {0, 1, 2, 3, 4}
+
+    def test_missing_source(self):
+        g = chain(3)
+        with pytest.raises(NodeNotFoundError):
+            list(bfs_order(g, 99))
+
+    def test_bfs_nodes_bounded(self):
+        g = chain(10)
+        nodes = bfs_nodes(g, 0, 4)
+        assert len(nodes) == 4
+        assert nodes == {0, 1, 2, 3}
+
+    def test_bfs_subgraph(self):
+        g = cycle(8)
+        sub = bfs_subgraph(g, 0, 5)
+        assert sub.num_nodes == 5
+        assert is_connected(sub)
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(cycle(4)) == [{0, 1, 2, 3}]
+
+    def test_two_components_sorted_by_size(self):
+        g = chain(5)
+        g.add_edge(10, 11, (1.0,))
+        comps = connected_components(g)
+        assert len(comps) == 2
+        assert comps[0] == {0, 1, 2, 3, 4}
+        assert comps[1] == {10, 11}
+
+    def test_is_connected(self):
+        assert is_connected(cycle(3))
+        g = chain(3)
+        g.add_node(99)
+        assert not is_connected(g)
+        assert not is_connected(MultiCostGraph(1))
+
+    def test_largest_component_subgraph(self):
+        g = chain(5)
+        g.add_edge(10, 11, (1.0,))
+        sub = largest_component_subgraph(g)
+        assert sub.num_nodes == 5
+        assert not sub.has_node(10)
+
+
+class TestPeelDegreeOne:
+    def test_chain_peels_to_one_isolated_node(self):
+        # A pure chain has no 2-core: everything peels except the last
+        # node, which is left isolated (degree 0, no anchor to record).
+        g = chain(4)
+        order = peel_degree_one(g)
+        assert len(order) == 3
+        survivors = set(g.nodes()) - {node for node, _ in order}
+        assert len(survivors) == 1
+
+    def test_cycle_is_untouched(self):
+        order = peel_degree_one(cycle(5))
+        assert order == []
+
+    def test_lollipop_peels_the_tail(self):
+        g = cycle(4)
+        g.add_edge(3, 10, (1.0,))
+        g.add_edge(10, 11, (1.0,))
+        order = peel_degree_one(g)
+        assert [node for node, _ in order] == [11, 10]
+        assert dict(order) == {11: 10, 10: 3}
+
+    def test_graph_not_modified(self):
+        g = cycle(4)
+        g.add_edge(0, 9, (1.0,))
+        peel_degree_one(g)
+        assert g.has_node(9)
+
+    def test_protected_nodes_survive(self):
+        g = cycle(4)
+        g.add_edge(3, 10, (1.0,))
+        g.add_edge(10, 11, (1.0,))
+        order = peel_degree_one(g, protected={11})
+        assert order == []
+
+    def test_anchor_recorded_at_removal_time(self):
+        # star of chains: 0 is the hub of three 2-chains
+        g = MultiCostGraph(1)
+        for leaf_base in (10, 20, 30):
+            g.add_edge(0, leaf_base, (1.0,))
+            g.add_edge(leaf_base, leaf_base + 1, (1.0,))
+        order = peel_degree_one(g)
+        # every node but one peels (tree), and every node's anchor was
+        # its then-sole live neighbor
+        assert len(order) == 6
+        anchors = dict(order)
+        assert anchors[11] == 10
+        assert anchors[10] == 0

@@ -1,0 +1,113 @@
+"""Equivalence tests: VectorParetoSet vs the reference ParetoSet."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.paths.dominance import dominates, dominates_or_equal
+from repro.paths.frontier import ParetoSet
+from repro.paths.vector_frontier import VectorParetoSet
+
+vectors2 = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=2,
+    max_size=2,
+).map(tuple)
+vectors3 = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=3,
+    max_size=3,
+).map(tuple)
+
+
+class TestBasics:
+    def test_add_and_reject(self):
+        vs = VectorParetoSet(2)
+        assert vs.add((1.0, 5.0), "a")
+        assert vs.add((5.0, 1.0), "b")
+        assert not vs.add((6.0, 6.0), "c")
+        assert not vs.add((1.0, 5.0), "dup")
+        assert len(vs) == 2
+        assert set(vs.payloads()) == {"a", "b"}
+
+    def test_eviction(self):
+        vs = VectorParetoSet(2)
+        vs.add((3.0, 3.0), "a")
+        vs.add((5.0, 1.0), "b")
+        assert vs.add((2.0, 2.0), "c")
+        assert set(vs.payloads()) == {"b", "c"}
+
+    def test_dominates_candidate(self):
+        vs = VectorParetoSet(2)
+        vs.add((1.0, 1.0), "a")
+        assert vs.dominates_candidate((1.0, 1.0))
+        assert vs.dominates_candidate((2.0, 2.0))
+        assert not vs.dominates_candidate((0.5, 2.0))
+        assert vs.would_accept((0.5, 2.0))
+
+    def test_growth_beyond_initial_capacity(self):
+        vs = VectorParetoSet(2)
+        # mutually incomparable staircase forces growth past 32
+        for i in range(100):
+            assert vs.add((float(i), float(100 - i)), i)
+        assert len(vs) == 100
+
+    def test_empty(self):
+        vs = VectorParetoSet(3)
+        assert not vs
+        assert not vs.dominates_candidate((1.0, 1.0, 1.0))
+        assert vs.costs() == []
+        assert list(vs) == []
+
+
+@given(st.lists(vectors2, max_size=60))
+def test_matches_reference_pareto_set_2d(costs):
+    reference = ParetoSet()
+    vector = VectorParetoSet(2)
+    for index, cost in enumerate(costs):
+        assert reference.add(cost, index) == vector.add(cost, index)
+    assert set(reference.costs()) == set(vector.costs())
+    assert set(reference.payloads()) == set(vector.payloads())
+
+
+@given(st.lists(vectors3, max_size=60))
+def test_matches_reference_pareto_set_3d(costs):
+    reference = ParetoSet()
+    vector = VectorParetoSet(3)
+    for index, cost in enumerate(costs):
+        assert reference.add(cost, index) == vector.add(cost, index)
+    assert set(reference.costs()) == set(vector.costs())
+
+
+@given(st.lists(vectors2, max_size=60), vectors2)
+def test_dominates_candidate_matches_reference(costs, probe):
+    reference = ParetoSet()
+    vector = VectorParetoSet(2)
+    for index, cost in enumerate(costs):
+        reference.add(cost, index)
+        vector.add(cost, index)
+    assert reference.dominates_candidate(probe) == vector.dominates_candidate(
+        probe
+    )
+
+
+@given(st.lists(vectors3, max_size=60))
+def test_invariant_mutually_nondominated(costs):
+    vector = VectorParetoSet(3)
+    for index, cost in enumerate(costs):
+        vector.add(cost, index)
+    kept = vector.costs()
+    for i, a in enumerate(kept):
+        for j, b in enumerate(kept):
+            if i != j:
+                assert not dominates_or_equal(a, b)
+
+
+@given(st.lists(vectors3, max_size=60))
+def test_invariant_covers_inputs(costs):
+    vector = VectorParetoSet(3)
+    for index, cost in enumerate(costs):
+        vector.add(cost, index)
+    for cost in costs:
+        assert vector.dominates_candidate(cost)

@@ -1,0 +1,129 @@
+"""Tests for query-workload generation and the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.errors import QueryError
+from repro.eval.queries import Query, hop_stratified_queries, random_queries
+from repro.eval.reporting import fmt_bytes, fmt_seconds, format_series, format_table
+from repro.eval.runner import run_suite
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.search.dijkstra import path_hops
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(300, dim=3, seed=151)
+
+
+class TestRandomQueries:
+    def test_count_and_distinct_endpoints(self, network):
+        queries = random_queries(network, 20, seed=1)
+        assert len(queries) == 20
+        for q in queries:
+            assert q.source != q.target
+            assert network.has_node(q.source) and network.has_node(q.target)
+
+    def test_deterministic(self, network):
+        a = random_queries(network, 10, seed=5)
+        b = random_queries(network, 10, seed=5)
+        assert a == b
+
+    def test_min_hops_respected(self, network):
+        from repro.eval.queries import _bfs_hops
+
+        queries = random_queries(network, 10, seed=2, min_hops=8)
+        for q in queries:
+            assert _bfs_hops(network, q.source, q.target) >= 8
+
+    def test_too_small_graph_rejected(self):
+        g = MultiCostGraph(1)
+        g.add_node(0)
+        with pytest.raises(QueryError):
+            random_queries(g, 1)
+
+    def test_impossible_constraint_raises(self):
+        g = MultiCostGraph(1)
+        g.add_edge(0, 1, (1.0,))
+        with pytest.raises(QueryError):
+            random_queries(g, 5, seed=1, min_hops=100)
+
+
+class TestHopStratified:
+    def test_buckets_respected(self, network):
+        buckets = [(2, 1, 8), (2, 8, 25)]
+        queries = hop_stratified_queries(network, buckets, seed=3)
+        assert len(queries) == 4
+        hops = [path_hops(network, q.source, q.target) for q in queries]
+        assert all(1 <= h < 8 for h in hops[:2])
+        assert all(8 <= h < 25 for h in hops[2:])
+
+    def test_unfillable_bucket_raises(self, network):
+        with pytest.raises(QueryError):
+            hop_stratified_queries(
+                network, [(1, 10_000, float("inf"))], seed=3,
+                max_attempts_per_bucket=50,
+            )
+
+
+class TestRunner:
+    def test_suite_against_index(self, network):
+        index = build_backbone_index(
+            network, BackboneParams(m_max=30, m_min=5, p=0.05)
+        )
+        queries = random_queries(network, 5, seed=9, min_hops=4)
+        summary = run_suite(network, queries, index=index)
+        assert len(summary.records) == 5
+        assert summary.compared
+        per_dim = summary.mean_rac()
+        assert len(per_dim) == 3
+        assert all(v >= 0.99 for v in per_dim)
+        assert 0.0 < summary.mean_goodness() <= 1.0
+        assert 0.0 < summary.mean_hypervolume_ratio() <= 1.0 + 1e-6
+        assert summary.mean_exact_seconds() > 0
+        assert summary.mean_approx_seconds() > 0
+        assert summary.speedup() > 0
+        assert summary.mean_exact_size() >= 1
+        assert summary.mean_approx_size() >= 1
+
+    def test_exact_only_suite(self, network):
+        queries = random_queries(network, 3, seed=9)
+        summary = run_suite(network, queries)
+        assert all(r.exact_paths is not None for r in summary.records)
+        assert all(r.approx_paths is None for r in summary.records)
+
+    def test_timeout_marks_record(self, network):
+        queries = random_queries(network, 2, seed=9, min_hops=10)
+        summary = run_suite(network, queries, exact_time_budget=0.0)
+        assert all(r.exact_timed_out for r in summary.records)
+        assert not summary.compared
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 123]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every row equally wide
+
+    def test_format_series(self):
+        text = format_series("rac", [200, 400], [1.5, 1.75])
+        assert "200=1.50" in text and "400=1.75" in text
+
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(0.0000005).endswith("us")
+        assert fmt_seconds(0.05).endswith("ms")
+        assert fmt_seconds(5).endswith("s")
+        assert fmt_seconds(300).endswith("min")
+
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(10).endswith("B")
+        assert fmt_bytes(10_240).endswith("KB")
+        assert fmt_bytes(10 * 1024 * 1024).endswith("MB")
