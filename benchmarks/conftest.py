@@ -22,6 +22,28 @@ import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Every benchmark workload derives from this seed (override with
+# ``--workload-seed``), so two runs of the suite — or the suite and the
+# service benchmark — draw identical query workloads and their results
+# are directly comparable.
+DEFAULT_WORKLOAD_SEED = 88
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workload-seed",
+        type=int,
+        default=DEFAULT_WORKLOAD_SEED,
+        help="base RNG seed for benchmark query workloads "
+        f"(default {DEFAULT_WORKLOAD_SEED})",
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_seed(request) -> int:
+    """The base seed for this run's generated workloads."""
+    return request.config.getoption("--workload-seed")
+
 # The paper's default p = 0.01 on ~100x larger graphs.  See module
 # docstring for why the scaled-down stand-ins need a larger quota.
 SCALED_P = 0.12
@@ -61,7 +83,7 @@ def ny_large():
 
 
 @pytest.fixture(scope="session")
-def quality_grid(ny_small, ny_large):
+def quality_grid(ny_small, ny_large, workload_seed):
     """The shared experiment behind Figures 8, 9, and 10.
 
     For each graph (NY_5K / NY_15K stand-ins), each backbone variant
@@ -86,7 +108,7 @@ def quality_grid(ny_small, ny_large):
         ("C9_NY_5K~400", ny_small, 8),
         ("C9_NY_15K~1200", ny_large, 8),
     ):
-        queries = random_queries(graph, n_queries, seed=88, min_hops=10)
+        queries = random_queries(graph, n_queries, seed=workload_seed, min_hops=10)
         exact = run_suite(graph, queries, exact_time_budget=90.0)
         for variant_name, mode in variants.items():
             for paper_m in (200, 400, 600):

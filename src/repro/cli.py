@@ -1,10 +1,12 @@
 """Command-line interface for the backbone-index library.
 
-Five subcommands cover the full workflow a downstream user needs::
+Seven subcommands cover the full workflow a downstream user needs::
 
     repro generate --nodes 2000 --out net          # net.gr + net.co
     repro build net.gr --out net.index.json
     repro query net.gr net.index.json --source 3 --target 907 --exact
+    repro serve-batch net.gr --index net.index.json --queries q.txt
+    repro warm net.gr --out net.index.json
     repro stats net.gr --index net.index.json
     repro datasets
 
@@ -14,6 +16,7 @@ Run ``python -m repro <command> --help`` for per-command options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path as FilePath
@@ -154,6 +157,119 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query_lines(source) -> list[tuple[int, int]]:
+    """Parse ``source target`` pairs, one per line.
+
+    Accepts whitespace- or comma-separated integers; blank lines and
+    ``#`` comments are skipped.
+    """
+    from repro.errors import QueryError
+
+    pairs: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.replace(",", " ").split()
+        if len(fields) != 2:
+            raise QueryError(
+                f"query line {lineno}: expected 'source target', got {raw!r}"
+            )
+        try:
+            pairs.append((int(fields[0]), int(fields[1])))
+        except ValueError as error:
+            raise QueryError(f"query line {lineno}: {error}") from None
+    return pairs
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.core.index import BackboneIndex as _Index
+    from repro.service import SkylineQueryEngine, execute_batch
+
+    graph = _load_graph(args.graph)
+    index = None
+    if args.index:
+        index = _Index.load(args.index, graph)
+    engine = SkylineQueryEngine(
+        graph,
+        index=index,
+        params=_params_from(args),
+        cache_size=args.cache_size,
+        default_time_budget=args.budget,
+    )
+    if args.warm:
+        timings = engine.warm()
+        print(
+            f"warmed engine in "
+            f"{fmt_seconds(sum(timings.values()))}",
+            file=sys.stderr,
+        )
+    if args.queries == "-":
+        pairs = _read_query_lines(sys.stdin)
+    else:
+        with open(args.queries) as handle:
+            pairs = _read_query_lines(handle)
+    if not pairs:
+        print("error: no queries to serve", file=sys.stderr)
+        return 1
+
+    outcome = execute_batch(
+        engine,
+        pairs,
+        max_workers=args.workers,
+        mode=args.mode,
+        time_budget=args.budget,
+    )
+    for response in outcome.responses:
+        print(
+            json.dumps(
+                {
+                    "source": response.source,
+                    "target": response.target,
+                    "mode": response.mode,
+                    "paths": len(response.paths),
+                    "costs": [list(p.cost) for p in response.paths],
+                    "truncated": response.truncated,
+                    "cache_hit": response.cache_hit,
+                    "latency_ms": round(response.elapsed_seconds * 1e3, 3),
+                    "generation": response.generation,
+                }
+            )
+        )
+    cache = engine.cache.snapshot()
+    print(
+        f"served {len(outcome.responses)} queries "
+        f"({outcome.unique_queries} unique, "
+        f"{outcome.source_groups} source groups) in "
+        f"{fmt_seconds(outcome.elapsed_seconds)} — "
+        f"{outcome.queries_per_second:.1f} q/s, "
+        f"cache hit rate {cache['hit_rate']:.0%}",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        print(engine.metrics.to_text(), file=sys.stderr)
+    return 0
+
+
+def cmd_warm(args: argparse.Namespace) -> int:
+    from repro.service import SkylineQueryEngine
+
+    graph = _load_graph(args.graph)
+    engine = SkylineQueryEngine(graph, params=_params_from(args))
+    timings = engine.warm()
+    index = engine.index
+    assert index is not None
+    index.save(args.out)
+    stats = index.stats()
+    print(
+        f"warmed: index built in {fmt_seconds(timings['index_seconds'])} "
+        f"(L={stats['height']}, {stats['label_paths']} label paths, "
+        f"{fmt_bytes(stats['size_bytes'])}), landmarks primed in "
+        f"{fmt_seconds(timings['landmark_seconds'])} -> {args.out}"
+    )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     stats = graph_stats(graph, FilePath(args.graph).stem)
@@ -256,6 +372,49 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="exact_budget",
                        help="BBS time budget in seconds (default 900)")
     query.set_defaults(handler=cmd_query)
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="serve a batch of skyline queries as JSON lines",
+        description=(
+            "Read 'source target' pairs from a file or stdin, serve them "
+            "through the query engine (planner + cache + shared grow-S "
+            "batching), and emit one JSON line per query with latency and "
+            "cache status.  A summary goes to stderr."
+        ),
+    )
+    serve.add_argument("graph", help="DIMACS .gr file")
+    serve.add_argument("--index",
+                       help="saved index from 'repro build'/'repro warm' "
+                            "(built on demand when omitted)")
+    serve.add_argument("--queries", default="-",
+                       help="query file, or '-' for stdin (default)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="batch executor thread count (default 4)")
+    serve.add_argument("--mode", choices=["auto", "exact", "approx"],
+                       default="auto",
+                       help="planner mode (default auto)")
+    serve.add_argument("--budget", type=float, default=None,
+                       help="per-query time budget in seconds "
+                            "(partial results are flagged truncated)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       dest="cache_size",
+                       help="LRU result-cache capacity (default 1024)")
+    serve.add_argument("--warm", action="store_true",
+                       help="prime index and landmarks before serving")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the plaintext metrics export to stderr")
+    _add_param_options(serve)
+    serve.set_defaults(handler=cmd_serve_batch)
+
+    warm = commands.add_parser(
+        "warm",
+        help="build and save an index, priming the engine's warm state",
+    )
+    warm.add_argument("graph", help="DIMACS .gr file")
+    warm.add_argument("--out", required=True, help="index output (JSON)")
+    _add_param_options(warm)
+    warm.set_defaults(handler=cmd_warm)
 
     stats = commands.add_parser("stats", help="print graph / index statistics")
     stats.add_argument("graph", help="DIMACS .gr file")

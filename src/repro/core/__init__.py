@@ -28,6 +28,7 @@ from repro.core.query import (
     QueryStats,
     backbone_one_to_all,
     backbone_query,
+    backbone_query_shared_source,
 )
 from repro.core.segments import (
     AggressiveResult,
@@ -74,6 +75,7 @@ __all__ = [
     "all_two_hop_cardinalities",
     "backbone_one_to_all",
     "backbone_query",
+    "backbone_query_shared_source",
     "bfs_partitions",
     "build_backbone_index",
     "build_cluster_labels",

@@ -19,7 +19,7 @@ cluster.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.core.builder import (
@@ -63,6 +63,8 @@ class MaintainableIndex:
         self._snapshots: list[MultiCostGraph] = []
         self._level_provenance: list[dict[ShortcutKey, tuple[int, ...]]] = []
         self._index: BackboneIndex | None = None
+        self.generation = 0
+        self._listeners: list[Callable[[int], None]] = []
         self._rebuild_from(0)
 
     # ------------------------------------------------------------------
@@ -83,6 +85,21 @@ class MaintainableIndex:
     def query(self, source: int, target: int, **kwargs):
         """Convenience: query the maintained index."""
         return self.index.query(source, target, **kwargs)
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired (with the new generation) after
+        every structural update.
+
+        The serving layer uses this to invalidate cached query results:
+        a result computed against generation g must never be served once
+        the network has moved to generation g+1.
+        """
+        self._listeners.append(listener)
+
+    def _bump_generation(self) -> None:
+        self.generation += 1
+        for listener in list(self._listeners):
+            listener(self.generation)
 
     # ------------------------------------------------------------------
     # updates
@@ -127,6 +144,7 @@ class MaintainableIndex:
         self._rebuild_from(0)
         self.maintenance_stats.updates += 1
         self.maintenance_stats.full_rebuilds += 1
+        self._bump_generation()
 
     def delete_node(self, node: int) -> None:
         """Remove a junction and its roads, repairing from its level."""
@@ -185,6 +203,7 @@ class MaintainableIndex:
             self._rebuild_from(0)
             self.maintenance_stats.full_rebuilds += 1
             del mutated
+            self._bump_generation()
             return
         work = self._snapshots[level].copy()
         mutate(work)
@@ -192,6 +211,7 @@ class MaintainableIndex:
         self.maintenance_stats.levels_replayed += (
             len(self._snapshots) - level
         )
+        self._bump_generation()
 
     def _rebuild_from(self, level: int, work: MultiCostGraph | None = None) -> None:
         params = self._params

@@ -20,6 +20,7 @@ returned set is mutually non-dominated.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.index import BackboneIndex
@@ -41,15 +42,25 @@ class QueryStats:
     target_keys: int = 0
     first_type_candidates: int = 0
     second_type_candidates: int = 0
+    truncated: bool = False
     mbbs_stats: SearchStats | None = None
 
 
 @dataclass
 class QueryResult:
-    """Approximate skyline paths plus diagnostics."""
+    """Approximate skyline paths plus diagnostics.
+
+    ``truncated`` is True when a wall-clock budget expired before the
+    search finished: the paths are the best partial skyline found so
+    far rather than the full approximate answer.  ``planner_mode``
+    records which strategy produced the result ("approx" for the
+    backbone algorithm; the service layer also sets "exact").
+    """
 
     paths: list[Path] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+    truncated: bool = False
+    planner_mode: str = "approx"
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -64,20 +75,26 @@ def _grow(
     *,
     results: PathSet,
     other: dict[int, PathSet] | None,
-    goal: int,
+    goal: int | None,
     stats: QueryStats,
-) -> dict[int, PathSet]:
+    deadline: float | None = None,
+) -> tuple[dict[int, PathSet], bool]:
     """Climb the index from ``start``; implements both loops of Alg. 3.
 
     ``other`` is the already-grown map of the opposite endpoint (None
     while growing S); meets against it produce first-type candidates.
-    Paths in the returned map run ``start -> key``.
+    Paths in the returned map run ``start -> key``.  With ``goal=None``
+    no direct-hit harvesting happens, making the grown map reusable
+    across targets (see :func:`backbone_query_shared_source`).  Returns
+    the reached map plus a flag set when ``deadline`` expired mid-grow.
     """
     reached: dict[int, PathSet] = {
         start: PathSet([Path.trivial(start, index.dim)])
     }
     for level in index.levels:
         for node in list(reached.keys()):
+            if deadline is not None and time.perf_counter() > deadline:
+                return reached, True
             label = level.get(node)
             if label is None:
                 continue
@@ -100,7 +117,52 @@ def _grow(
                 if bucket is None:
                     bucket = reached[entrance] = PathSet()
                 bucket.add_all(combined)
-    return reached
+    return reached, False
+
+
+def _connect_through_top(
+    index: BackboneIndex,
+    source_map: dict[int, PathSet],
+    target_map: dict[int, PathSet],
+    results: PathSet,
+    stats: QueryStats,
+    deadline: float | None,
+) -> None:
+    """Phase 3: second-type paths through the most abstracted graph."""
+    top = index.top_graph
+    source_possible = [node for node in source_map if top.has_node(node)]
+    target_possible = [node for node in target_map if top.has_node(node)]
+    if not source_possible or not target_possible:
+        return
+    remaining: float | None = None
+    if deadline is not None:
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            stats.truncated = True
+            return
+    seeds = [
+        Seed(node, prefix.cost, payload=prefix)
+        for node in source_possible
+        for prefix in source_map[node]
+    ]
+    bounds = LandmarkLowerBounds(index.landmarks, target_possible)
+    outcome = many_to_many_skyline(
+        top,
+        seeds,
+        target_possible,
+        bounds=bounds,
+        time_budget=remaining,
+    )
+    stats.mbbs_stats = outcome.stats
+    if outcome.stats.timed_out:
+        stats.truncated = True
+    for landing, hits in outcome.hits.items():
+        suffixes = target_map[landing].paths()
+        for _cost, (prefix, middle) in hits:
+            through = prefix.concat(middle)
+            for suffix in suffixes:
+                if results.add(through.concat(suffix.reverse())):
+                    stats.second_type_candidates += 1
 
 
 def backbone_query(
@@ -110,13 +172,19 @@ def backbone_query(
     *,
     time_budget: float | None = None,
 ) -> QueryResult:
-    """Approximate skyline paths between two nodes (Algorithm 3)."""
+    """Approximate skyline paths between two nodes (Algorithm 3).
+
+    ``time_budget`` caps wall-clock seconds across all three phases; on
+    expiry the best partial skyline found so far is returned with
+    ``truncated=True`` instead of raising.
+    """
     graph = index.original_graph
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
     if not graph.has_node(target):
         raise NodeNotFoundError(target)
     started = time.perf_counter()
+    deadline = started + time_budget if time_budget is not None else None
     stats = QueryStats()
     if source == target:
         result = QueryResult(paths=[Path.trivial(source, index.dim)], stats=stats)
@@ -125,45 +193,104 @@ def backbone_query(
 
     results = PathSet()
     # Phase 1: grow S from the source (paths run source -> key).
-    source_map = _grow(
-        index, source, results=results, other=None, goal=target, stats=stats
+    source_map, cut = _grow(
+        index, source, results=results, other=None, goal=target, stats=stats,
+        deadline=deadline,
     )
+    stats.truncated |= cut
     # Phase 2: grow D from the target, meeting S along the way.
-    target_map = _grow(
-        index, target, results=results, other=source_map, goal=source, stats=stats
+    target_map, cut = _grow(
+        index, target, results=results, other=source_map, goal=source,
+        stats=stats, deadline=deadline,
     )
+    stats.truncated |= cut
     stats.source_keys = len(source_map)
     stats.target_keys = len(target_map)
 
-    # Phase 3: second-type paths through the most abstracted graph.
-    top = index.top_graph
-    source_possible = [node for node in source_map if top.has_node(node)]
-    target_possible = [node for node in target_map if top.has_node(node)]
-    if source_possible and target_possible:
-        seeds = [
-            Seed(node, prefix.cost, payload=prefix)
-            for node in source_possible
-            for prefix in source_map[node]
-        ]
-        bounds = LandmarkLowerBounds(index.landmarks, target_possible)
-        outcome = many_to_many_skyline(
-            top,
-            seeds,
-            target_possible,
-            bounds=bounds,
-            time_budget=time_budget,
-        )
-        stats.mbbs_stats = outcome.stats
-        for landing, hits in outcome.hits.items():
-            suffixes = target_map[landing].paths()
-            for _cost, (prefix, middle) in hits:
-                through = prefix.concat(middle)
-                for suffix in suffixes:
-                    if results.add(through.concat(suffix.reverse())):
-                        stats.second_type_candidates += 1
+    _connect_through_top(index, source_map, target_map, results, stats, deadline)
 
     stats.elapsed_seconds = time.perf_counter() - started
-    return QueryResult(paths=results.paths(), stats=stats)
+    return QueryResult(
+        paths=results.paths(), stats=stats, truncated=stats.truncated
+    )
+
+
+def backbone_query_shared_source(
+    index: BackboneIndex,
+    source: int,
+    targets: Sequence[int],
+    *,
+    time_budget: float | None = None,
+) -> dict[int, QueryResult]:
+    """Answer many queries from one source, growing S only once.
+
+    ParetoPrep-style amortization for batched workloads: phase 1 (grow
+    S) does not depend on the target, so a batch of queries sharing a
+    source pays for it once.  Phase 1 runs with no direct-hit
+    harvesting (``goal=None``); per target, the source map's paths that
+    already end at the target are harvested as first-type candidates
+    before phases 2 and 3 run as usual.  Extra candidates that pass
+    through a target and continue (impossible in the single-query
+    variant, where direct hits stop growing) carry a component-wise
+    larger cost than an already-harvested direct path, so the final
+    skyline per target is identical to running each query alone through
+    this function.
+
+    ``time_budget`` covers the whole batch; per-target results that ran
+    out of time come back with ``truncated=True``.
+    """
+    graph = index.original_graph
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    for target in targets:
+        if not graph.has_node(target):
+            raise NodeNotFoundError(target)
+    started = time.perf_counter()
+    deadline = started + time_budget if time_budget is not None else None
+
+    grow_stats = QueryStats()
+    sink = PathSet()  # goal=None never harvests into it
+    source_map, source_cut = _grow(
+        index, source, results=sink, other=None, goal=None, stats=grow_stats,
+        deadline=deadline,
+    )
+    shared_seconds = time.perf_counter() - started
+
+    answers: dict[int, QueryResult] = {}
+    for target in targets:
+        if target in answers:
+            continue
+        target_started = time.perf_counter()
+        stats = QueryStats(truncated=source_cut)
+        if source == target:
+            answers[target] = QueryResult(
+                paths=[Path.trivial(source, index.dim)], stats=stats
+            )
+            stats.elapsed_seconds = time.perf_counter() - target_started
+            continue
+        results = PathSet()
+        direct = source_map.get(target)
+        if direct is not None:
+            for path in direct.paths():
+                if results.add(path):
+                    stats.first_type_candidates += 1
+        target_map, cut = _grow(
+            index, target, results=results, other=source_map, goal=source,
+            stats=stats, deadline=deadline,
+        )
+        stats.truncated |= cut
+        stats.source_keys = len(source_map)
+        stats.target_keys = len(target_map)
+        _connect_through_top(
+            index, source_map, target_map, results, stats, deadline
+        )
+        stats.elapsed_seconds = shared_seconds + (
+            time.perf_counter() - target_started
+        )
+        answers[target] = QueryResult(
+            paths=results.paths(), stats=stats, truncated=stats.truncated
+        )
+    return answers
 
 
 def backbone_one_to_all(
@@ -183,7 +310,7 @@ def backbone_one_to_all(
 
     stats = QueryStats()
     results = PathSet()  # unused sink for the grow helper
-    reached = _grow(
+    reached, _ = _grow(
         index, source, results=results, other=None, goal=source, stats=stats
     )
 

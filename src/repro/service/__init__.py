@@ -1,0 +1,27 @@
+"""The serving layer: a long-lived query engine over the library.
+
+The library answers one query at a time from cold state; this package
+adds everything a production deployment layers on top — a warm engine
+with a query planner (:mod:`repro.service.engine`), a generation-aware
+LRU result cache (:mod:`repro.service.cache`), a deduplicating,
+grouping batch executor (:mod:`repro.service.batch`), and a metrics
+registry with percentile latency summaries
+(:mod:`repro.service.metrics`).
+"""
+
+from repro.service.batch import BatchResult, execute_batch
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.engine import QueryResponse, SkylineQueryEngine
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryResponse",
+    "ResultCache",
+    "SkylineQueryEngine",
+    "execute_batch",
+]

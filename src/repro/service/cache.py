@@ -1,0 +1,130 @@
+"""Thread-safe LRU result cache for the query engine.
+
+Entries are keyed by ``(source, target, mode, generation)``.  The
+generation component is the engine's index generation, bumped whenever
+:mod:`repro.core.maintenance` applies a structural update — a cached
+skyline computed against an old network can therefore never be served
+again, because post-update lookups carry the new generation and simply
+miss.  Stale generations are also purged eagerly on invalidation so
+capacity is not wasted on unreachable entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+CacheKey = Hashable
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache behaviour so far."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU map from query keys to responses.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently used entry is
+        evicted when a put exceeds it.  ``capacity=0`` disables caching
+        (every lookup misses, every put is dropped) without the caller
+        needing a special case.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Any | None:
+        """The cached value, refreshed to most-recently-used, or None."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert or refresh an entry, evicting LRU entries past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_generations_below(self, generation: int) -> int:
+        """Drop entries whose key's generation component is stale.
+
+        Assumes keys shaped ``(source, target, mode, generation)`` (the
+        engine's layout); keys of other shapes are left alone.  Returns
+        the number of entries removed.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple)
+                and len(key) == 4
+                and isinstance(key[3], int)
+                and key[3] < generation
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of entries removed."""
+        with self._lock:
+            removed = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += removed
+            return removed
+
+    def snapshot(self) -> dict:
+        """Current counters and occupancy as a plain dict."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "invalidations": self.stats.invalidations,
+            "hit_rate": self.stats.hit_rate,
+        }

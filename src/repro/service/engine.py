@@ -1,0 +1,468 @@
+"""The long-lived skyline query engine — the serving layer's core.
+
+A :class:`SkylineQueryEngine` owns one loaded network plus the warm
+state that makes index-based querying pay off in a server setting: the
+backbone index (loaded, supplied, or built on demand), a landmark index
+over the original graph shared by every exact query, an LRU result
+cache, and a metrics registry.  A small planner picks the execution
+strategy per query:
+
+* ``mode="exact"`` / ``mode="approx"`` — caller-forced strategy.
+* ``mode="auto"`` — exact BBS when the graph is small enough that
+  exactness is cheap, or when source and target share a level-0
+  backbone cluster (the search stays local); the backbone
+  approximation otherwise.
+
+Every query honours a wall-clock budget with graceful degradation: on
+expiry the engine returns the best partial skyline found so far with
+``truncated=True`` rather than raising.
+
+When built on top of a :class:`~repro.core.maintenance.MaintainableIndex`
+the engine subscribes to its update stream: each structural update
+bumps the engine's generation, swaps in the repaired index, and retires
+every cached result computed against the old network.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path as FilePath
+
+from repro.core.builder import build_backbone_index
+from repro.core.index import BackboneIndex
+from repro.core.maintenance import MaintainableIndex
+from repro.core.params import BackboneParams
+from repro.core.query import (
+    QueryResult,
+    QueryStats,
+    backbone_query_shared_source,
+)
+from repro.errors import NodeNotFoundError, QueryError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+from repro.search.bbs import skyline_paths
+from repro.search.bounds import ExactBounds, LandmarkLowerBounds
+from repro.search.landmark import LandmarkIndex
+from repro.service.cache import ResultCache
+from repro.service.metrics import MetricsRegistry
+
+MODES = ("auto", "exact", "approx")
+
+# Below this node count exact BBS with good bounds answers interactively,
+# so "auto" does not pay the approximation error.
+DEFAULT_EXACT_NODE_THRESHOLD = 400
+
+
+@dataclass
+class QueryResponse:
+    """One served query: the skyline plus serving diagnostics."""
+
+    source: int
+    target: int
+    mode: str
+    paths: list[Path] = field(default_factory=list)
+    truncated: bool = False
+    cache_hit: bool = False
+    elapsed_seconds: float = 0.0
+    generation: int = 0
+    stats: object | None = None
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self):
+        return iter(self.paths)
+
+
+class SkylineQueryEngine:
+    """A warm, cached, planned front end over the backbone library.
+
+    Parameters
+    ----------
+    graph:
+        The network to serve.  Omit when ``maintainer`` is given.
+    index:
+        An already built/loaded :class:`BackboneIndex`.  When None the
+        engine builds one on demand (or in :meth:`warm`).
+    params:
+        Construction parameters for on-demand builds.
+    maintainer:
+        A :class:`MaintainableIndex` to serve from.  The engine follows
+        its update stream: generation bumps, index swaps, and cache
+        invalidation happen automatically.
+    cache_size:
+        LRU result-cache capacity (0 disables caching).
+    default_time_budget:
+        Per-query wall-clock budget in seconds applied when a call does
+        not pass its own; None means unbounded.
+    exact_node_threshold:
+        ``auto`` plans exact BBS on graphs at or below this node count.
+    """
+
+    def __init__(
+        self,
+        graph: MultiCostGraph | None = None,
+        *,
+        index: BackboneIndex | None = None,
+        params: BackboneParams | None = None,
+        maintainer: MaintainableIndex | None = None,
+        cache_size: int = 1024,
+        default_time_budget: float | None = None,
+        exact_node_threshold: int = DEFAULT_EXACT_NODE_THRESHOLD,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if maintainer is not None:
+            graph = maintainer.graph
+            index = maintainer.index
+        if graph is None:
+            raise QueryError("engine needs a graph or a maintainer")
+        self._graph = graph
+        self._index = index
+        self._params = params if params is not None else BackboneParams()
+        self._maintainer = maintainer
+        self._generation = maintainer.generation if maintainer else 0
+        self.cache = ResultCache(cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.default_time_budget = default_time_budget
+        self.exact_node_threshold = exact_node_threshold
+        self._original_landmarks: LandmarkIndex | None = None
+        self._build_lock = threading.Lock()
+        if maintainer is not None:
+            maintainer.subscribe(self._on_maintenance)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_files(
+        cls,
+        gr_path: FilePath | str,
+        index_path: FilePath | str | None = None,
+        **kwargs,
+    ) -> "SkylineQueryEngine":
+        """Build an engine from a DIMACS graph and optional saved index."""
+        from repro.graph.io import read_dimacs_co, read_dimacs_gr
+
+        graph = read_dimacs_gr(gr_path)
+        co_path = FilePath(gr_path).with_suffix(".co")
+        if co_path.exists():
+            read_dimacs_co(graph, co_path)
+        index = None
+        if index_path is not None:
+            index = BackboneIndex.load(index_path, graph)
+        return cls(graph, index=index, **kwargs)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> MultiCostGraph:
+        return self._graph
+
+    @property
+    def generation(self) -> int:
+        """The index generation; bumped by maintenance updates."""
+        return self._generation
+
+    @property
+    def index(self) -> BackboneIndex | None:
+        """The backbone index, or None while not yet built."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # warm-up
+    # ------------------------------------------------------------------
+
+    def ensure_index(self) -> BackboneIndex:
+        """The backbone index, building it now if necessary."""
+        index = self._index
+        if index is not None:
+            return index
+        with self._build_lock:
+            if self._index is None:
+                started = time.perf_counter()
+                self._index = build_backbone_index(self._graph, self._params)
+                elapsed = time.perf_counter() - started
+                self.metrics.increment("engine.index_builds")
+                self.metrics.observe("engine.index_build_seconds", elapsed)
+            return self._index
+
+    def warm(self) -> dict:
+        """Prime everything a cold start would otherwise pay per query.
+
+        Builds the backbone index if absent and the shared landmark
+        index over the original graph used to bound exact queries.
+        Returns the wall-clock seconds spent on each step.
+        """
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+        self.ensure_index()
+        timings["index_seconds"] = time.perf_counter() - started
+        started = time.perf_counter()
+        with self._build_lock:
+            if self._original_landmarks is None:
+                self._original_landmarks = LandmarkIndex(
+                    self._graph,
+                    min(
+                        self._params.landmark_count,
+                        max(self._graph.num_nodes, 1),
+                    ),
+                )
+        timings["landmark_seconds"] = time.perf_counter() - started
+        self.metrics.increment("engine.warmups")
+        return timings
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan(self, source: int, target: int, mode: str = "auto") -> str:
+        """Resolve the execution strategy for one query.
+
+        Forced modes pass through.  ``auto`` picks exact BBS for small
+        graphs and same-cluster pairs (where the exact search is cheap
+        anyway), otherwise the backbone approximation.
+        """
+        if mode not in MODES:
+            raise QueryError(f"unknown query mode {mode!r} (use {MODES})")
+        if mode != "auto":
+            return mode
+        if self._graph.num_nodes <= self.exact_node_threshold:
+            return "exact"
+        if self._same_cluster(source, target):
+            return "exact"
+        return "approx"
+
+    def _same_cluster(self, source: int, target: int) -> bool:
+        """True when both endpoints share a level-0 backbone cluster.
+
+        Cluster membership is read off the level-0 labels: nodes of one
+        cluster are labelled with the same entrance (border) set, so a
+        shared entrance means the pair is served by one local unit.
+        Without a built index the check conservatively answers False.
+        """
+        index = self._index
+        if index is None or not index.levels:
+            return False
+        level0 = index.levels[0]
+        label_s = level0.get(source)
+        label_t = level0.get(target)
+        if label_s is None or label_t is None:
+            return False
+        return not set(label_s.entrances).isdisjoint(label_t.entrances)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        *,
+        mode: str = "auto",
+        time_budget: float | None = None,
+        use_cache: bool = True,
+    ) -> QueryResponse:
+        """Serve one skyline path query."""
+        responses = self.query_group(
+            source,
+            [target],
+            mode=mode,
+            time_budget=time_budget,
+            use_cache=use_cache,
+        )
+        return responses[0]
+
+    def query_group(
+        self,
+        source: int,
+        targets: list[int],
+        *,
+        mode: str = "auto",
+        time_budget: float | None = None,
+        use_cache: bool = True,
+    ) -> list[QueryResponse]:
+        """Serve many queries sharing one source.
+
+        Targets planned for the backbone approximation share a single
+        grow-S phase (:func:`backbone_query_shared_source`); the rest
+        run individually.  Results are positionally aligned with
+        ``targets``.
+        """
+        if not self._graph.has_node(source):
+            raise NodeNotFoundError(source)
+        for target in targets:
+            if not self._graph.has_node(target):
+                raise NodeNotFoundError(target)
+        budget = (
+            time_budget if time_budget is not None else self.default_time_budget
+        )
+
+        answers: dict[int, QueryResponse] = {}
+        approx_targets: list[int] = []
+        for target in targets:
+            if target in answers or target in approx_targets:
+                continue
+            resolved = self.plan(source, target, mode)
+            if resolved == "approx":
+                cached = self._cache_lookup(source, target, "approx", use_cache)
+                if cached is not None:
+                    answers[target] = cached
+                else:
+                    approx_targets.append(target)
+            else:
+                answers[target] = self._serve_exact(
+                    source, target, budget, use_cache
+                )
+
+        if approx_targets:
+            index = self.ensure_index()
+            generation = self._generation
+            started = time.perf_counter()
+            results = backbone_query_shared_source(
+                index, source, approx_targets, time_budget=budget
+            )
+            for target in approx_targets:
+                answers[target] = self._record(
+                    self._wrap_approx(
+                        source, target, results[target], generation
+                    ),
+                    use_cache,
+                )
+            self.metrics.observe(
+                "engine.group_seconds", time.perf_counter() - started
+            )
+
+        return [answers[target] for target in targets]
+
+    def _serve_exact(
+        self, source: int, target: int, budget: float | None, use_cache: bool
+    ) -> QueryResponse:
+        cached = self._cache_lookup(source, target, "exact", use_cache)
+        if cached is not None:
+            return cached
+        generation = self._generation
+        started = time.perf_counter()
+        landmarks = self._original_landmarks
+        bounds = (
+            LandmarkLowerBounds(landmarks, [target])
+            if landmarks is not None
+            else ExactBounds(self._graph, [target])
+        )
+        outcome = skyline_paths(
+            self._graph, source, target, bounds=bounds, time_budget=budget
+        )
+        response = QueryResponse(
+            source=source,
+            target=target,
+            mode="exact",
+            paths=outcome.paths,
+            truncated=outcome.stats.timed_out,
+            elapsed_seconds=time.perf_counter() - started,
+            generation=generation,
+            stats=outcome.stats,
+        )
+        return self._record(response, use_cache)
+
+    def _wrap_approx(
+        self,
+        source: int,
+        target: int,
+        result: QueryResult,
+        generation: int,
+    ) -> QueryResponse:
+        result.planner_mode = "approx"
+        return QueryResponse(
+            source=source,
+            target=target,
+            mode="approx",
+            paths=result.paths,
+            truncated=result.truncated,
+            elapsed_seconds=result.stats.elapsed_seconds,
+            generation=generation,
+            stats=result.stats,
+        )
+
+    def _cache_lookup(
+        self, source: int, target: int, mode: str, use_cache: bool
+    ) -> QueryResponse | None:
+        if not use_cache:
+            return None
+        started = time.perf_counter()
+        cached = self.cache.get((source, target, mode, self._generation))
+        if cached is None:
+            return None
+        hit = replace(
+            cached,
+            cache_hit=True,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        self._count_query(hit)
+        return hit
+
+    def _record(self, response: QueryResponse, use_cache: bool) -> QueryResponse:
+        if use_cache:
+            key = (
+                response.source,
+                response.target,
+                response.mode,
+                response.generation,
+            )
+            self.cache.put(key, response)
+        self._count_query(response)
+        return response
+
+    def _count_query(self, response: QueryResponse) -> None:
+        self.metrics.increment("engine.queries")
+        self.metrics.increment(f"engine.queries.{response.mode}")
+        if response.cache_hit:
+            self.metrics.increment("engine.cache_hits")
+        if response.truncated:
+            self.metrics.increment("engine.truncated")
+        self.metrics.observe("engine.query_seconds", response.elapsed_seconds)
+        self.metrics.observe(
+            f"engine.query_seconds.{response.mode}", response.elapsed_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def bump_generation(self) -> int:
+        """Manually retire every cached result (e.g. after editing the
+        graph outside a maintainer)."""
+        self._generation += 1
+        self._original_landmarks = None
+        self.cache.invalidate_generations_below(self._generation)
+        self.metrics.increment("engine.generation_bumps")
+        return self._generation
+
+    def _on_maintenance(self, generation: int) -> None:
+        """Maintainer callback: follow the repaired index and retire
+        results computed against the old network."""
+        assert self._maintainer is not None
+        self._index = self._maintainer.index
+        self._graph = self._maintainer.graph
+        self._generation = generation
+        self._original_landmarks = None  # distances may have changed
+        self.cache.invalidate_generations_below(generation)
+        self.metrics.increment("engine.generation_bumps")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Engine + cache metrics and serving state as one dict."""
+        doc = self.metrics.snapshot()
+        doc["cache"] = self.cache.snapshot()
+        doc["generation"] = self._generation
+        doc["index_ready"] = self._index is not None
+        doc["landmarks_ready"] = self._original_landmarks is not None
+        doc["graph_nodes"] = self._graph.num_nodes
+        return doc

@@ -1,0 +1,201 @@
+"""A minimal metrics registry for the serving layer.
+
+Two instrument kinds cover what the engine, cache, and batch executor
+need to report:
+
+* :class:`Counter` — a monotonically increasing integer (queries
+  served, cache hits, truncations).
+* :class:`Histogram` — latency observations with percentile summaries
+  (p50/p95/p99) computed from a bounded sample reservoir.
+
+A :class:`MetricsRegistry` owns named instruments, creates them on
+first use, and exports snapshots as a plain dict, JSON, or a
+Prometheus-flavoured plaintext format.  All operations are
+thread-safe: the registry guards instrument creation and every
+instrument guards its own mutation, so concurrent batch workers can
+record freely.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Iterable
+
+# Cap the per-histogram sample buffer.  Beyond the cap the buffer
+# collapses to an evenly spaced subsample, which keeps percentiles
+# stable for long-running services without unbounded memory.
+_DEFAULT_MAX_SAMPLES = 8192
+
+_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Latency/size observations with streaming percentile summaries."""
+
+    __slots__ = ("name", "_samples", "_count", "_sum", "_min", "_max",
+                 "_max_samples", "_lock")
+
+    def __init__(
+        self, name: str, *, max_samples: int = _DEFAULT_MAX_SAMPLES
+    ) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._max_samples = max(max_samples, 8)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._samples.append(value)
+            if len(self._samples) > self._max_samples:
+                # Decimate to every other sample; exact percentiles are
+                # not required, only stable estimates.
+                self._samples = self._samples[::2]
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (0 < q <= 1) of the recorded samples."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(0, min(len(samples) - 1, math.ceil(q * len(samples)) - 1))
+        return samples[rank]
+
+    def summary(self) -> dict:
+        """count/sum/mean/min/max plus the standard percentiles."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total = self._count, self._sum
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        doc = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+        }
+        for q in _PERCENTILES:
+            if samples:
+                rank = max(
+                    0, min(len(samples) - 1, math.ceil(q * len(samples)) - 1)
+                )
+                doc[f"p{int(q * 100)}"] = samples[rank]
+            else:
+                doc[f"p{int(q * 100)}"] = 0.0
+        return doc
+
+
+class MetricsRegistry:
+    """Named counters and histograms with snapshot exporters."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Shorthand for ``counter(name).increment(amount)``."""
+        self.counter(name).increment(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand for ``histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # exporting
+    # ------------------------------------------------------------------
+
+    def _instruments(self) -> tuple[Iterable[Counter], Iterable[Histogram]]:
+        with self._lock:
+            return list(self._counters.values()), list(
+                self._histograms.values()
+            )
+
+    def snapshot(self) -> dict:
+        """All instruments as one plain dictionary."""
+        counters, histograms = self._instruments()
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.summary() for h in histograms},
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The snapshot serialized as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        """A Prometheus-flavoured plaintext rendering of the snapshot."""
+        lines: list[str] = []
+        counters, histograms = self._instruments()
+        for counter in sorted(counters, key=lambda c: c.name):
+            lines.append(f"{counter.name} {counter.value}")
+        for histogram in sorted(histograms, key=lambda h: h.name):
+            doc = histogram.summary()
+            lines.append(f"{histogram.name}_count {doc['count']}")
+            lines.append(f"{histogram.name}_sum {doc['sum']:.6f}")
+            for q in _PERCENTILES:
+                key = f"p{int(q * 100)}"
+                lines.append(
+                    f'{histogram.name}{{quantile="{q:g}"}} {doc[key]:.6f}'
+                )
+        return "\n".join(lines)

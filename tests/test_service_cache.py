@@ -1,0 +1,210 @@
+"""Tests for the result cache: LRU behaviour, generations, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.maintenance import MaintainableIndex
+from repro.core.params import AggressiveMode, BackboneParams
+from repro.graph.generators import road_network
+from repro.service import ResultCache, SkylineQueryEngine
+
+
+def costs(paths):
+    return sorted(p.cost for p in paths)
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = ResultCache(4)
+        cache.put(("a",), 1)
+        assert cache.get(("a",)) == 1
+        assert cache.get(("b",)) is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-put refreshes, b is now LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+    def test_clear(self):
+        cache = ResultCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+class TestGenerations:
+    def test_stale_generations_purged(self):
+        cache = ResultCache(8)
+        cache.put((1, 2, "approx", 0), "old")
+        cache.put((1, 3, "approx", 1), "current")
+        cache.put("unrelated-key", "kept")
+        removed = cache.invalidate_generations_below(1)
+        assert removed == 1
+        assert cache.get((1, 2, "approx", 0)) is None
+        assert cache.get((1, 3, "approx", 1)) == "current"
+        assert cache.get("unrelated-key") == "kept"
+
+    def test_snapshot_reports_counters(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        doc = cache.snapshot()
+        assert doc["size"] == 1 and doc["capacity"] == 2
+        assert doc["hits"] == 1 and doc["misses"] == 1
+        assert doc["hit_rate"] == 0.5
+
+
+class TestMaintenanceInvalidation:
+    """An edge update must retire affected cached results.
+
+    These tests fail if the maintainer stops bumping generations or the
+    engine stops keying the cache by generation: the second query would
+    then serve the pre-update skyline from cache.
+    """
+
+    @pytest.fixture()
+    def serving(self):
+        # aggressive=NONE keeps every returned path a real walk in the
+        # original graph, so the test can pick an edge straight off it.
+        graph = road_network(200, dim=2, seed=31)
+        params = BackboneParams(
+            m_max=25, m_min=5, p=0.1, aggressive=AggressiveMode.NONE
+        )
+        maintainer = MaintainableIndex(graph, params)
+        engine = SkylineQueryEngine(
+            maintainer=maintainer, params=params, exact_node_threshold=0
+        )
+        return maintainer, engine
+
+    def test_edge_update_invalidates_cached_result(self, serving):
+        maintainer, engine = serving
+        nodes = sorted(maintainer.graph.nodes())
+        s, t = nodes[0], nodes[-1]
+        first = engine.query(s, t, mode="approx")
+        assert engine.query(s, t, mode="approx").cache_hit
+
+        # Make one skyline path's first edge 50x worse.
+        victim = first.paths[0]
+        u, v = victim.nodes[0], victim.nodes[1]
+        old_cost = maintainer.graph.edge_costs(u, v)[0]
+        maintainer.update_edge_cost(
+            u, v, old_cost, tuple(c * 50 for c in old_cost)
+        )
+
+        assert engine.generation == 1
+        third = engine.query(s, t, mode="approx")
+        assert not third.cache_hit
+        assert third.generation == 1
+        # The old skyline member's cost is unattainable now; serving it
+        # would mean the cache leaked a stale pre-update result.
+        assert victim.cost not in [p.cost for p in third.paths]
+
+    def test_update_purges_stale_entries_eagerly(self, serving):
+        maintainer, engine = serving
+        nodes = sorted(maintainer.graph.nodes())
+        engine.query(nodes[0], nodes[-1], mode="approx")
+        engine.query(nodes[1], nodes[-2], mode="approx")
+        assert len(engine.cache) == 2
+        maintainer.insert_edge(nodes[0], nodes[-1], (1.0, 1.0))
+        assert len(engine.cache) == 0
+        assert engine.cache.stats.invalidations == 2
+
+    def test_manual_bump_generation(self, serving):
+        _, engine = serving
+        nodes = sorted(engine.graph.nodes())
+        engine.query(nodes[0], nodes[-1], mode="approx")
+        assert engine.bump_generation() == 1
+        assert len(engine.cache) == 0
+
+
+class TestConcurrency:
+    def test_concurrent_get_put_is_consistent(self):
+        cache = ResultCache(32)
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for i in range(300):
+                    key = (worker_id % 4, i % 48, "m", 0)
+                    if cache.get(key) is None:
+                        cache.put(key, (worker_id, i))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats
+        assert stats.lookups == 8 * 300
+
+    @pytest.mark.slow
+    def test_concurrent_engine_queries_share_cache(self):
+        graph = road_network(180, dim=2, seed=17)
+        params = BackboneParams(m_max=25, m_min=5, p=0.1)
+        engine = SkylineQueryEngine(
+            graph, params=params, exact_node_threshold=0
+        )
+        engine.warm()
+        nodes = sorted(graph.nodes())
+        pool = [(nodes[i], nodes[-(i + 1)]) for i in range(6)]
+        expected = {
+            pair: costs(engine.query(*pair, use_cache=False).paths)
+            for pair in pool
+        }
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(40):
+                    pair = pool[(seed + i) % len(pool)]
+                    response = engine.query(*pair)
+                    assert costs(response.paths) == expected[pair]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert engine.cache.stats.hits > 0

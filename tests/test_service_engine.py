@@ -1,0 +1,229 @@
+"""Tests for the serving engine: planner, caching, budgets, warm-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.core.query import backbone_query_shared_source
+from repro.errors import NodeNotFoundError, QueryError
+from repro.graph.generators import road_network
+from repro.search.bbs import skyline_paths
+from repro.service import SkylineQueryEngine
+
+PARAMS = BackboneParams(m_max=25, m_min=5, p=0.1)
+
+
+def costs(paths):
+    return sorted(p.cost for p in paths)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(240, dim=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return build_backbone_index(network, PARAMS)
+
+
+@pytest.fixture()
+def engine(network, index):
+    """A fresh engine per test so cache/metrics assertions are isolated."""
+    return SkylineQueryEngine(
+        network, index=index, params=PARAMS, exact_node_threshold=0
+    )
+
+
+def pair(network, offset=0):
+    nodes = sorted(network.nodes())
+    return nodes[offset], nodes[-(offset + 1)]
+
+
+class TestPlanner:
+    def test_forced_modes_pass_through(self, engine, network):
+        s, t = pair(network)
+        assert engine.plan(s, t, "exact") == "exact"
+        assert engine.plan(s, t, "approx") == "approx"
+
+    def test_unknown_mode_rejected(self, engine, network):
+        s, t = pair(network)
+        with pytest.raises(QueryError):
+            engine.plan(s, t, "fuzzy")
+
+    def test_auto_small_graph_is_exact(self, network, index):
+        engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=network.num_nodes,
+        )
+        s, t = pair(network)
+        assert engine.plan(s, t, "auto") == "exact"
+
+    def test_auto_large_graph_is_approx(self, engine, network):
+        s, t = pair(network)
+        assert engine.plan(s, t, "auto") == "approx"
+
+    def test_auto_same_cluster_is_exact(self, engine, index):
+        level0 = index.levels[0]
+        found = None
+        for node in level0.nodes():
+            label = level0.get(node)
+            for other in level0.nodes():
+                if other == node:
+                    continue
+                other_label = level0.get(other)
+                if not set(label.entrances).isdisjoint(other_label.entrances):
+                    found = (node, other)
+                    break
+            if found:
+                break
+        assert found is not None, "no same-cluster pair in test index"
+        assert engine.plan(*found, "auto") == "exact"
+
+
+class TestServing:
+    def test_exact_matches_library_bbs(self, engine, network):
+        s, t = pair(network)
+        response = engine.query(s, t, mode="exact")
+        assert response.mode == "exact"
+        assert costs(response.paths) == costs(skyline_paths(network, s, t).paths)
+
+    def test_approx_matches_library_query(self, engine, network, index):
+        s, t = pair(network, 3)
+        response = engine.query(s, t, mode="approx")
+        assert response.mode == "approx"
+        expected = backbone_query_shared_source(index, s, [t])[t]
+        assert costs(response.paths) == costs(expected.paths)
+
+    def test_repeated_query_hits_cache_with_equal_skyline(
+        self, engine, network
+    ):
+        s, t = pair(network, 1)
+        first = engine.query(s, t)
+        assert not first.cache_hit
+        second = engine.query(s, t)
+        assert second.cache_hit
+        assert costs(second.paths) == costs(first.paths)
+        assert engine.cache.stats.hits == 1
+
+    def test_cache_opt_out(self, engine, network):
+        s, t = pair(network, 2)
+        engine.query(s, t, use_cache=False)
+        second = engine.query(s, t, use_cache=False)
+        assert not second.cache_hit
+        assert engine.cache.stats.hits == 0
+
+    def test_missing_node_raises(self, engine):
+        with pytest.raises(NodeNotFoundError):
+            engine.query(-1, 0)
+
+    def test_self_query(self, engine, network):
+        node = sorted(network.nodes())[0]
+        response = engine.query(node, node)
+        assert len(response.paths) == 1
+        assert response.paths[0].is_trivial()
+
+    def test_query_group_aligns_with_targets(self, engine, network):
+        nodes = sorted(network.nodes())
+        source = nodes[0]
+        targets = [nodes[-1], nodes[100], nodes[-1], source]
+        responses = engine.query_group(source, targets)
+        assert [r.target for r in responses] == targets
+        assert all(r.source == source for r in responses)
+        # The duplicated target must come back with the same skyline.
+        assert costs(responses[0].paths) == costs(responses[2].paths)
+
+
+class TestBudgets:
+    def test_expired_budget_returns_truncated_not_raises(
+        self, engine, network
+    ):
+        s, t = pair(network)
+        response = engine.query(s, t, mode="approx", time_budget=0.0)
+        assert response.truncated
+        # Exact BBS may close instantly off its seeded shortest paths;
+        # it must either report truncation or a legitimately complete
+        # (and therefore exact) skyline — never raise.
+        response = engine.query(s, t, mode="exact", time_budget=0.0)
+        if not response.truncated:
+            assert costs(response.paths) == costs(
+                skyline_paths(network, s, t).paths
+            )
+
+    def test_default_budget_applies(self, network, index):
+        engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=0, default_time_budget=0.0,
+        )
+        s, t = pair(network)
+        assert engine.query(s, t).truncated
+        assert engine.metrics.counter("engine.truncated").value == 1
+
+    def test_generous_budget_not_truncated(self, engine, network):
+        s, t = pair(network)
+        assert not engine.query(s, t, time_budget=120.0).truncated
+
+
+class TestWarmState:
+    def test_index_built_on_demand(self, network):
+        engine = SkylineQueryEngine(
+            network, params=PARAMS, exact_node_threshold=0
+        )
+        assert engine.index is None
+        s, t = pair(network)
+        engine.query(s, t, mode="approx")
+        assert engine.index is not None
+        assert engine.metrics.counter("engine.index_builds").value == 1
+
+    def test_warm_primes_everything(self, network):
+        engine = SkylineQueryEngine(
+            network, params=PARAMS, exact_node_threshold=0
+        )
+        timings = engine.warm()
+        assert set(timings) == {"index_seconds", "landmark_seconds"}
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["index_ready"] and snapshot["landmarks_ready"]
+
+    def test_warm_bounds_do_not_change_exact_answers(self, network, index):
+        s, t = pair(network, 4)
+        cold = SkylineQueryEngine(network, index=index, params=PARAMS)
+        warm = SkylineQueryEngine(network, index=index, params=PARAMS)
+        warm.warm()
+        assert costs(cold.query(s, t, mode="exact").paths) == costs(
+            warm.query(s, t, mode="exact").paths
+        )
+
+    def test_from_files(self, tmp_path, network):
+        from repro.graph.io import write_dimacs_co, write_dimacs_gr
+
+        gr = tmp_path / "net.gr"
+        write_dimacs_gr(network, gr)
+        write_dimacs_co(network, tmp_path / "net.co")
+        engine = SkylineQueryEngine.from_files(
+            gr, params=PARAMS, exact_node_threshold=0
+        )
+        s, t = pair(network)
+        assert engine.query(s, t).paths
+
+
+class TestMetrics:
+    def test_snapshot_counts_queries(self, engine, network):
+        s, t = pair(network)
+        engine.query(s, t)
+        engine.query(s, t)
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["counters"]["engine.queries"] == 2
+        assert snapshot["counters"]["engine.cache_hits"] == 1
+        assert snapshot["histograms"]["engine.query_seconds"]["count"] == 2
+        assert snapshot["cache"]["hits"] == 1
+        assert snapshot["generation"] == 0
+
+    def test_exporters_render(self, engine, network):
+        s, t = pair(network)
+        engine.query(s, t)
+        assert "engine.queries" in engine.metrics.to_json()
+        text = engine.metrics.to_text()
+        assert "engine.queries 1" in text
+        assert 'quantile="0.95"' in text
