@@ -16,11 +16,13 @@ as "the paper's m_max=200 column".
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 # Every benchmark workload derives from this seed (override with
 # ``--workload-seed``), so two runs of the suite — or the suite and the
@@ -64,6 +66,92 @@ def report(name: str, text: str) -> Path:
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
     return path
+
+
+# ----------------------------------------------------------------------
+# bench telemetry: BENCH_<module>.json dumps at the repo root
+# ----------------------------------------------------------------------
+
+# Benchmark modules stash per-module extras here via
+# record_span_aggregates(); pytest_sessionfinish merges them with the
+# pytest-benchmark timings into one JSON file per module.
+_SPAN_AGGREGATES: dict[str, dict] = {}
+_EXTRA_TELEMETRY: dict[str, dict] = {}
+
+
+def record_span_aggregates(module: str, tracer) -> dict:
+    """Fold a tracer's spans into the module's telemetry dump.
+
+    ``module`` is the benchmark module name (``bench_obs_overhead``);
+    the rollup lands under ``span_aggregates`` in
+    ``BENCH_<module>.json`` when the session finishes.
+    """
+    from repro.obs import summarize_roots
+
+    rollup = summarize_roots(tracer)
+    merged = _SPAN_AGGREGATES.setdefault(module, {})
+    for name, doc in rollup.items():
+        into = merged.setdefault(
+            name, {"count": 0, "total_seconds": 0.0, "counters": {}}
+        )
+        into["count"] += doc["count"]
+        into["total_seconds"] += doc["total_seconds"]
+        for counter, amount in doc["counters"].items():
+            into["counters"][counter] = (
+                into["counters"].get(counter, 0) + amount
+            )
+    return merged
+
+
+def record_telemetry(module: str, **values) -> None:
+    """Attach free-form key/value telemetry to a module's dump."""
+    _EXTRA_TELEMETRY.setdefault(module, {}).update(values)
+
+
+def _timing_rows_by_module(session) -> dict[str, list[dict]]:
+    """pytest-benchmark results grouped by benchmark module name.
+
+    Reads the plugin's session object defensively: the suite must not
+    fail if pytest-benchmark is absent or its internals shift.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return {}
+    by_module: dict[str, list[dict]] = {}
+    for bench in getattr(bench_session, "benchmarks", []) or []:
+        fullname = getattr(bench, "fullname", "") or ""
+        module = Path(fullname.split("::", 1)[0]).stem or "unknown"
+        row: dict = {"name": getattr(bench, "name", fullname)}
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # unwrap plugin metadata
+        for key in ("min", "max", "mean", "stddev", "median", "rounds"):
+            value = getattr(stats, key, None)
+            if isinstance(value, (int, float)):
+                row[key] = value
+        by_module.setdefault(module, []).append(row)
+    return by_module
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_<module>.json`` telemetry dumps at the repo root."""
+    by_module = _timing_rows_by_module(session)
+    modules = set(by_module) | set(_SPAN_AGGREGATES) | set(_EXTRA_TELEMETRY)
+    seed = session.config.getoption("--workload-seed", DEFAULT_WORKLOAD_SEED)
+    for module in sorted(modules):
+        doc = {
+            "module": module,
+            "workload_seed": seed,
+            "exit_status": int(exitstatus),
+            "timings": by_module.get(module, []),
+            "span_aggregates": _SPAN_AGGREGATES.get(module, {}),
+        }
+        doc.update(_EXTRA_TELEMETRY.get(module, {}))
+        path = REPO_ROOT / f"BENCH_{module}.json"
+        try:
+            path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        except OSError:  # telemetry must never fail the suite
+            continue
+        print(f"[bench telemetry written to {path}]")
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,12 @@ Cao.  The package provides:
 * :mod:`repro.eval` — quality metrics (RAC, goodness), workloads,
   experiment harness;
 * :mod:`repro.datasets` — named synthetic stand-ins for the paper's
-  nine road networks.
+  nine road networks;
+* :mod:`repro.obs` — zero-dependency tracing (nested spans, Chrome
+  trace export, span->metrics aggregation) over build, query, search,
+  and serving;
+* :mod:`repro.service` — the serving layer (warm engine, result
+  cache, batch executor, metrics).
 
 Quickstart::
 
@@ -58,6 +63,7 @@ from repro.graph import (
     graph_stats,
     road_network,
 )
+from repro.obs import Tracer, get_tracer, set_tracer, use_tracer
 from repro.paths import Path, PathSet, dominates, skyline_of
 from repro.search import (
     LandmarkIndex,
@@ -88,12 +94,14 @@ __all__ = [
     "QueryError",
     "ReproError",
     "SearchTimeoutError",
+    "Tracer",
     "assign_costs",
     "backbone_one_to_all",
     "backbone_query",
     "bfs_subgraph",
     "build_backbone_index",
     "dominates",
+    "get_tracer",
     "goodness",
     "graph_stats",
     "many_to_many_skyline",
@@ -101,6 +109,8 @@ __all__ = [
     "rac",
     "random_queries",
     "road_network",
+    "set_tracer",
     "skyline_of",
     "skyline_paths",
+    "use_tracer",
 ]

@@ -1,10 +1,11 @@
 """Command-line interface for the backbone-index library.
 
-Seven subcommands cover the full workflow a downstream user needs::
+Eight subcommands cover the full workflow a downstream user needs::
 
     repro generate --nodes 2000 --out net          # net.gr + net.co
     repro build net.gr --out net.index.json
     repro query net.gr net.index.json --source 3 --target 907 --exact
+    repro trace net.gr --source 3 --target 907 --out trace.json
     repro serve-batch net.gr --index net.index.json --queries q.txt
     repro warm net.gr --out net.index.json
     repro stats net.gr --index net.index.json
@@ -157,6 +158,57 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.query import backbone_query
+    from repro.obs import (
+        Tracer,
+        flat_spans,
+        summarize_roots,
+        use_tracer,
+        write_chrome_trace,
+    )
+
+    graph = _load_graph(args.graph)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.index:
+            index = BackboneIndex.load(args.index, graph)
+        else:
+            index = build_backbone_index(graph, _params_from(args))
+        result = backbone_query(
+            index, args.source, args.target, time_budget=args.budget
+        )
+    out = FilePath(args.out)
+    if args.format == "flat":
+        out.write_text(json.dumps(flat_spans(tracer), indent=1))
+    else:
+        write_chrome_trace(tracer, out)
+    suffix = (
+        f" (truncated in {result.stats.truncated_phase})"
+        if result.truncated
+        else ""
+    )
+    print(
+        f"{len(result.paths)} approximate skyline paths{suffix}; "
+        f"trace -> {out}",
+        file=sys.stderr,
+    )
+    for phase in ("grow_s", "grow_t", "connect_top"):
+        seconds = result.stats.phase_seconds.get(phase)
+        if seconds is not None:
+            print(f"  {phase:12s} {fmt_seconds(seconds)}", file=sys.stderr)
+    if args.summary:
+        rollup = summarize_roots(tracer)
+        for name in sorted(rollup):
+            doc = rollup[name]
+            print(
+                f"  {name}: x{doc['count']} "
+                f"{fmt_seconds(doc['total_seconds'])}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _read_query_lines(source) -> list[tuple[int, int]]:
     """Parse ``source target`` pairs, one per line.
 
@@ -186,6 +238,11 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.core.index import BackboneIndex as _Index
     from repro.service import SkylineQueryEngine, execute_batch
 
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     graph = _load_graph(args.graph)
     index = None
     if args.index:
@@ -196,6 +253,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         params=_params_from(args),
         cache_size=args.cache_size,
         default_time_budget=args.budget,
+        tracer=tracer,
     )
     if args.warm:
         timings = engine.warm()
@@ -219,6 +277,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         mode=args.mode,
         time_budget=args.budget,
+        tracer=tracer,
     )
     for response in outcome.responses:
         print(
@@ -246,6 +305,11 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         f"cache hit rate {cache['hit_rate']:.0%}",
         file=sys.stderr,
     )
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        path = write_chrome_trace(tracer, args.trace)
+        print(f"trace written to {path}", file=sys.stderr)
     if args.metrics:
         print(engine.metrics.to_text(), file=sys.stderr)
     return 0
@@ -373,6 +437,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="BBS time budget in seconds (default 900)")
     query.set_defaults(handler=cmd_query)
 
+    trace = commands.add_parser(
+        "trace",
+        help="answer one query with tracing on and export the spans",
+        description=(
+            "Run one backbone query (building the index first when no "
+            "--index is given, also traced) with the tracer enabled, "
+            "then write the span tree as Chrome trace_event JSON — load "
+            "it in chrome://tracing or https://ui.perfetto.dev.  The "
+            "three query phases (grow_s / grow_t / connect_top) appear "
+            "as nested spans with search-internals counters attached."
+        ),
+    )
+    trace.add_argument("graph", help="DIMACS .gr file")
+    trace.add_argument("--index",
+                       help="saved index (built on demand when omitted)")
+    trace.add_argument("--source", type=int, required=True)
+    trace.add_argument("--target", type=int, required=True)
+    trace.add_argument("--out", required=True,
+                       help="trace output path (JSON)")
+    trace.add_argument("--format", choices=["chrome", "flat"],
+                       default="chrome",
+                       help="chrome trace_event JSON (default) or a flat "
+                            "span list")
+    trace.add_argument("--budget", type=float, default=None,
+                       help="query time budget in seconds")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-span-name rollups to stderr")
+    _add_param_options(trace)
+    trace.set_defaults(handler=cmd_trace)
+
     serve = commands.add_parser(
         "serve-batch",
         help="serve a batch of skyline queries as JSON lines",
@@ -404,6 +498,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="prime index and landmarks before serving")
     serve.add_argument("--metrics", action="store_true",
                        help="print the plaintext metrics export to stderr")
+    serve.add_argument("--trace", metavar="FILE",
+                       help="enable tracing and write a Chrome trace_event "
+                            "JSON of the whole batch to FILE")
     _add_param_options(serve)
     serve.set_defaults(handler=cmd_serve_batch)
 

@@ -32,6 +32,7 @@ from repro.core.segments import condense_segments, find_single_segments
 from repro.core.summarize import condense_round
 from repro.errors import BuildError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.search.landmark import LandmarkIndex
 
 # A level may loop condensing rounds only so many times before we call
@@ -63,14 +64,18 @@ def summarize_levels(
     *,
     level_offset: int = 0,
     keep_snapshots: bool = False,
+    tracer: Tracer | None = None,
 ) -> SummarizationOutcome:
     """Run Algorithm 2's level loop, mutating ``work`` in place.
 
     ``required_removals`` is ``p * |G_0.E|`` evaluated on the original
     network; ``level_offset`` only affects reported level numbers (a
-    maintenance replay starts mid-index).
+    maintenance replay starts mid-index).  An enabled ``tracer`` emits
+    one ``build.level`` span per constructed level, with nested spans
+    for condensing rounds and segment materialization.
     """
     outcome = SummarizationOutcome()
+    tracer = resolve_tracer(tracer)
 
     while len(outcome.levels) + level_offset < params.max_levels:
         if keep_snapshots:
@@ -82,37 +87,73 @@ def summarize_levels(
         level_provenance: dict[ShortcutKey, tuple[int, ...]] = {}
         removed_edges = 0
         rounds = 0
+        clusters = 0
         aggressive_used = False
 
-        # --- Step 1: regular summarization rounds ---------------------
-        while removed_edges < required_removals and rounds < _MAX_ROUNDS_PER_LEVEL:
-            snapshot = work.copy()
-            round_result = condense_round(work, params)
-            rounds += 1
-            if not round_result.changed:
-                break
-            if work.num_nodes == 0:
-                # The round would empty the graph; Algorithm 2 requires
-                # |G_{i+1}.V| != 0, so undo this round and stop here.
-                work.restore_from(snapshot)
-                break
-            level_index.absorb(round_result.index, set(work.nodes()))
-            removed_edges += round_result.removed_edge_count
+        with tracer.span(
+            "build.level",
+            level=level_offset + len(outcome.levels),
+            nodes_before=nodes_before,
+            edges_before=edges_before,
+        ) as level_span:
+            # --- Step 1: regular summarization rounds -----------------
+            while (
+                removed_edges < required_removals
+                and rounds < _MAX_ROUNDS_PER_LEVEL
+            ):
+                snapshot = work.copy()
+                with tracer.span("build.condense_round") as round_span:
+                    round_result = condense_round(work, params, tracer=tracer)
+                    if round_span.enabled:
+                        round_span.set(
+                            removed_edges=round_result.removed_edge_count,
+                            clusters=round_result.clusters_condensed,
+                        )
+                rounds += 1
+                if not round_result.changed:
+                    break
+                if work.num_nodes == 0:
+                    # The round would empty the graph; Algorithm 2
+                    # requires |G_{i+1}.V| != 0, so undo this round and
+                    # stop here.
+                    work.restore_from(snapshot)
+                    break
+                level_index.absorb(round_result.index, set(work.nodes()))
+                removed_edges += round_result.removed_edge_count
+                clusters += round_result.clusters_condensed
 
-        # --- Step 2: aggressive summarization -------------------------
-        wants_aggressive = params.aggressive is AggressiveMode.EACH or (
-            params.aggressive is AggressiveMode.NORMAL
-            and removed_edges < required_removals
-        )
-        if wants_aggressive and work.num_nodes > 0:
-            segments = find_single_segments(work)
-            if segments:
-                aggressive = condense_segments(work, segments)
-                if aggressive.removed_edges and work.num_nodes > 0:
-                    aggressive_used = True
-                    level_index.absorb(aggressive.index, set(work.nodes()))
-                    removed_edges += len(aggressive.removed_edges)
-                    level_provenance.update(aggressive.provenance)
+            # --- Step 2: aggressive summarization ---------------------
+            wants_aggressive = params.aggressive is AggressiveMode.EACH or (
+                params.aggressive is AggressiveMode.NORMAL
+                and removed_edges < required_removals
+            )
+            if wants_aggressive and work.num_nodes > 0:
+                with tracer.span("build.segments") as seg_span:
+                    segments = find_single_segments(work)
+                    if segments:
+                        aggressive = condense_segments(work, segments)
+                        if aggressive.removed_edges and work.num_nodes > 0:
+                            aggressive_used = True
+                            level_index.absorb(
+                                aggressive.index, set(work.nodes())
+                            )
+                            removed_edges += len(aggressive.removed_edges)
+                            level_provenance.update(aggressive.provenance)
+                    if seg_span.enabled:
+                        seg_span.set(
+                            segments=len(segments),
+                            materialized=aggressive_used,
+                        )
+
+            if level_span.enabled:
+                level_span.set(
+                    removed_edges=removed_edges,
+                    rounds=rounds,
+                    clusters=clusters,
+                    aggressive_used=aggressive_used,
+                    label_paths=level_index.path_count(),
+                    nodes_after=work.num_nodes,
+                )
 
         if removed_edges == 0:
             if keep_snapshots:
@@ -147,6 +188,8 @@ def required_edge_removals(graph: MultiCostGraph, params: BackboneParams) -> int
 def build_backbone_index(
     graph: MultiCostGraph,
     params: BackboneParams | None = None,
+    *,
+    tracer: Tracer | None = None,
 ) -> BackboneIndex:
     """Build the backbone index of a multi-cost road network.
 
@@ -158,6 +201,10 @@ def build_backbone_index(
     params:
         Construction parameters; defaults follow the paper
         (``BackboneParams()``).
+    tracer:
+        Observability hook; defaults to the process-wide tracer.  When
+        enabled, construction emits a ``build.index`` span tree (one
+        ``build.level`` child per level, plus landmark construction).
     """
     if params is None:
         params = BackboneParams()
@@ -170,26 +217,39 @@ def build_backbone_index(
         )
 
     started = time.perf_counter()
-    work = graph.copy()
-    outcome = summarize_levels(
-        work, params, required_edge_removals(graph, params)
-    )
-    top_graph = outcome.final_graph
-    assert top_graph is not None
-    if top_graph.num_nodes == 0:
-        raise BuildError(
-            "summarization emptied the graph; this indicates an internal "
-            "rollback failure"
+    tracer = resolve_tracer(tracer)
+    with tracer.span(
+        "build.index", nodes=graph.num_nodes, edges=graph.num_edges
+    ) as build_span:
+        work = graph.copy()
+        outcome = summarize_levels(
+            work, params, required_edge_removals(graph, params),
+            tracer=tracer,
         )
+        top_graph = outcome.final_graph
+        assert top_graph is not None
+        if top_graph.num_nodes == 0:
+            raise BuildError(
+                "summarization emptied the graph; this indicates an "
+                "internal rollback failure"
+            )
 
-    provenance: dict[ShortcutKey, tuple[int, ...]] = {}
-    for per_level in outcome.level_provenance:
-        provenance.update(per_level)
-    landmarks = LandmarkIndex(
-        top_graph, min(params.landmark_count, top_graph.num_nodes)
-    )
-    stats = BuildStats(levels=outcome.level_stats)
-    stats.elapsed_seconds = time.perf_counter() - started
+        provenance: dict[ShortcutKey, tuple[int, ...]] = {}
+        for per_level in outcome.level_provenance:
+            provenance.update(per_level)
+        landmarks = LandmarkIndex(
+            top_graph,
+            min(params.landmark_count, top_graph.num_nodes),
+            tracer=tracer,
+        )
+        stats = BuildStats(levels=outcome.level_stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        if build_span.enabled:
+            build_span.set(
+                levels=len(outcome.levels),
+                top_graph_nodes=top_graph.num_nodes,
+                label_paths=sum(s.label_paths for s in outcome.level_stats),
+            )
 
     return BackboneIndex(
         original_graph=graph,

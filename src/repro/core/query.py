@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.core.index import BackboneIndex
 from repro.errors import NodeNotFoundError
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.frontier import PathSet
 from repro.paths.path import Path
 from repro.search.bbs import SearchStats
@@ -35,7 +36,15 @@ from repro.search.onetoall import one_to_all_skyline
 
 @dataclass
 class QueryStats:
-    """Diagnostics for one backbone query."""
+    """Diagnostics for one backbone query.
+
+    ``truncated_phase`` names the first phase a time budget cut short
+    (``"grow_s"``, ``"grow_t"``, or ``"connect_top"``); None while the
+    query ran to completion.  ``phase_seconds`` maps phase names to
+    wall-clock durations, populated *from spans* when an enabled
+    :class:`~repro.obs.Tracer` observes the query (empty otherwise, so
+    untraced hot-path queries pay nothing for it).
+    """
 
     elapsed_seconds: float = 0.0
     source_keys: int = 0
@@ -43,7 +52,15 @@ class QueryStats:
     first_type_candidates: int = 0
     second_type_candidates: int = 0
     truncated: bool = False
+    truncated_phase: str | None = None
     mbbs_stats: SearchStats | None = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def mark_truncated(self, phase: str) -> None:
+        """Record a budget cut, keeping the *first* cut phase."""
+        self.truncated = True
+        if self.truncated_phase is None:
+            self.truncated_phase = phase
 
 
 @dataclass
@@ -127,6 +144,7 @@ def _connect_through_top(
     results: PathSet,
     stats: QueryStats,
     deadline: float | None,
+    tracer: Tracer | None = None,
 ) -> None:
     """Phase 3: second-type paths through the most abstracted graph."""
     top = index.top_graph
@@ -138,7 +156,7 @@ def _connect_through_top(
     if deadline is not None:
         remaining = deadline - time.perf_counter()
         if remaining <= 0:
-            stats.truncated = True
+            stats.mark_truncated("connect_top")
             return
     seeds = [
         Seed(node, prefix.cost, payload=prefix)
@@ -152,10 +170,11 @@ def _connect_through_top(
         target_possible,
         bounds=bounds,
         time_budget=remaining,
+        tracer=tracer,
     )
     stats.mbbs_stats = outcome.stats
     if outcome.stats.timed_out:
-        stats.truncated = True
+        stats.mark_truncated("connect_top")
     for landing, hits in outcome.hits.items():
         suffixes = target_map[landing].paths()
         for _cost, (prefix, middle) in hits:
@@ -171,12 +190,16 @@ def backbone_query(
     target: int,
     *,
     time_budget: float | None = None,
+    tracer: Tracer | None = None,
 ) -> QueryResult:
     """Approximate skyline paths between two nodes (Algorithm 3).
 
     ``time_budget`` caps wall-clock seconds across all three phases; on
     expiry the best partial skyline found so far is returned with
-    ``truncated=True`` instead of raising.
+    ``truncated=True`` instead of raising (``stats.truncated_phase``
+    names the phase that was cut).  An enabled ``tracer`` wraps the
+    query in a ``query.backbone`` span with one child span per phase
+    (``query.phase.grow_s`` / ``grow_t`` / ``connect_top``).
     """
     graph = index.original_graph
     if not graph.has_node(source):
@@ -191,25 +214,58 @@ def backbone_query(
         stats.elapsed_seconds = time.perf_counter() - started
         return result
 
+    tracer = resolve_tracer(tracer)
     results = PathSet()
-    # Phase 1: grow S from the source (paths run source -> key).
-    source_map, cut = _grow(
-        index, source, results=results, other=None, goal=target, stats=stats,
-        deadline=deadline,
-    )
-    stats.truncated |= cut
-    # Phase 2: grow D from the target, meeting S along the way.
-    target_map, cut = _grow(
-        index, target, results=results, other=source_map, goal=source,
-        stats=stats, deadline=deadline,
-    )
-    stats.truncated |= cut
-    stats.source_keys = len(source_map)
-    stats.target_keys = len(target_map)
+    with tracer.span(
+        "query.backbone", source=source, target=target
+    ) as qspan:
+        # Phase 1: grow S from the source (paths run source -> key).
+        with tracer.span("query.phase.grow_s") as span:
+            source_map, cut = _grow(
+                index, source, results=results, other=None, goal=target,
+                stats=stats, deadline=deadline,
+            )
+            if cut:
+                stats.mark_truncated("grow_s")
+            if span.enabled:
+                span.set(keys=len(source_map), truncated=cut)
+        if span.enabled:
+            stats.phase_seconds["grow_s"] = span.duration
+        # Phase 2: grow D from the target, meeting S along the way.
+        with tracer.span("query.phase.grow_t") as span:
+            target_map, cut = _grow(
+                index, target, results=results, other=source_map, goal=source,
+                stats=stats, deadline=deadline,
+            )
+            if cut:
+                stats.mark_truncated("grow_t")
+            if span.enabled:
+                span.set(keys=len(target_map), truncated=cut)
+        if span.enabled:
+            stats.phase_seconds["grow_t"] = span.duration
+        stats.source_keys = len(source_map)
+        stats.target_keys = len(target_map)
 
-    _connect_through_top(index, source_map, target_map, results, stats, deadline)
+        # Phase 3: connect surviving partial paths through G_L.
+        with tracer.span("query.phase.connect_top") as span:
+            _connect_through_top(
+                index, source_map, target_map, results, stats, deadline,
+                tracer=tracer,
+            )
+            if span.enabled and stats.mbbs_stats is not None:
+                span.counters.update(stats.mbbs_stats.as_span_counters())
+        if span.enabled:
+            stats.phase_seconds["connect_top"] = span.duration
 
-    stats.elapsed_seconds = time.perf_counter() - started
+        stats.elapsed_seconds = time.perf_counter() - started
+        if qspan.enabled:
+            qspan.set(
+                paths=len(results),
+                truncated=stats.truncated,
+                truncated_phase=stats.truncated_phase,
+                first_type=stats.first_type_candidates,
+                second_type=stats.second_type_candidates,
+            )
     return QueryResult(
         paths=results.paths(), stats=stats, truncated=stats.truncated
     )
@@ -221,6 +277,7 @@ def backbone_query_shared_source(
     targets: Sequence[int],
     *,
     time_budget: float | None = None,
+    tracer: Tracer | None = None,
 ) -> dict[int, QueryResult]:
     """Answer many queries from one source, growing S only once.
 
@@ -247,49 +304,86 @@ def backbone_query_shared_source(
             raise NodeNotFoundError(target)
     started = time.perf_counter()
     deadline = started + time_budget if time_budget is not None else None
+    tracer = resolve_tracer(tracer)
 
-    grow_stats = QueryStats()
-    sink = PathSet()  # goal=None never harvests into it
-    source_map, source_cut = _grow(
-        index, source, results=sink, other=None, goal=None, stats=grow_stats,
-        deadline=deadline,
-    )
-    shared_seconds = time.perf_counter() - started
-
-    answers: dict[int, QueryResult] = {}
-    for target in targets:
-        if target in answers:
-            continue
-        target_started = time.perf_counter()
-        stats = QueryStats(truncated=source_cut)
-        if source == target:
-            answers[target] = QueryResult(
-                paths=[Path.trivial(source, index.dim)], stats=stats
+    with tracer.span(
+        "query.shared_source", source=source, targets=len(targets)
+    ) as batch_span:
+        grow_stats = QueryStats()
+        sink = PathSet()  # goal=None never harvests into it
+        with tracer.span("query.phase.grow_s", shared=True) as grow_span:
+            source_map, source_cut = _grow(
+                index, source, results=sink, other=None, goal=None,
+                stats=grow_stats, deadline=deadline,
             )
-            stats.elapsed_seconds = time.perf_counter() - target_started
-            continue
-        results = PathSet()
-        direct = source_map.get(target)
-        if direct is not None:
-            for path in direct.paths():
-                if results.add(path):
-                    stats.first_type_candidates += 1
-        target_map, cut = _grow(
-            index, target, results=results, other=source_map, goal=source,
-            stats=stats, deadline=deadline,
-        )
-        stats.truncated |= cut
-        stats.source_keys = len(source_map)
-        stats.target_keys = len(target_map)
-        _connect_through_top(
-            index, source_map, target_map, results, stats, deadline
-        )
-        stats.elapsed_seconds = shared_seconds + (
-            time.perf_counter() - target_started
-        )
-        answers[target] = QueryResult(
-            paths=results.paths(), stats=stats, truncated=stats.truncated
-        )
+            if grow_span.enabled:
+                grow_span.set(keys=len(source_map), truncated=source_cut)
+        shared_seconds = time.perf_counter() - started
+
+        answers: dict[int, QueryResult] = {}
+        for target in targets:
+            if target in answers:
+                continue
+            target_started = time.perf_counter()
+            stats = QueryStats()
+            if source_cut:
+                stats.mark_truncated("grow_s")
+            if grow_span.enabled:
+                stats.phase_seconds["grow_s"] = grow_span.duration
+            if source == target:
+                answers[target] = QueryResult(
+                    paths=[Path.trivial(source, index.dim)], stats=stats
+                )
+                stats.elapsed_seconds = time.perf_counter() - target_started
+                continue
+            with tracer.span("query.target", target=target) as tspan:
+                results = PathSet()
+                direct = source_map.get(target)
+                if direct is not None:
+                    for path in direct.paths():
+                        if results.add(path):
+                            stats.first_type_candidates += 1
+                with tracer.span("query.phase.grow_t") as span:
+                    target_map, cut = _grow(
+                        index, target, results=results, other=source_map,
+                        goal=source, stats=stats, deadline=deadline,
+                    )
+                    if cut:
+                        stats.mark_truncated("grow_t")
+                    if span.enabled:
+                        span.set(keys=len(target_map), truncated=cut)
+                if span.enabled:
+                    stats.phase_seconds["grow_t"] = span.duration
+                stats.source_keys = len(source_map)
+                stats.target_keys = len(target_map)
+                with tracer.span("query.phase.connect_top") as span:
+                    _connect_through_top(
+                        index, source_map, target_map, results, stats,
+                        deadline, tracer=tracer,
+                    )
+                    if span.enabled and stats.mbbs_stats is not None:
+                        span.counters.update(
+                            stats.mbbs_stats.as_span_counters()
+                        )
+                if span.enabled:
+                    stats.phase_seconds["connect_top"] = span.duration
+                if tspan.enabled:
+                    tspan.set(
+                        paths=len(results),
+                        truncated=stats.truncated,
+                        truncated_phase=stats.truncated_phase,
+                    )
+            stats.elapsed_seconds = shared_seconds + (
+                time.perf_counter() - target_started
+            )
+            answers[target] = QueryResult(
+                paths=results.paths(), stats=stats, truncated=stats.truncated
+            )
+        if batch_span.enabled:
+            batch_span.set(
+                unique_targets=len(answers),
+                truncated=any(a.truncated for a in answers.values()),
+            )
     return answers
 
 

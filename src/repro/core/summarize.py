@@ -23,6 +23,7 @@ from repro.core.labels import CostedEdge, LevelIndex, build_cluster_labels
 from repro.core.params import BackboneParams, ClusteringStrategy, LabelScope
 from repro.core.spanning import condense_cluster
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.graph.traversal import bfs_order, peel_degree_one
 from repro.paths.frontier import PathSet
 from repro.paths.path import Path
@@ -30,11 +31,17 @@ from repro.paths.path import Path
 
 @dataclass
 class RoundResult:
-    """What one summarization round removed and recorded."""
+    """What one summarization round removed and recorded.
+
+    ``clusters_condensed`` counts the dense clusters this round
+    actually collapsed (observability only; zero for pure strip
+    rounds).
+    """
 
     removed_nodes: set[int] = field(default_factory=set)
     removed_edges: list[CostedEdge] = field(default_factory=list)
     index: LevelIndex = field(default_factory=LevelIndex)
+    clusters_condensed: int = 0
 
     @property
     def removed_edge_count(self) -> int:
@@ -121,54 +128,82 @@ def _discover_clusters(
     return find_dense_clusters(graph, params)
 
 
-def condense_round(graph: MultiCostGraph, params: BackboneParams) -> RoundResult:
+def condense_round(
+    graph: MultiCostGraph,
+    params: BackboneParams,
+    *,
+    tracer: Tracer | None = None,
+) -> RoundResult:
     """One full condensing round: strip degree-1, then condense clusters.
 
     Mutates ``graph`` in place.  The returned index already folds the
     stripping labels and the cluster labels together (strip labels whose
     anchors get condensed are re-targeted through the cluster labels).
     """
-    strip = strip_degree_one(graph)
-    clustering = _discover_clusters(graph, params)
+    tracer = resolve_tracer(tracer)
+    with tracer.span("build.strip_degree_one") as span:
+        strip = strip_degree_one(graph)
+        if span.enabled:
+            span.set(
+                removed_nodes=len(strip.removed_nodes),
+                removed_edges=len(strip.removed_edges),
+            )
+    with tracer.span("build.cluster_discovery") as span:
+        clustering = _discover_clusters(graph, params)
+        if span.enabled:
+            span.set(clusters=len(clustering.clusters))
 
     cluster_result = RoundResult()
-    for cluster_nodes in clustering.clusters:
-        live_nodes = {node for node in cluster_nodes if graph.has_node(node)}
-        if len(live_nodes) < 2:
-            continue
-        condensed = condense_cluster(graph, live_nodes, policy=params.tree_policy)
-        costed: list[CostedEdge] = []
-        for u, v in condensed.removed_edges:
-            for cost in graph.edge_costs(u, v):
-                costed.append((u, v, cost))
-        label_edges = costed
-        if params.label_scope is LabelScope.FULL_CLUSTER:
-            # ablation: label searches may also use the kept cluster
-            # edges — richer labels at higher construction cost
-            removed_pairs = set(condensed.removed_edges)
-            label_edges = list(costed)
-            for u, v in graph.edge_pairs():
-                if (
-                    u in live_nodes
-                    and v in live_nodes
-                    and (min(u, v), max(u, v)) not in removed_pairs
-                ):
-                    for cost in graph.edge_costs(u, v):
-                        label_edges.append((u, v, cost))
-        build_cluster_labels(
-            graph.dim,
-            live_nodes,
-            label_edges,
-            condensed.kept_nodes,
-            into=cluster_result.index,
-            max_frontier=params.max_label_frontier,
-        )
-        for u, v in condensed.removed_edges:
-            graph.remove_edge(u, v)
-        for node in condensed.removed_nodes:
-            graph.remove_node(node)
-        cluster_result.removed_nodes |= condensed.removed_nodes
-        cluster_result.removed_edges.extend(costed)
+    with tracer.span("build.condense_clusters") as cspan:
+        for cluster_nodes in clustering.clusters:
+            live_nodes = {
+                node for node in cluster_nodes if graph.has_node(node)
+            }
+            if len(live_nodes) < 2:
+                continue
+            condensed = condense_cluster(
+                graph, live_nodes, policy=params.tree_policy
+            )
+            cluster_result.clusters_condensed += 1
+            cspan.count("spanning_trees")
+            costed: list[CostedEdge] = []
+            for u, v in condensed.removed_edges:
+                for cost in graph.edge_costs(u, v):
+                    costed.append((u, v, cost))
+            label_edges = costed
+            if params.label_scope is LabelScope.FULL_CLUSTER:
+                # ablation: label searches may also use the kept cluster
+                # edges — richer labels at higher construction cost
+                removed_pairs = set(condensed.removed_edges)
+                label_edges = list(costed)
+                for u, v in graph.edge_pairs():
+                    if (
+                        u in live_nodes
+                        and v in live_nodes
+                        and (min(u, v), max(u, v)) not in removed_pairs
+                    ):
+                        for cost in graph.edge_costs(u, v):
+                            label_edges.append((u, v, cost))
+            build_cluster_labels(
+                graph.dim,
+                live_nodes,
+                label_edges,
+                condensed.kept_nodes,
+                into=cluster_result.index,
+                max_frontier=params.max_label_frontier,
+            )
+            for u, v in condensed.removed_edges:
+                graph.remove_edge(u, v)
+            for node in condensed.removed_nodes:
+                graph.remove_node(node)
+            cluster_result.removed_nodes |= condensed.removed_nodes
+            cluster_result.removed_edges.extend(costed)
+        if cspan.enabled:
+            cspan.set(
+                clusters=cluster_result.clusters_condensed,
+                removed_edges=len(cluster_result.removed_edges),
+                label_paths=cluster_result.index.path_count(),
+            )
 
     surviving = set(graph.nodes())
     strip.index.absorb(cluster_result.index, surviving)
@@ -176,4 +211,5 @@ def condense_round(graph: MultiCostGraph, params: BackboneParams) -> RoundResult
         removed_nodes=strip.removed_nodes | cluster_result.removed_nodes,
         removed_edges=strip.removed_edges + cluster_result.removed_edges,
         index=strip.index,
+        clusters_condensed=cluster_result.clusters_condensed,
     )

@@ -1,0 +1,61 @@
+"""repro.obs — tracing and instrumentation for the backbone library.
+
+The paper's evaluation reasons about *where* time goes: index
+construction vs. the three query phases (grow S, grow T, connect
+through G_L) and search internals like labels expanded and dominance
+checks.  This package makes those quantities first-class:
+
+* :class:`Tracer` / :class:`Span` — nested ``span()`` context managers
+  with thread-local stacks and a zero-overhead disabled default
+  (:mod:`repro.obs.tracer`);
+* exporters — Chrome ``trace_event`` JSON, flat span dumps, and
+  aggregation into a :class:`~repro.service.metrics.MetricsRegistry`
+  (:mod:`repro.obs.export`).
+
+Instrumented call sites across :mod:`repro.core`, :mod:`repro.search`,
+and :mod:`repro.service` accept ``tracer=None`` and resolve it through
+:func:`get_tracer`, so installing an enabled tracer process-wide
+(:func:`set_tracer` / :func:`use_tracer`) traces everything without
+threading a handle through every call::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        index.query(source, target)
+    write_chrome_trace(tracer, "trace.json")
+"""
+
+from repro.obs.export import (
+    CHROME_REQUIRED_KEYS,
+    aggregate_spans,
+    chrome_trace,
+    flat_spans,
+    summarize_roots,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    resolve_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CHROME_REQUIRED_KEYS",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "chrome_trace",
+    "flat_spans",
+    "get_tracer",
+    "resolve_tracer",
+    "set_tracer",
+    "summarize_roots",
+    "use_tracer",
+    "write_chrome_trace",
+]

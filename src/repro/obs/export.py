@@ -1,0 +1,142 @@
+"""Span exporters: Chrome trace JSON, flat dumps, metrics aggregation.
+
+Three consumers cover the ways the collected spans get read:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON format (open ``chrome://tracing`` or Perfetto
+  and load the file).  Every span becomes one complete ("X") event
+  with microsecond timestamps relative to the tracer epoch; span
+  attributes and counters travel in ``args``.
+* :func:`flat_spans` — a flat list of plain dicts (name, timing,
+  depth, thread, attrs, counters) for ad-hoc analysis and JSON dumps.
+* :func:`aggregate_spans` — per-span-name duration histograms and
+  counter totals folded into a
+  :class:`~repro.service.metrics.MetricsRegistry`, e.g. every
+  ``query.phase.grow_s`` span observes the histogram of the same name.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.obs.tracer import Span, Tracer
+
+# Keys the trace_event format requires on every complete event.
+CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def _spans_of(source: Tracer | Iterable[Span]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.roots()
+    return list(source)
+
+
+def chrome_trace(source: Tracer | Iterable[Span], *, pid: int = 0) -> dict:
+    """The collected spans as a Chrome ``trace_event`` document.
+
+    ``source`` is a tracer (its finished roots are exported) or an
+    iterable of root spans.  Returns the JSON-object form
+    (``{"traceEvents": [...]}``), ready for ``json.dump``.
+    """
+    events: list[dict] = []
+    thread_names: dict[int, str] = {}
+    for root in _spans_of(source):
+        for span, _depth in root.walk():
+            if span.end is None:
+                continue  # still open; not representable as "X"
+            args: dict = dict(span.attrs)
+            if span.counters:
+                args.update(span.counters)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+            thread_names.setdefault(span.thread_id, span.thread_name)
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(thread_names.items())
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Tracer | Iterable[Span], path: Path | str, *, pid: int = 0
+) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(source, pid=pid), indent=1))
+    return path
+
+
+def flat_spans(source: Tracer | Iterable[Span]) -> list[dict]:
+    """Every span as one flat dict, depth-first per root."""
+    rows: list[dict] = []
+    for root in _spans_of(source):
+        for span, depth in root.walk():
+            rows.append(
+                {
+                    "name": span.name,
+                    "depth": depth,
+                    "start_seconds": span.start,
+                    "duration_seconds": span.duration,
+                    "thread": span.thread_name,
+                    "thread_id": span.thread_id,
+                    "attrs": dict(span.attrs),
+                    "counters": dict(span.counters),
+                }
+            )
+    return rows
+
+
+def aggregate_spans(
+    source: Tracer | Iterable[Span], registry, *, prefix: str = ""
+) -> None:
+    """Fold spans into ``registry`` (duck-typed MetricsRegistry).
+
+    Each span observes the histogram ``<prefix><span name>`` with its
+    duration in seconds; each span counter ``c`` increments the
+    registry counter ``<prefix><span name>.<c>`` by its value.
+    """
+    for root in _spans_of(source):
+        for span, _depth in root.walk():
+            if span.end is None:
+                continue
+            registry.observe(f"{prefix}{span.name}", span.duration)
+            for name, amount in span.counters.items():
+                registry.increment(f"{prefix}{span.name}.{name}", int(amount))
+
+
+def summarize_roots(source: Tracer | Iterable[Span]) -> dict[str, dict]:
+    """Quick per-name totals: count, total seconds, counter sums.
+
+    A dependency-free rollup for bench telemetry and CLI summaries
+    (no MetricsRegistry needed).
+    """
+    rollup: dict[str, dict] = {}
+    for root in _spans_of(source):
+        for span, _depth in root.walk():
+            if span.end is None:
+                continue
+            doc = rollup.setdefault(
+                span.name, {"count": 0, "total_seconds": 0.0, "counters": {}}
+            )
+            doc["count"] += 1
+            doc["total_seconds"] += span.duration
+            for name, amount in span.counters.items():
+                doc["counters"][name] = doc["counters"].get(name, 0) + amount
+    return rollup

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import NodeNotFoundError, QueryError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.frontier import PathSet
 from repro.paths.path import Path
 from repro.search.bounds import ExactBounds, LowerBoundProvider
@@ -41,8 +42,23 @@ class SearchStats:
     pushes: int = 0
     pruned_by_frontier: int = 0
     pruned_by_bound: int = 0
+    dominance_checks: int = 0
+    max_heap_size: int = 0
+    frontier_nodes: int = 0
     elapsed_seconds: float = 0.0
     timed_out: bool = False
+
+    def as_span_counters(self) -> dict[str, float]:
+        """The integer counters, keyed for span/metrics attachment."""
+        return {
+            "expansions": self.expansions,
+            "pushes": self.pushes,
+            "pruned_by_frontier": self.pruned_by_frontier,
+            "pruned_by_bound": self.pruned_by_bound,
+            "dominance_checks": self.dominance_checks,
+            "max_heap_size": self.max_heap_size,
+            "frontier_nodes": self.frontier_nodes,
+        }
 
 
 @dataclass
@@ -68,6 +84,7 @@ def skyline_paths(
     seed_with_shortest_paths: bool = True,
     time_budget: float | None = None,
     max_expansions: int | None = None,
+    tracer: Tracer | None = None,
 ) -> SkylineResult:
     """Exact skyline paths from ``source`` to ``target`` (Definition 3.2).
 
@@ -85,6 +102,10 @@ def skyline_paths(
         ``stats.timed_out`` set (mirroring the paper's 15-minute cap).
     max_expansions:
         Optional cap on label expansions, also reported as a timeout.
+    tracer:
+        Observability hook; defaults to the process-wide tracer.  When
+        enabled the whole search runs inside one ``search.bbs`` span
+        carrying the :class:`SearchStats` counters.
     """
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
@@ -93,6 +114,35 @@ def skyline_paths(
     if source == target:
         return SkylineResult(paths=[Path.trivial(source, graph.dim)])
 
+    tracer = resolve_tracer(tracer)
+    with tracer.span("search.bbs", source=source, target=target) as span:
+        result = _skyline_paths_impl(
+            graph,
+            source,
+            target,
+            bounds=bounds,
+            seed_with_shortest_paths=seed_with_shortest_paths,
+            time_budget=time_budget,
+            max_expansions=max_expansions,
+        )
+        if span.enabled:
+            span.counters.update(result.stats.as_span_counters())
+            span.set(
+                paths=len(result.paths), timed_out=result.stats.timed_out
+            )
+    return result
+
+
+def _skyline_paths_impl(
+    graph: MultiCostGraph,
+    source: int,
+    target: int,
+    *,
+    bounds: LowerBoundProvider | None,
+    seed_with_shortest_paths: bool,
+    time_budget: float | None,
+    max_expansions: int | None,
+) -> SkylineResult:
     start_time = time.perf_counter()
     stats = SearchStats()
     if bounds is None:
@@ -112,6 +162,7 @@ def skyline_paths(
         if _INF in projected:
             stats.pruned_by_bound += 1
             return
+        stats.dominance_checks += 1
         if results.dominates_candidate(projected):
             stats.pruned_by_bound += 1
             return
@@ -123,6 +174,8 @@ def skyline_paths(
             return
         stats.pushes += 1
         heapq.heappush(heap, (sum(projected), next(tie_breaker), label))
+        if len(heap) > stats.max_heap_size:
+            stats.max_heap_size = len(heap)
 
     push(Label(source, (0.0,) * graph.dim))
 
@@ -144,6 +197,7 @@ def skyline_paths(
             continue  # evicted since push: stale heap entry
         bound = bounds.bound(label.node)
         projected = tuple(c + b for c, b in zip(label.cost, bound))
+        stats.dominance_checks += 1
         if results.dominates_candidate(projected):
             stats.pruned_by_bound += 1
             continue
@@ -161,6 +215,7 @@ def skyline_paths(
                 push(Label(neighbor, extended, parent=label))
 
     stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = len(frontiers)
     # Seeded shortest paths may have been superseded; PathSet already
     # keeps the final set mutually non-dominated.
     return SkylineResult(paths=results.paths(), stats=stats)

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 
 from repro.errors import BuildError, NodeNotFoundError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.dominance import CostVector
 from repro.search.dijkstra import shortest_costs
 
@@ -68,16 +69,36 @@ class LandmarkIndex:
         abstracted graphs the backbone index produces.
     """
 
-    def __init__(self, graph: MultiCostGraph, count: int = 8) -> None:
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        count: int = 8,
+        *,
+        tracer: Tracer | None = None,
+    ) -> None:
         if count < 1:
             raise BuildError(f"landmark count must be >= 1, got {count}")
         self._dim = graph.dim
-        self._landmarks = select_landmarks(graph, count)
-        # _dist[l][i][node] = shortest distance on dimension i from landmark l
-        self._dist: list[list[dict[int, float]]] = [
-            [shortest_costs(graph, landmark, i) for i in range(graph.dim)]
-            for landmark in self._landmarks
-        ]
+        tracer = resolve_tracer(tracer)
+        with tracer.span(
+            "landmark.build", requested=count, nodes=graph.num_nodes
+        ) as span:
+            with tracer.span("landmark.select"):
+                self._landmarks = select_landmarks(graph, count)
+            # _dist[l][i][node] = per-dimension distances from landmark l
+            with tracer.span("landmark.distances"):
+                self._dist: list[list[dict[int, float]]] = [
+                    [
+                        shortest_costs(graph, landmark, i)
+                        for i in range(graph.dim)
+                    ]
+                    for landmark in self._landmarks
+                ]
+            if span.enabled:
+                span.set(
+                    landmarks=len(self._landmarks),
+                    entries=self.size_entries(),
+                )
 
     @property
     def landmarks(self) -> list[int]:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import NodeNotFoundError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.dominance import CostVector
 from repro.paths.frontier import ParetoSet
 from repro.paths.path import Path
@@ -64,6 +65,7 @@ def many_to_many_skyline(
     bounds: LowerBoundProvider | None = None,
     time_budget: float | None = None,
     max_expansions: int | None = None,
+    tracer: Tracer | None = None,
 ) -> ManyToManyResult:
     """Run one best-first skyline search from many seeds to many targets.
 
@@ -71,7 +73,40 @@ def many_to_many_skyline(
     target (:meth:`LandmarkIndex.lower_bound_to_any` wrapped in
     :class:`~repro.search.bounds.LandmarkLowerBounds`, or
     :class:`~repro.search.bounds.ExactBounds` built with all targets).
+    ``tracer`` wraps the search in one ``search.mbbs`` span carrying
+    the :class:`~repro.search.bbs.SearchStats` counters.
     """
+    seed_list = list(seeds)
+    tracer = resolve_tracer(tracer)
+    with tracer.span(
+        "search.mbbs", seeds=len(seed_list), targets=len(targets)
+    ) as span:
+        result = _many_to_many_impl(
+            graph,
+            seed_list,
+            targets,
+            bounds=bounds,
+            time_budget=time_budget,
+            max_expansions=max_expansions,
+        )
+        if span.enabled:
+            span.counters.update(result.stats.as_span_counters())
+            span.set(
+                reached_targets=len(result.hits),
+                timed_out=result.stats.timed_out,
+            )
+    return result
+
+
+def _many_to_many_impl(
+    graph: MultiCostGraph,
+    seed_list: list[Seed],
+    targets: Sequence[int],
+    *,
+    bounds: LowerBoundProvider | None,
+    time_budget: float | None,
+    max_expansions: int | None,
+) -> ManyToManyResult:
     target_set = set(targets)
     for node in target_set:
         if not graph.has_node(node):
@@ -100,8 +135,9 @@ def many_to_many_skyline(
             return
         stats.pushes += 1
         heapq.heappush(heap, (sum(projected), next(tie_breaker), label))
+        if len(heap) > stats.max_heap_size:
+            stats.max_heap_size = len(heap)
 
-    seed_list = list(seeds)
     for seed in seed_list:
         if not graph.has_node(seed.node):
             raise NodeNotFoundError(seed.node)
@@ -136,6 +172,7 @@ def many_to_many_skyline(
                 push(Label(neighbor, extended, parent=label))
 
     stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = len(frontiers)
     return result
 
 

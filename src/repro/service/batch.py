@@ -28,6 +28,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import QueryError
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.service.engine import QueryResponse, SkylineQueryEngine
 
 QueryPair = tuple[int, int]
@@ -79,6 +80,7 @@ def execute_batch(
     time_budget: float | None = None,
     use_cache: bool = True,
     group_by_source: bool = True,
+    tracer: Tracer | None = None,
 ) -> BatchResult:
     """Run a batch of queries and return responses in input order.
 
@@ -96,9 +98,15 @@ def execute_batch(
         Merge same-source approximate queries into one shared grow-S
         engine call.  Disable to force per-query execution (results are
         identical either way).
+    tracer:
+        Observability hook; defaults to the process-wide tracer.  The
+        planning/fan-out runs inside one ``batch.execute`` span; each
+        work unit opens a ``batch.unit`` span *in its worker thread*,
+        so per-thread traces stay independent.
     """
     if max_workers < 1:
         raise QueryError("max_workers must be at least 1")
+    tracer = resolve_tracer(tracer)
     started = time.perf_counter()
     pairs = [_normalize(query) for query in queries]
 
@@ -132,22 +140,28 @@ def execute_batch(
 
     def run_single(pair: QueryPair) -> None:
         source, target = pair
-        answers[pair] = engine.query(
-            source,
-            target,
-            mode=mode,
-            time_budget=time_budget,
-            use_cache=use_cache,
-        )
+        with tracer.span(
+            "batch.unit", kind="single", source=source, target=target
+        ):
+            answers[pair] = engine.query(
+                source,
+                target,
+                mode=mode,
+                time_budget=time_budget,
+                use_cache=use_cache,
+            )
 
     def run_group(source: int, targets: list[int]) -> None:
-        responses = engine.query_group(
-            source,
-            targets,
-            mode=mode,
-            time_budget=time_budget,
-            use_cache=use_cache,
-        )
+        with tracer.span(
+            "batch.unit", kind="group", source=source, targets=len(targets)
+        ):
+            responses = engine.query_group(
+                source,
+                targets,
+                mode=mode,
+                time_budget=time_budget,
+                use_cache=use_cache,
+            )
         for target, response in zip(targets, responses):
             answers[(source, target)] = response
 
@@ -156,14 +170,21 @@ def execute_batch(
         lambda s=source, ts=targets: run_group(s, ts)
         for source, targets in grouped.items()
     ]
-    if max_workers == 1 or len(tasks) <= 1:
-        for task in tasks:
-            task()
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            for future in futures:
-                future.result()  # re-raise worker failures here
+    with tracer.span(
+        "batch.execute",
+        queries=len(pairs),
+        unique=len(unique),
+        groups=len(grouped),
+        workers=max_workers,
+    ):
+        if max_workers == 1 or len(tasks) <= 1:
+            for task in tasks:
+                task()
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(task) for task in tasks]
+                for future in futures:
+                    future.result()  # re-raise worker failures here
 
     result = BatchResult(
         responses=[answers[pair] for pair in pairs],

@@ -41,6 +41,8 @@ from repro.core.query import (
 )
 from repro.errors import NodeNotFoundError, QueryError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.export import aggregate_spans
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.path import Path
 from repro.search.bbs import skyline_paths
 from repro.search.bounds import ExactBounds, LandmarkLowerBounds
@@ -112,6 +114,7 @@ class SkylineQueryEngine:
         default_time_budget: float | None = None,
         exact_node_threshold: int = DEFAULT_EXACT_NODE_THRESHOLD,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if maintainer is not None:
             graph = maintainer.graph
@@ -125,6 +128,10 @@ class SkylineQueryEngine:
         self._generation = maintainer.generation if maintainer else 0
         self.cache = ResultCache(cache_size)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # None defers to the process-wide tracer at each call, so
+        # installing one with repro.obs.use_tracer() traces the engine
+        # without reconstructing it.
+        self.tracer = tracer
         self.default_time_budget = default_time_budget
         self.exact_node_threshold = exact_node_threshold
         self._original_landmarks: LandmarkIndex | None = None
@@ -185,7 +192,9 @@ class SkylineQueryEngine:
         with self._build_lock:
             if self._index is None:
                 started = time.perf_counter()
-                self._index = build_backbone_index(self._graph, self._params)
+                self._index = build_backbone_index(
+                    self._graph, self._params, tracer=self.tracer
+                )
                 elapsed = time.perf_counter() - started
                 self.metrics.increment("engine.index_builds")
                 self.metrics.observe("engine.index_build_seconds", elapsed)
@@ -211,6 +220,7 @@ class SkylineQueryEngine:
                         self._params.landmark_count,
                         max(self._graph.num_nodes, 1),
                     ),
+                    tracer=self.tracer,
                 )
         timings["landmark_seconds"] = time.perf_counter() - started
         self.metrics.increment("engine.warmups")
@@ -303,45 +313,65 @@ class SkylineQueryEngine:
             time_budget if time_budget is not None else self.default_time_budget
         )
 
-        answers: dict[int, QueryResponse] = {}
-        approx_targets: list[int] = []
-        for target in targets:
-            if target in answers or target in approx_targets:
-                continue
-            resolved = self.plan(source, target, mode)
-            if resolved == "approx":
-                cached = self._cache_lookup(source, target, "approx", use_cache)
-                if cached is not None:
-                    answers[target] = cached
+        tracer = resolve_tracer(self.tracer)
+        with tracer.span(
+            "serve.query_group", source=source, targets=len(targets)
+        ) as serve_span:
+            answers: dict[int, QueryResponse] = {}
+            approx_targets: list[int] = []
+            for target in targets:
+                if target in answers or target in approx_targets:
+                    continue
+                resolved = self.plan(source, target, mode)
+                if resolved == "approx":
+                    cached = self._cache_lookup(
+                        source, target, "approx", use_cache
+                    )
+                    if cached is not None:
+                        serve_span.count("cache_hits")
+                        answers[target] = cached
+                    else:
+                        approx_targets.append(target)
                 else:
-                    approx_targets.append(target)
-            else:
-                answers[target] = self._serve_exact(
-                    source, target, budget, use_cache
+                    answers[target] = self._serve_exact(
+                        source, target, budget, use_cache, tracer
+                    )
+
+            if approx_targets:
+                index = self.ensure_index()
+                generation = self._generation
+                started = time.perf_counter()
+                results = backbone_query_shared_source(
+                    index, source, approx_targets, time_budget=budget,
+                    tracer=tracer,
+                )
+                for target in approx_targets:
+                    answers[target] = self._record(
+                        self._wrap_approx(
+                            source, target, results[target], generation
+                        ),
+                        use_cache,
+                    )
+                self.metrics.observe(
+                    "engine.group_seconds", time.perf_counter() - started
                 )
 
-        if approx_targets:
-            index = self.ensure_index()
-            generation = self._generation
-            started = time.perf_counter()
-            results = backbone_query_shared_source(
-                index, source, approx_targets, time_budget=budget
-            )
-            for target in approx_targets:
-                answers[target] = self._record(
-                    self._wrap_approx(
-                        source, target, results[target], generation
-                    ),
-                    use_cache,
-                )
-            self.metrics.observe(
-                "engine.group_seconds", time.perf_counter() - started
-            )
+        if serve_span.enabled:
+            # Fold the finished span tree (serving overhead plus every
+            # query.phase.* child) into the latency histograms, so the
+            # registry exposes e.g. a query.phase.grow_s percentile
+            # series without a separate trace consumer.
+            aggregate_spans([serve_span], self.metrics)
 
         return [answers[target] for target in targets]
 
     def _serve_exact(
-        self, source: int, target: int, budget: float | None, use_cache: bool
+        self,
+        source: int,
+        target: int,
+        budget: float | None,
+        use_cache: bool,
+        tracer: Tracer | None = None,
     ) -> QueryResponse:
         cached = self._cache_lookup(source, target, "exact", use_cache)
         if cached is not None:
@@ -355,7 +385,8 @@ class SkylineQueryEngine:
             else ExactBounds(self._graph, [target])
         )
         outcome = skyline_paths(
-            self._graph, source, target, bounds=bounds, time_budget=budget
+            self._graph, source, target, bounds=bounds, time_budget=budget,
+            tracer=tracer,
         )
         response = QueryResponse(
             source=source,

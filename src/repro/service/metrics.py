@@ -20,12 +20,16 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import threading
+import time
+import zlib
 from typing import Iterable
 
-# Cap the per-histogram sample buffer.  Beyond the cap the buffer
-# collapses to an evenly spaced subsample, which keeps percentiles
-# stable for long-running services without unbounded memory.
+# Cap the per-histogram sample buffer.  Beyond the cap, uniform
+# reservoir sampling (Vitter's Algorithm R) keeps every observation
+# equally likely to be retained, so percentile estimates stay unbiased
+# for long-running services without unbounded memory.
 _DEFAULT_MAX_SAMPLES = 8192
 
 _PERCENTILES = (0.50, 0.95, 0.99)
@@ -54,13 +58,28 @@ class Counter:
 
 
 class Histogram:
-    """Latency/size observations with streaming percentile summaries."""
+    """Latency/size observations with streaming percentile summaries.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    percentiles come from a bounded *uniform reservoir* (Algorithm R):
+    once the buffer is full, the n-th observation replaces a random
+    retained sample with probability ``max_samples / n``, so every
+    observation is equally likely to survive.  (The previous
+    every-other-sample decimation systematically over-weighted early
+    observations after repeated halvings.)  The reservoir RNG is seeded
+    deterministically from the histogram name (or an explicit ``seed``),
+    so tests and replays are reproducible.
+    """
 
     __slots__ = ("name", "_samples", "_count", "_sum", "_min", "_max",
-                 "_max_samples", "_lock")
+                 "_max_samples", "_rng", "_lock")
 
     def __init__(
-        self, name: str, *, max_samples: int = _DEFAULT_MAX_SAMPLES
+        self,
+        name: str,
+        *,
+        max_samples: int = _DEFAULT_MAX_SAMPLES,
+        seed: int | None = None,
     ) -> None:
         self.name = name
         self._samples: list[float] = []
@@ -69,6 +88,9 @@ class Histogram:
         self._min = math.inf
         self._max = -math.inf
         self._max_samples = max(max_samples, 8)
+        if seed is None:
+            seed = zlib.crc32(name.encode("utf-8"))
+        self._rng = random.Random(seed)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -80,11 +102,14 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
-            self._samples.append(value)
-            if len(self._samples) > self._max_samples:
-                # Decimate to every other sample; exact percentiles are
-                # not required, only stable estimates.
-                self._samples = self._samples[::2]
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                # Algorithm R: keep each of the _count observations
+                # with equal probability max_samples / _count.
+                slot = self._rng.randrange(self._count)
+                if slot < self._max_samples:
+                    self._samples[slot] = value
 
     @property
     def count(self) -> int:
@@ -126,12 +151,28 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms with snapshot exporters."""
+    """Named counters and histograms with snapshot exporters.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    created_at:
+        Caller-supplied wall-clock creation stamp (e.g. ``time.time()``
+        or an ISO string), echoed verbatim in snapshots so scrapers can
+        distinguish registry restarts.  Uptime is tracked separately on
+        the monotonic clock and reported as ``uptime_seconds``.
+    """
+
+    def __init__(self, *, created_at: float | str | None = None) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
+        self.created_at = created_at
+        self._started_monotonic = time.monotonic()
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Monotonic seconds since the registry was constructed."""
+        return time.monotonic() - self._started_monotonic
 
     # ------------------------------------------------------------------
     # recording
@@ -177,6 +218,8 @@ class MetricsRegistry:
         return {
             "counters": {c.name: c.value for c in counters},
             "histograms": {h.name: h.summary() for h in histograms},
+            "uptime_seconds": self.uptime_seconds,
+            "created_at": self.created_at,
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -184,13 +227,20 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def to_text(self) -> str:
-        """A Prometheus-flavoured plaintext rendering of the snapshot."""
+        """A Prometheus-flavoured plaintext rendering of the snapshot.
+
+        Every instrument is preceded by its ``# TYPE`` line — counters
+        as ``counter``, histograms as ``summary`` (count/sum plus
+        quantile-labelled samples), so scrapers can type both.
+        """
         lines: list[str] = []
         counters, histograms = self._instruments()
         for counter in sorted(counters, key=lambda c: c.name):
+            lines.append(f"# TYPE {counter.name} counter")
             lines.append(f"{counter.name} {counter.value}")
         for histogram in sorted(histograms, key=lambda h: h.name):
             doc = histogram.summary()
+            lines.append(f"# TYPE {histogram.name} summary")
             lines.append(f"{histogram.name}_count {doc['count']}")
             lines.append(f"{histogram.name}_sum {doc['sum']:.6f}")
             for q in _PERCENTILES:
@@ -198,4 +248,6 @@ class MetricsRegistry:
                 lines.append(
                     f'{histogram.name}{{quantile="{q:g}"}} {doc[key]:.6f}'
                 )
+        lines.append("# TYPE uptime_seconds gauge")
+        lines.append(f"uptime_seconds {self.uptime_seconds:.6f}")
         return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Integration tests: tracing wired through queries, build, and serving.
+
+Checks the instrumentation contract end to end — a traced
+``backbone_query`` yields nested spans for all three phases,
+``QueryStats`` is populated from spans, budget cuts record which phase
+was truncated, index construction emits its span tree, and the batch
+executor keeps worker-thread traces isolated.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.core.query import (
+    QueryStats,
+    _connect_through_top,
+    backbone_query,
+    backbone_query_shared_source,
+)
+from repro.obs import Tracer, chrome_trace, use_tracer
+from repro.paths.frontier import PathSet
+from repro.service.batch import execute_batch
+from repro.service.engine import SkylineQueryEngine
+
+QUERY_PHASES = (
+    "query.phase.grow_s", "query.phase.grow_t", "query.phase.connect_top",
+)
+
+
+@pytest.fixture(scope="module")
+def built_index(small_road_network):
+    return build_backbone_index(small_road_network, BackboneParams(max_levels=3))
+
+
+def far_pair(graph):
+    nodes = sorted(graph.nodes())
+    return nodes[0], nodes[-1]
+
+
+class TestTracedQuery:
+    def test_three_phases_nested_under_query_root(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        tracer = Tracer()
+        result = backbone_query(built_index, source, target, tracer=tracer)
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["query.backbone"]
+        child_names = [c.name for c in roots[0].children]
+        assert list(QUERY_PHASES) == child_names
+        assert roots[0].attrs["paths"] == len(result.paths)
+        # phase spans nest inside the root's interval
+        for child in roots[0].children:
+            assert roots[0].start <= child.start
+            assert child.end <= roots[0].end
+
+    def test_phase_seconds_populated_from_spans(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        tracer = Tracer()
+        result = backbone_query(built_index, source, target, tracer=tracer)
+        assert set(result.stats.phase_seconds) == {
+            "grow_s", "grow_t", "connect_top",
+        }
+        root = tracer.roots()[0]
+        for child in root.children:
+            phase = child.name.rsplit(".", 1)[-1]
+            assert result.stats.phase_seconds[phase] == child.duration
+
+    def test_untraced_query_has_no_phase_seconds(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        result = backbone_query(built_index, source, target)
+        assert result.stats.phase_seconds == {}
+        assert result.stats.truncated_phase is None
+
+    def test_process_wide_tracer_observes_query(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            backbone_query(built_index, source, target)
+        assert [r.name for r in tracer.roots()] == ["query.backbone"]
+
+    def test_chrome_trace_of_query_has_all_phases(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        tracer = Tracer()
+        backbone_query(built_index, source, target, tracer=tracer)
+        doc = chrome_trace(tracer)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"query.backbone", *QUERY_PHASES} <= names
+
+    def test_shared_source_span_shape(self, built_index):
+        graph = built_index.original_graph
+        nodes = sorted(graph.nodes())
+        source, targets = nodes[0], nodes[-3:]
+        tracer = Tracer()
+        answers = backbone_query_shared_source(
+            built_index, source, targets, tracer=tracer
+        )
+        assert set(answers) == set(targets)
+        root = tracer.roots()[0]
+        assert root.name == "query.shared_source"
+        child_names = [c.name for c in root.children]
+        assert child_names[0] == "query.phase.grow_s"
+        assert child_names.count("query.target") == len(targets)
+        for stats in (a.stats for a in answers.values()):
+            assert "grow_s" in stats.phase_seconds
+
+
+class TestTruncatedPhase:
+    def test_zero_budget_truncates_in_grow_s(self, built_index):
+        source, target = far_pair(built_index.original_graph)
+        result = backbone_query(built_index, source, target, time_budget=0.0)
+        assert result.truncated
+        assert result.stats.truncated_phase == "grow_s"
+
+    def test_expired_deadline_truncates_connect_top(self, built_index):
+        top_nodes = list(built_index.top_graph.nodes())
+        assert top_nodes, "test needs a non-empty top graph"
+        node = top_nodes[0]
+        dim = built_index.dim
+        from repro.paths.path import Path
+
+        trivial = PathSet([Path.trivial(node, dim)])
+        stats = QueryStats()
+        _connect_through_top(
+            built_index,
+            {node: trivial},
+            {node: trivial},
+            PathSet(),
+            stats,
+            deadline=time.perf_counter() - 1.0,  # already expired
+        )
+        assert stats.truncated
+        assert stats.truncated_phase == "connect_top"
+
+    def test_first_cut_phase_wins(self):
+        stats = QueryStats()
+        stats.mark_truncated("grow_t")
+        stats.mark_truncated("connect_top")
+        assert stats.truncated
+        assert stats.truncated_phase == "grow_t"
+
+
+class TestTracedBuild:
+    def test_build_emits_level_spans(self, small_road_network):
+        tracer = Tracer()
+        index = build_backbone_index(
+            small_road_network, BackboneParams(max_levels=2), tracer=tracer
+        )
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["build.index"]
+        names = {s.name for s, _ in roots[0].walk()}
+        assert "build.level" in names
+        assert "build.condense_round" in names
+        assert "landmark.build" in names
+        levels = [c for c in roots[0].children if c.name == "build.level"]
+        assert len(levels) == len(index.levels) or len(levels) == len(
+            index.levels
+        ) + 1  # a final no-progress level probe may be traced too
+        assert roots[0].attrs["levels"] == len(index.levels)
+
+
+class TestBatchThreadIsolation:
+    def test_worker_spans_stay_per_thread(self, small_road_network):
+        engine = SkylineQueryEngine(
+            small_road_network, exact_node_threshold=0
+        )
+        engine.ensure_index()
+        nodes = sorted(small_road_network.nodes())
+        queries = [
+            (nodes[0], nodes[-1]),
+            (nodes[1], nodes[-2]),
+            (nodes[2], nodes[-3]),
+            (nodes[3], nodes[-4]),
+        ]
+        tracer = Tracer()
+        result = execute_batch(
+            engine, queries, max_workers=3, tracer=tracer,
+            group_by_source=False,
+        )
+        assert len(result) == len(queries)
+        roots = tracer.roots()
+        units = [r for r in roots if r.name == "batch.unit"]
+        # every unit ran in a worker thread => it is its own root, and
+        # every span beneath it stayed on that worker's thread
+        assert len(units) == len(queries)
+        for unit in units:
+            for span, _depth in unit.walk():
+                assert span.thread_id == unit.thread_id
+        execute_main = [r for r in roots if r.name == "batch.execute"]
+        assert len(execute_main) == 1
+        # pool tasks never run on the submitting thread, so every unit
+        # is a root of its own worker-thread trace, detached from the
+        # fan-out span (which thread handles how many units is up to
+        # the pool scheduler and deliberately not asserted)
+        assert all(
+            u.thread_id != execute_main[0].thread_id for u in units
+        )
+        assert not execute_main[0].children
+        # the fan-out span itself ran on the calling thread and has no
+        # cross-thread children mixed in
+        assert all(
+            s.thread_id == execute_main[0].thread_id
+            for s, _ in execute_main[0].walk()
+        )
+
+    def test_engine_aggregates_phase_histograms(self, small_road_network):
+        engine = SkylineQueryEngine(small_road_network)
+        engine.ensure_index()
+        nodes = sorted(small_road_network.nodes())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            engine.query(nodes[0], nodes[-1])
+        snap = engine.metrics.snapshot()
+        assert snap["histograms"]["serve.query_group"]["count"] == 1
+        # the engine folded the whole span subtree into the registry
+        assert "search.bbs" in snap["histograms"] or any(
+            name.startswith("query.phase.") for name in snap["histograms"]
+        )

@@ -1,0 +1,221 @@
+"""Tests for the repro.obs tracer core.
+
+Covers span nesting/parenting, attrs and counters, the disabled
+no-op path (shared NULL_SPAN singleton, near-zero overhead), the
+process-wide default tracer plumbing, per-thread span-stack isolation,
+and error annotation on exceptions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    resolve_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("leaf") as leaf:
+                    pass
+            with tracer.span("mid2") as mid2:
+                pass
+        roots = tracer.roots()
+        assert roots == [outer]
+        assert [c.name for c in outer.children] == ["mid", "mid2"]
+        assert mid.children == [leaf]
+        assert leaf.parent is mid
+        assert mid.parent is outer and mid2.parent is outer
+        assert outer.parent is None
+
+    def test_sequential_roots_all_collected(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.roots()] == ["a", "b", "c"]
+
+    def test_attrs_and_counters(self):
+        tracer = Tracer()
+        with tracer.span("work", source=3, target=7) as span:
+            span.set(paths=4)
+            span.count("pushes")
+            span.count("pushes", 2)
+            span.count("pruned", 5)
+        assert span.attrs == {"source": 3, "target": 7, "paths": 4}
+        assert span.counters == {"pushes": 3, "pruned": 5}
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                time.sleep(0.002)
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_walk_yields_depth_first_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        walked = [(s.name, d) for s, d in root.walk()]
+        assert walked == [("root", 0), ("a", 1), ("a1", 2), ("b", 1)]
+
+    def test_exception_annotates_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom") as span:
+                raise ValueError("bad")
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None  # span still closed
+        assert tracer.roots() == [span]
+
+    def test_reset_clears_roots_and_stacks(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.current() is None
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", attr=1)
+        assert span is NULL_SPAN
+        assert not span.enabled
+        # the null span absorbs the full API
+        with span as s:
+            s.set(x=1)
+            s.count("y")
+        assert span.duration == 0.0
+        assert tracer.roots() == []
+
+    def test_default_tracer_is_disabled(self):
+        assert not get_tracer().enabled
+        assert get_tracer().span("x") is NULL_SPAN
+
+    def test_resolve_tracer_prefers_explicit(self):
+        mine = Tracer()
+        assert resolve_tracer(mine) is mine
+        assert resolve_tracer(None) is get_tracer()
+
+    def test_use_tracer_installs_and_restores(self):
+        before = get_tracer()
+        scoped = Tracer()
+        with use_tracer(scoped):
+            assert get_tracer() is scoped
+            with get_tracer().span("seen"):
+                pass
+        assert get_tracer() is before
+        assert [r.name for r in scoped.roots()] == ["seen"]
+
+    def test_set_tracer_none_restores_default(self):
+        custom = Tracer()
+        set_tracer(custom)
+        try:
+            assert get_tracer() is custom
+        finally:
+            set_tracer(None)
+        assert not get_tracer().enabled
+
+    def test_noop_overhead_is_small(self):
+        """Disabled tracing must stay within noise of no tracing.
+
+        This is a loose smoke test (3x slack, generous loop counts) so
+        it cannot flake on slow CI; the real <2% criterion is measured
+        by benchmarks/bench_obs_overhead.py.
+        """
+        tracer = Tracer(enabled=False)
+        n = 50_000
+
+        def plain():
+            acc = 0
+            for i in range(n):
+                acc += i
+            return acc
+
+        def traced():
+            acc = 0
+            for i in range(n):
+                acc += i
+            with tracer.span("tick"):
+                pass
+            return acc
+
+        # warm up, then take the best of a few runs each
+        plain()
+        traced()
+        best_plain = best_traced = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            plain()
+            best_plain = min(best_plain, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            traced()
+            best_traced = min(best_traced, time.perf_counter() - t0)
+        assert best_traced < best_plain * 3.0
+
+
+class TestThreadIsolation:
+    def test_span_stacks_are_per_thread(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(3)
+        errors: list[str] = []
+
+        def worker(name: str):
+            try:
+                with tracer.span(name) as outer:
+                    barrier.wait(timeout=5)
+                    with tracer.span(f"{name}.child") as child:
+                        pass
+                    assert child.parent is outer, "cross-thread parenting"
+                    assert child.thread_id == threading.get_ident()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(f"{name}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots()
+        assert sorted(r.name for r in roots) == ["t0", "t1", "t2"]
+        for root in roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+            assert root.thread_id == root.children[0].thread_id
+
+    def test_current_reflects_this_threads_stack_only(self):
+        tracer = Tracer()
+        seen_in_thread: list[object] = []
+
+        with tracer.span("main-span"):
+            def probe():
+                seen_in_thread.append(tracer.current())
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            assert tracer.current().name == "main-span"
+        assert seen_in_thread == [None]

@@ -1,0 +1,158 @@
+"""Tests for the serving-layer metrics registry (repro.service.metrics).
+
+Focus areas: the uniform-reservoir histogram (exact count/sum/min/max,
+deterministic seeded sampling, unbiased retention), the ``# TYPE``
+lines and gauge in the plaintext export, and the registry's
+uptime/created_at snapshot fields.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_and_rejects_negative(self):
+        c = Counter("hits")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+
+class TestHistogramReservoir:
+    def test_exact_stats_survive_reservoir_overflow(self):
+        h = Histogram("lat", max_samples=16)
+        values = [float(i) for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        doc = h.summary()
+        assert doc["count"] == 1000
+        assert doc["sum"] == pytest.approx(sum(values))
+        assert doc["min"] == 0.0
+        assert doc["max"] == 999.0
+        assert doc["mean"] == pytest.approx(sum(values) / 1000)
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram("lat", max_samples=16)
+        for i in range(10_000):
+            h.observe(float(i))
+        assert len(h._samples) == 16
+
+    def test_same_seed_same_reservoir(self):
+        a = Histogram("lat", max_samples=16, seed=42)
+        b = Histogram("lat", max_samples=16, seed=42)
+        for i in range(5000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a._samples == b._samples
+
+    def test_default_seed_derives_from_name(self):
+        a = Histogram("lat", max_samples=16)
+        b = Histogram("lat", max_samples=16)
+        for i in range(5000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a._samples == b._samples  # name-seeded => reproducible
+
+    def test_reservoir_is_not_biased_toward_early_values(self):
+        """Late observations must be retained, unlike [::2] decimation.
+
+        Feed 0..9999 through a 64-slot reservoir: under uniform
+        sampling the retained mean approaches the stream mean (~5000),
+        whereas repeated halving decimation would keep mostly early
+        observations.
+        """
+        h = Histogram("lat", max_samples=64, seed=7)
+        n = 10_000
+        for i in range(n):
+            h.observe(float(i))
+        retained_mean = sum(h._samples) / len(h._samples)
+        assert abs(retained_mean - n / 2) < n / 5
+        assert any(v >= n * 0.75 for v in h._samples), (
+            "no late-stream observation survived sampling"
+        )
+
+    def test_percentiles_on_small_exact_sample(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0.50) == 50.0
+        assert h.percentile(0.95) == 95.0
+        assert h.percentile(0.99) == 99.0
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        doc = Histogram("lat").summary()
+        assert doc == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+
+class TestRegistrySnapshot:
+    def test_uptime_is_monotonic_and_present(self):
+        registry = MetricsRegistry()
+        first = registry.snapshot()["uptime_seconds"]
+        time.sleep(0.005)
+        second = registry.snapshot()["uptime_seconds"]
+        assert 0 <= first < second
+        assert registry.uptime_seconds >= second
+
+    def test_created_at_echoed_verbatim(self):
+        stamp = "2026-08-06T00:00:00Z"
+        registry = MetricsRegistry(created_at=stamp)
+        assert registry.snapshot()["created_at"] == stamp
+        assert MetricsRegistry().snapshot()["created_at"] is None
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry(created_at=123.0)
+        registry.increment("served", 2)
+        registry.observe("seconds", 0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"served": 2}
+        assert snap["histograms"]["seconds"]["count"] == 1
+        assert set(snap) == {
+            "counters", "histograms", "uptime_seconds", "created_at",
+        }
+
+
+class TestTextExport:
+    def test_type_lines_for_every_instrument_kind(self):
+        registry = MetricsRegistry()
+        registry.increment("served", 3)
+        registry.observe("seconds", 0.5)
+        text = registry.to_text()
+        assert "# TYPE served counter" in text
+        assert "# TYPE seconds summary" in text
+        assert "# TYPE uptime_seconds gauge" in text
+
+    def test_text_parses_line_by_line(self):
+        registry = MetricsRegistry()
+        registry.increment("a.served", 3)
+        registry.observe("a.seconds", 0.5)
+        registry.observe("a.seconds", 1.5)
+        for line in registry.to_text().splitlines():
+            if line.startswith("# TYPE "):
+                name, kind = line[len("# TYPE "):].rsplit(" ", 1)
+                assert kind in {"counter", "summary", "gauge"}
+                assert name
+                continue
+            # every sample line: "<name>[{labels}] <float>"
+            name, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name and not name.startswith(" ")
+
+    def test_counter_and_quantile_values(self):
+        registry = MetricsRegistry()
+        registry.increment("served", 3)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            registry.observe("seconds", v)
+        text = registry.to_text()
+        assert "served 3" in text
+        assert "seconds_count 4" in text
+        assert 'seconds{quantile="0.95"}' in text
