@@ -1,0 +1,134 @@
+"""Persistence benchmark: legacy JSON vs the repro.store binary format.
+
+Not a paper figure — this measures the PR's storage subsystem on the
+scaled NY network.  Four questions:
+
+* size — how much smaller is the checksummed binary than the JSON dump?
+* save — single-pass binary write vs ``json.dump``,
+* load — eager and lazy binary reads vs JSON (v2, landmark tables
+  inline) and legacy JSON (v1, landmark tables rebuilt via Dijkstra),
+* warm start — ``SkylineQueryEngine.warm_from_store`` end to end.
+
+The acceptance bar from the issue: binary at least 3x smaller than
+JSON, and warm-from-store at least 5x faster than a legacy JSON load
+(which re-runs the landmark Dijkstras).  Results go to
+``benchmarks/results/store.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    SCALED_M_MIN,
+    SCALED_P,
+    record_telemetry,
+    report,
+    scaled_m,
+)
+from repro.core import BackboneParams, build_backbone_index
+from repro.core.index import BackboneIndex
+from repro.eval import format_table
+from repro.service import SkylineQueryEngine
+
+MODULE = "bench_store"
+LOAD_ROUNDS = 5
+
+
+def _timeit(fn, rounds: int = LOAD_ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def built(ny_small):
+    params = BackboneParams(
+        m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    return ny_small, build_backbone_index(ny_small, params)
+
+
+def _write_legacy_v1(v2_path, v1_path) -> None:
+    """Rewrite a v2 JSON dump as the pre-store v1 layout (no landmark
+    tables), forcing the loader down the Dijkstra-rebuild path."""
+    doc = json.loads(v2_path.read_text())
+    doc["version"] = 1
+    doc.pop("landmarks", None)
+    v1_path.write_text(json.dumps(doc))
+
+
+def test_store_persistence(built, tmp_path_factory):
+    graph, index = built
+    workdir = tmp_path_factory.mktemp("store_bench")
+    json_path = workdir / "index.json"
+    v1_path = workdir / "index_v1.json"
+    binary_path = workdir / "index.rbi"
+
+    json_save = _timeit(lambda: index.save(json_path, format="json"))
+    binary_save = _timeit(lambda: index.save(binary_path))
+    _write_legacy_v1(json_path, v1_path)
+
+    json_size = json_path.stat().st_size
+    binary_size = binary_path.stat().st_size
+    size_ratio = json_size / binary_size
+
+    json_load = _timeit(lambda: BackboneIndex.load(json_path, graph))
+    legacy_load = _timeit(lambda: BackboneIndex.load(v1_path, graph))
+    binary_load = _timeit(lambda: BackboneIndex.load(binary_path, graph))
+    lazy_load = _timeit(
+        lambda: BackboneIndex.load(binary_path, graph, lazy=True)
+    )
+
+    def warm_start():
+        SkylineQueryEngine(graph).warm_from_store(binary_path)
+
+    warm = _timeit(warm_start)
+    warm_ratio = legacy_load / warm
+
+    rows = [
+        ["json v2", f"{json_size:>9,}", f"{json_save * 1e3:8.2f}",
+         f"{json_load * 1e3:8.2f}"],
+        ["json v1 (rebuild)", "-", "-", f"{legacy_load * 1e3:8.2f}"],
+        ["binary", f"{binary_size:>9,}", f"{binary_save * 1e3:8.2f}",
+         f"{binary_load * 1e3:8.2f}"],
+        ["binary lazy", "-", "-", f"{lazy_load * 1e3:8.2f}"],
+        ["warm_from_store", "-", "-", f"{warm * 1e3:8.2f}"],
+    ]
+    table = format_table(
+        ["format", "bytes", "save ms", "load ms"], rows
+    )
+    summary = (
+        f"{table}\n\n"
+        f"size ratio (json/binary):        {size_ratio:5.2f}x\n"
+        f"warm-start speedup (vs json v1): {warm_ratio:5.2f}x\n"
+    )
+    report("store", summary)
+    record_telemetry(
+        MODULE,
+        json_size_bytes=json_size,
+        binary_size_bytes=binary_size,
+        size_ratio=round(size_ratio, 2),
+        json_load_seconds=round(json_load, 6),
+        legacy_v1_load_seconds=round(legacy_load, 6),
+        binary_load_seconds=round(binary_load, 6),
+        lazy_load_seconds=round(lazy_load, 6),
+        warm_from_store_seconds=round(warm, 6),
+        warm_start_speedup=round(warm_ratio, 2),
+    )
+
+    assert size_ratio >= 3.0, f"binary only {size_ratio:.2f}x smaller"
+    assert warm_ratio >= 5.0, f"warm start only {warm_ratio:.2f}x faster"
+
+    # The fast paths must not change answers.
+    nodes = sorted(graph.nodes())
+    s, t = nodes[3], nodes[-4]
+    want = {tuple(p.cost) for p in index.query(s, t)}
+    reloaded = BackboneIndex.load(binary_path, graph, lazy=True)
+    assert {tuple(p.cost) for p in reloaded.query(s, t)} == want

@@ -20,7 +20,10 @@ Cao.  The package provides:
   trace export, span->metrics aggregation) over build, query, search,
   and serving;
 * :mod:`repro.service` — the serving layer (warm engine, result
-  cache, batch executor, metrics).
+  cache, batch executor, metrics);
+* :mod:`repro.store` — binary index persistence (checksummed
+  sectioned format, lazy loading, generation snapshots) for fast
+  warm starts.
 
 Quickstart::
 
@@ -71,6 +74,7 @@ from repro.search import (
     one_to_all_skyline,
     skyline_paths,
 )
+from repro.store import Snapshotter, load_index, save_index
 
 __version__ = "1.0.0"
 
@@ -94,6 +98,7 @@ __all__ = [
     "QueryError",
     "ReproError",
     "SearchTimeoutError",
+    "Snapshotter",
     "Tracer",
     "assign_costs",
     "backbone_one_to_all",
@@ -104,11 +109,13 @@ __all__ = [
     "get_tracer",
     "goodness",
     "graph_stats",
+    "load_index",
     "many_to_many_skyline",
     "one_to_all_skyline",
     "rac",
     "random_queries",
     "road_network",
+    "save_index",
     "set_tracer",
     "skyline_of",
     "skyline_paths",

@@ -1,14 +1,15 @@
 """Command-line interface for the backbone-index library.
 
-Eight subcommands cover the full workflow a downstream user needs::
+Nine subcommands cover the full workflow a downstream user needs::
 
     repro generate --nodes 2000 --out net          # net.gr + net.co
-    repro build net.gr --out net.index.json
-    repro query net.gr net.index.json --source 3 --target 907 --exact
+    repro build net.gr --out net.rbi
+    repro query net.gr net.rbi --source 3 --target 907 --exact
     repro trace net.gr --source 3 --target 907 --out trace.json
-    repro serve-batch net.gr --index net.index.json --queries q.txt
-    repro warm net.gr --out net.index.json
-    repro stats net.gr --index net.index.json
+    repro serve-batch net.gr --store net.rbi --queries q.txt
+    repro warm net.gr --out net.rbi
+    repro index inspect net.rbi                    # also: save/load/snapshot
+    repro stats net.gr --index net.rbi
     repro datasets
 
 Run ``python -m repro <command> --help`` for per-command options.
@@ -104,7 +105,7 @@ def cmd_build(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     index = build_backbone_index(graph, _params_from(args))
     elapsed = time.perf_counter() - started
-    index.save(args.out)
+    index.save(args.out, format=args.format)
     stats = index.stats()
     print(
         f"built backbone index in {fmt_seconds(elapsed)}: "
@@ -255,6 +256,15 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         default_time_budget=args.budget,
         tracer=tracer,
     )
+    if args.store:
+        timings = engine.warm_from_store(args.store)
+        generation = timings.get("snapshot_generation")
+        suffix = f" (snapshot g{generation})" if generation is not None else ""
+        print(
+            f"warm-started from {timings['source']}{suffix} in "
+            f"{fmt_seconds(timings['store_load_seconds'])}",
+            file=sys.stderr,
+        )
     if args.warm:
         timings = engine.warm()
         print(
@@ -366,6 +376,91 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_index_save(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    started = time.perf_counter()
+    index = BackboneIndex.load(args.index, graph)
+    load_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    index.save(args.out, format=args.format, compress=not args.no_compress)
+    save_seconds = time.perf_counter() - started
+    size = FilePath(args.out).stat().st_size
+    print(
+        f"loaded {args.index} in {fmt_seconds(load_seconds)}, "
+        f"saved {args.format} ({fmt_bytes(size)}) in "
+        f"{fmt_seconds(save_seconds)} -> {args.out}"
+    )
+    return 0
+
+
+def cmd_index_load(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    started = time.perf_counter()
+    index = BackboneIndex.load(args.index, graph, lazy=args.lazy)
+    elapsed = time.perf_counter() - started
+    stats = index.stats()
+    lazy_note = " (lazy: label levels deferred)" if args.lazy else ""
+    print(
+        f"loaded index in {fmt_seconds(elapsed)}{lazy_note}: "
+        f"L={stats['height']}, |G_L.V|={stats['top_graph_nodes']}, "
+        f"{len(index.landmarks.landmarks)} landmarks restored"
+    )
+    return 0
+
+
+def cmd_index_inspect(args: argparse.Namespace) -> int:
+    from repro.store import inspect_store, is_store_file
+
+    if is_store_file(args.index):
+        print(json.dumps(inspect_store(args.index), indent=2))
+        return 0
+    with open(args.index) as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-backbone-index":
+        print(f"error: {args.index}: not a backbone index file",
+              file=sys.stderr)
+        return 1
+    print(
+        json.dumps(
+            {
+                "path": args.index,
+                "format": document.get("format"),
+                "version": document.get("version"),
+                "dim": document.get("dim"),
+                "levels": len(document.get("levels", [])),
+                "file_bytes": FilePath(args.index).stat().st_size,
+                "params": document.get("params"),
+                "landmarks_persisted": "landmarks" in document,
+            },
+            indent=2,
+        )
+    )
+    return 0
+
+
+def cmd_index_snapshot(args: argparse.Namespace) -> int:
+    from repro.store import Snapshotter
+
+    graph = _load_graph(args.graph)
+    snapshotter = Snapshotter(args.dir, retain=args.retain)
+    if args.index:
+        index = BackboneIndex.load(args.index, graph)
+    else:
+        index = build_backbone_index(graph, _params_from(args))
+    generation = args.generation
+    if generation is None:
+        existing = snapshotter.snapshots()
+        generation = existing[0][0] + 1 if existing else 0
+    path = snapshotter.snapshot(index, generation)
+    kept = snapshotter.snapshots()
+    print(
+        f"snapshot g{generation} ({fmt_bytes(path.stat().st_size)}) -> "
+        f"{path}; {len(kept)} snapshot(s) retained "
+        f"(newest g{kept[0][0]}, retain {args.retain})"
+    )
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace) -> int:
     from repro.datasets import dataset_info, list_datasets
 
@@ -417,7 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     build = commands.add_parser("build", help="build a backbone index")
     build.add_argument("graph", help="DIMACS .gr file")
-    build.add_argument("--out", required=True, help="index output (JSON)")
+    build.add_argument("--out", required=True, help="index output file")
+    build.add_argument("--format", choices=["binary", "json"],
+                       default="binary",
+                       help="binary store (default) or legacy JSON")
     build.add_argument("--verify", action="store_true",
                        help="run structural self-validation after building")
     _add_param_options(build)
@@ -481,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--index",
                        help="saved index from 'repro build'/'repro warm' "
                             "(built on demand when omitted)")
+    serve.add_argument("--store",
+                       help="warm-start source: an index file (binary or "
+                            "JSON) or a snapshot directory, in which case "
+                            "the newest valid snapshot is recovered")
     serve.add_argument("--queries", default="-",
                        help="query file, or '-' for stdin (default)")
     serve.add_argument("--workers", type=int, default=4,
@@ -509,9 +611,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="build and save an index, priming the engine's warm state",
     )
     warm.add_argument("graph", help="DIMACS .gr file")
-    warm.add_argument("--out", required=True, help="index output (JSON)")
+    warm.add_argument("--out", required=True, help="index output file")
     _add_param_options(warm)
     warm.set_defaults(handler=cmd_warm)
+
+    index_cmd = commands.add_parser(
+        "index",
+        help="persist, inspect, and snapshot index stores",
+        description=(
+            "Maintenance commands for persisted indexes: convert between "
+            "the binary store and legacy JSON formats, time a warm-start "
+            "load, dump a store file's header and section table, and "
+            "write retention-pruned generation snapshots."
+        ),
+    )
+    index_sub = index_cmd.add_subparsers(dest="index_command", required=True)
+
+    index_save = index_sub.add_parser(
+        "save", help="re-save an index in another format"
+    )
+    index_save.add_argument("graph", help="DIMACS .gr file")
+    index_save.add_argument("index", help="existing index file (any format)")
+    index_save.add_argument("--out", required=True, help="output index file")
+    index_save.add_argument("--format", choices=["binary", "json"],
+                            default="binary",
+                            help="output format (default binary)")
+    index_save.add_argument("--no-compress", action="store_true",
+                            dest="no_compress",
+                            help="disable zlib section compression")
+    index_save.set_defaults(handler=cmd_index_save)
+
+    index_load = index_sub.add_parser(
+        "load", help="load an index and report warm-start timing"
+    )
+    index_load.add_argument("graph", help="DIMACS .gr file")
+    index_load.add_argument("index", help="index file (any format)")
+    index_load.add_argument("--lazy", action="store_true",
+                            help="defer label levels to first access "
+                                 "(binary stores only)")
+    index_load.set_defaults(handler=cmd_index_load)
+
+    index_inspect = index_sub.add_parser(
+        "inspect", help="dump an index file's header and sections as JSON"
+    )
+    index_inspect.add_argument("index", help="index file (any format)")
+    index_inspect.set_defaults(handler=cmd_index_inspect)
+
+    index_snapshot = index_sub.add_parser(
+        "snapshot", help="write a generation snapshot of an index"
+    )
+    index_snapshot.add_argument("graph", help="DIMACS .gr file")
+    index_snapshot.add_argument("--index",
+                                help="index file to snapshot (built on "
+                                     "demand when omitted)")
+    index_snapshot.add_argument("--dir", required=True,
+                                help="snapshot directory")
+    index_snapshot.add_argument("--generation", type=int, default=None,
+                                help="generation number (default: newest "
+                                     "on disk + 1)")
+    index_snapshot.add_argument("--retain", type=int, default=3,
+                                help="snapshots to keep (default 3)")
+    _add_param_options(index_snapshot)
+    index_snapshot.set_defaults(handler=cmd_index_snapshot)
 
     stats = commands.add_parser("stats", help="print graph / index statistics")
     stats.add_argument("graph", help="DIMACS .gr file")

@@ -76,6 +76,7 @@ class BackboneIndex:
         for (u, v, _cost), sequence in provenance.items():
             key = (u, v) if u <= v else (v, u)
             self._pair_provenance.setdefault(key, []).append(sequence)
+        self._size_bytes_cache: int | None = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -96,11 +97,29 @@ class BackboneIndex:
         return sum(level.path_count() for level in self.levels)
 
     def size_bytes(self) -> int:
-        """Approximate in-memory footprint of the index payload.
+        """Measured size of the index payload: its binary-store bytes.
+
+        This is the number the paper's index-size comparisons want —
+        what the index costs to persist and ship, not what CPython's
+        boxed objects happen to occupy.  The serialization is cached;
+        a :class:`BackboneIndex` is immutable after construction
+        (maintenance builds a new one).  The old per-object estimate
+        remains available as :meth:`estimated_size_bytes`.
+        """
+        if self._size_bytes_cache is None:
+            from repro.store.writer import serialize_index
+
+            self._size_bytes_cache = len(serialize_index(self))
+        return self._size_bytes_cache
+
+    def estimated_size_bytes(self) -> int:
+        """Estimated in-memory footprint of the index payload.
 
         Counts label path nodes and costs, the top graph, landmark
-        entries, and provenance sequences — a compact-serialization
-        estimate suitable for the paper's index-size comparisons.
+        entries, and provenance sequences at boxed-object sizes
+        (``sys.getsizeof``) — an upper-bound estimate of what the live
+        Python structures occupy, kept for comparison with the
+        measured :meth:`size_bytes`.
         """
         int_size = sys.getsizeof(0)
         float_size = sys.getsizeof(0.0)
@@ -132,6 +151,7 @@ class BackboneIndex:
             "top_graph_nodes": self.top_graph.num_nodes,
             "top_graph_edges": self.top_graph.num_edge_entries,
             "size_bytes": self.size_bytes(),
+            "estimated_size_bytes": self.estimated_size_bytes(),
             "build_seconds": self.build_stats.elapsed_seconds,
             "shortcuts": len(self.provenance),
         }
@@ -206,11 +226,33 @@ class BackboneIndex:
     # serialization
     # ------------------------------------------------------------------
 
-    def save(self, path: FilePath | str) -> None:
-        """Write the index to a JSON file (versioned format)."""
+    def save(
+        self,
+        path: FilePath | str,
+        *,
+        format: str = "binary",
+        compress: bool = True,
+    ) -> None:
+        """Persist the index.
+
+        ``format="binary"`` (default) writes the compact, checksummed
+        :mod:`repro.store` format — including the landmark tables, so
+        loading restores bit-identical bounds without rebuilding.
+        ``format="json"`` writes the legacy verbose JSON document.
+        Both writes are atomic (tmp file + ``os.replace``).
+        """
+        if format == "binary":
+            from repro.store.writer import save_index
+
+            save_index(self, path, compress=compress)
+            return
+        if format != "json":
+            raise BuildError(
+                f"unknown index format {format!r} (use 'binary' or 'json')"
+            )
         document = {
             "format": "repro-backbone-index",
-            "version": 1,
+            "version": 2,
             "dim": self.dim,
             "params": {
                 "m_max": self.params.m_max,
@@ -244,25 +286,49 @@ class BackboneIndex:
                 {"u": u, "v": v, "cost": list(cost), "seq": list(sequence)}
                 for (u, v, cost), sequence in self.provenance.items()
             ],
+            "landmarks": {
+                "nodes": self.landmarks.landmarks,
+                "tables": [
+                    [
+                        [[node, dist] for node, dist in table.items()]
+                        for table in per_landmark
+                    ]
+                    for per_landmark in self.landmarks.distance_tables()
+                ],
+            },
         }
-        with open(path, "w") as handle:
-            json.dump(document, handle)
+        from repro.store.writer import atomic_write_bytes
+
+        atomic_write_bytes(path, json.dumps(document).encode("utf-8"))
 
     @classmethod
     def load(
-        cls, path: FilePath | str, original_graph: MultiCostGraph
+        cls,
+        path: FilePath | str,
+        original_graph: MultiCostGraph,
+        *,
+        lazy: bool = False,
     ) -> "BackboneIndex":
-        """Load an index saved by :meth:`save`.
+        """Load an index saved by :meth:`save` (either format).
 
-        The original graph is supplied by the caller (the index file
-        stores only the derived structures, matching the paper's setup
-        where graphs live in the database and the index besides it).
+        The format is sniffed from the file's magic bytes: binary
+        store files go through :mod:`repro.store` (``lazy=True`` defers
+        the per-level label sections until first access); anything else
+        is parsed as the legacy JSON document.  The original graph is
+        supplied by the caller (the index file stores only the derived
+        structures, matching the paper's setup where graphs live in
+        the database and the index besides it).
         """
+        from repro.store.reader import is_store_file, load_index
+
+        if is_store_file(path):
+            return load_index(path, original_graph, lazy=lazy)
         with open(path) as handle:
             document = json.load(handle)
         if document.get("format") != "repro-backbone-index":
             raise BuildError(f"{path}: not a backbone index file")
-        if document.get("version") != 1:
+        version = document.get("version")
+        if version not in (1, 2):
             raise BuildError(f"{path}: unsupported index version")
         raw = document["params"]
         params = BackboneParams(
@@ -297,9 +363,26 @@ class BackboneIndex:
             (entry["u"], entry["v"], tuple(entry["cost"])): tuple(entry["seq"])
             for entry in document["provenance"]
         }
-        landmarks = LandmarkIndex(
-            top_graph, min(params.landmark_count, max(top_graph.num_nodes, 1))
-        )
+        stored_landmarks = document.get("landmarks")
+        if stored_landmarks is not None:
+            landmarks = LandmarkIndex.from_tables(
+                document["dim"],
+                stored_landmarks["nodes"],
+                [
+                    [
+                        {int(node): float(dist) for node, dist in table}
+                        for table in per_landmark
+                    ]
+                    for per_landmark in stored_landmarks["tables"]
+                ],
+            )
+        else:
+            # Version-1 documents predate landmark persistence; rebuild
+            # the tables from G_L (the legacy Dijkstra-per-landmark cost).
+            landmarks = LandmarkIndex(
+                top_graph,
+                min(params.landmark_count, max(top_graph.num_nodes, 1)),
+            )
         return cls(
             original_graph=original_graph,
             params=params,

@@ -96,6 +96,11 @@ class SkylineQueryEngine:
         invalidation happen automatically.
     cache_size:
         LRU result-cache capacity (0 disables caching).
+    snapshotter:
+        A :class:`~repro.store.snapshot.Snapshotter`; when given, every
+        maintenance generation bump persists the repaired index to its
+        snapshot directory (atomic, retention-pruned), so a restarted
+        process warm-starts from the newest generation it served.
     default_time_budget:
         Per-query wall-clock budget in seconds applied when a call does
         not pass its own; None means unbounded.
@@ -115,6 +120,7 @@ class SkylineQueryEngine:
         exact_node_threshold: int = DEFAULT_EXACT_NODE_THRESHOLD,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        snapshotter=None,
     ) -> None:
         if maintainer is not None:
             graph = maintainer.graph
@@ -136,6 +142,7 @@ class SkylineQueryEngine:
         self.exact_node_threshold = exact_node_threshold
         self._original_landmarks: LandmarkIndex | None = None
         self._build_lock = threading.Lock()
+        self._snapshotter = snapshotter
         if maintainer is not None:
             maintainer.subscribe(self._on_maintenance)
 
@@ -224,6 +231,46 @@ class SkylineQueryEngine:
                 )
         timings["landmark_seconds"] = time.perf_counter() - started
         self.metrics.increment("engine.warmups")
+        return timings
+
+    def warm_from_store(
+        self, path: FilePath | str, *, lazy: bool = True
+    ) -> dict:
+        """Warm-start: install a persisted index instead of building one.
+
+        ``path`` is either a single index file (binary store or legacy
+        JSON, sniffed) or a snapshot directory, in which case the
+        newest valid snapshot is recovered (corrupt files skipped).
+        With ``lazy=True`` (default) a binary store only materializes
+        the top graph, landmark tables, and provenance up front; label
+        levels fault in on first use.  Returns load timings plus what
+        was loaded.  Raises :class:`~repro.errors.BuildError` when the
+        path holds no loadable index.
+        """
+        started = time.perf_counter()
+        generation = None
+        source = FilePath(path)
+        if source.is_dir():
+            from repro.store.snapshot import Snapshotter
+
+            recovered = Snapshotter(source, tracer=self.tracer).recover(
+                self._graph, lazy=lazy
+            )
+            if recovered is None:
+                raise QueryError(
+                    f"{source}: no valid index snapshot to warm from"
+                )
+            index, generation = recovered
+        else:
+            index = BackboneIndex.load(source, self._graph, lazy=lazy)
+        with self._build_lock:
+            self._index = index
+        elapsed = time.perf_counter() - started
+        self.metrics.increment("engine.store_loads")
+        self.metrics.observe("engine.store_load_seconds", elapsed)
+        timings: dict = {"store_load_seconds": elapsed, "source": str(source)}
+        if generation is not None:
+            timings["snapshot_generation"] = generation
         return timings
 
     # ------------------------------------------------------------------
@@ -483,6 +530,19 @@ class SkylineQueryEngine:
         self._original_landmarks = None  # distances may have changed
         self.cache.invalidate_generations_below(generation)
         self.metrics.increment("engine.generation_bumps")
+        if self._snapshotter is not None:
+            started = time.perf_counter()
+            try:
+                self._snapshotter.snapshot(self._index, generation)
+            except OSError:
+                # Persistence is best-effort; serving must not die
+                # because the snapshot disk is full or read-only.
+                self.metrics.increment("engine.snapshot_failures")
+            else:
+                self.metrics.increment("engine.snapshots")
+                self.metrics.observe(
+                    "engine.snapshot_seconds", time.perf_counter() - started
+                )
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,170 @@
+"""Generation-aware index snapshots with retention and recovery.
+
+A :class:`Snapshotter` owns one directory of binary store files, one
+per index generation (``snapshot-g0000000042.rbi``).  Writes are
+atomic (the store writer's tmp-file + ``os.replace``), old generations
+are pruned down to the newest K, and recovery walks generations newest
+first, *skipping* any snapshot that fails to parse or checksum —
+exactly the crash-tolerance a serving deployment needs: a process that
+died mid-snapshot restarts from the newest snapshot that is whole.
+
+Attach one to a :class:`~repro.core.maintenance.MaintainableIndex`
+(:meth:`Snapshotter.attach`) to persist every repaired index as soon
+as maintenance publishes it, or pass it to
+:class:`~repro.service.engine.SkylineQueryEngine` to do the same from
+the serving layer.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path as FilePath
+from typing import TYPE_CHECKING
+
+from repro.errors import BuildError, ReproError
+from repro.obs.tracer import Tracer, resolve_tracer
+from repro.store.reader import load_index
+from repro.store.writer import save_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.index import BackboneIndex
+    from repro.core.maintenance import MaintainableIndex
+    from repro.graph.mcrn import MultiCostGraph
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-g(\d{10})\.rbi$")
+
+
+def _snapshot_name(generation: int) -> str:
+    return f"snapshot-g{generation:010d}.rbi"
+
+
+class Snapshotter:
+    """Writes, retains, and recovers per-generation index snapshots.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live; created on first write.
+    retain:
+        How many newest generations to keep (older ones are pruned
+        after every successful snapshot).
+    compress:
+        Whether snapshot sections are zlib-compressed.
+    """
+
+    def __init__(
+        self,
+        directory: FilePath | str,
+        *,
+        retain: int = 3,
+        compress: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if retain < 1:
+            raise BuildError(f"snapshot retention must be >= 1, got {retain}")
+        self.directory = FilePath(directory)
+        self.retain = retain
+        self.compress = compress
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def snapshot(self, index: "BackboneIndex", generation: int) -> FilePath:
+        """Atomically persist one generation; prune beyond retention."""
+        tracer = resolve_tracer(self.tracer)
+        with tracer.span("store.snapshot", generation=generation) as span:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / _snapshot_name(generation)
+            info = save_index(
+                index, path, compress=self.compress, tracer=self.tracer
+            )
+            pruned = self.prune()
+            if span.enabled:
+                span.set(bytes=info["bytes"], pruned=len(pruned))
+        return path
+
+    def prune(self) -> list[FilePath]:
+        """Delete all but the newest ``retain`` snapshots; return them."""
+        removed: list[FilePath] = []
+        for _generation, path in self.snapshots()[self.retain :]:
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                continue  # a locked/vanished file is not worth failing over
+        return removed
+
+    # ------------------------------------------------------------------
+    # listing and recovery
+    # ------------------------------------------------------------------
+
+    def snapshots(self) -> list[tuple[int, FilePath]]:
+        """``(generation, path)`` pairs, newest generation first."""
+        found: list[tuple[int, FilePath]] = []
+        if not self.directory.is_dir():
+            return found
+        for entry in self.directory.iterdir():
+            match = _SNAPSHOT_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        found.sort(key=lambda pair: pair[0], reverse=True)
+        return found
+
+    def recover(
+        self,
+        original_graph: "MultiCostGraph",
+        *,
+        lazy: bool = False,
+    ) -> tuple["BackboneIndex", int] | None:
+        """Load the newest snapshot that parses and checksums cleanly.
+
+        Corrupt or truncated snapshots (e.g. from a crash mid-write on
+        a filesystem without atomic rename, or bit rot) are skipped,
+        not fatal.  Returns ``(index, generation)`` or ``None`` when no
+        valid snapshot exists.
+        """
+        tracer = resolve_tracer(self.tracer)
+        with tracer.span("store.recover", directory=str(self.directory)) as span:
+            skipped = 0
+            for generation, path in self.snapshots():
+                try:
+                    index = load_index(
+                        path, original_graph, lazy=lazy, tracer=self.tracer
+                    )
+                except (ReproError, OSError):
+                    skipped += 1
+                    continue
+                if span.enabled:
+                    span.set(generation=generation, skipped=skipped)
+                return index, generation
+            if span.enabled:
+                span.set(generation=None, skipped=skipped)
+        return None
+
+    # ------------------------------------------------------------------
+    # maintenance integration
+    # ------------------------------------------------------------------
+
+    def attach(self, maintainer: "MaintainableIndex") -> None:
+        """Snapshot every generation the maintainer publishes.
+
+        Snapshot I/O failures are swallowed: persistence is a
+        durability nicety, index repair must never fail because the
+        disk is full.
+        """
+
+        def on_update(generation: int) -> None:
+            try:
+                self.snapshot(maintainer.index, generation)
+            except OSError:
+                pass
+
+        maintainer.subscribe(on_update)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Snapshotter({self.directory}, retain={self.retain}, "
+            f"{len(self.snapshots())} on disk)"
+        )

@@ -1,0 +1,352 @@
+"""Tests for the binary index store: codec, format, round-trips,
+lazy loading, and corruption handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.index import BackboneIndex
+from repro.core.params import BackboneParams
+from repro.errors import BuildError
+from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.store import (
+    IndexStore,
+    LazyLevelList,
+    inspect_store,
+    is_store_file,
+    load_index,
+    save_index,
+    serialize_index,
+)
+from repro.store.codec import ByteReader, ByteWriter, unzigzag, zigzag
+from repro.store.format import HEADER_STRUCT, MAGIC, SECTION_STRUCT
+from repro.store.writer import encode_top_graph
+
+from tests.conftest import costs_of
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(300, dim=3, seed=17)
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return build_backbone_index(
+        network, BackboneParams(m_max=30, m_min=5, p=0.03)
+    )
+
+
+@pytest.fixture()
+def store_path(tmp_path, index):
+    path = tmp_path / "net.rbi"
+    save_index(index, path)
+    return path
+
+
+class TestCodec:
+    def test_zigzag_roundtrip(self):
+        for value in (0, 1, -1, 63, -64, 2**40, -(2**40)):
+            assert unzigzag(zigzag(value)) == value
+
+    def test_writer_reader_roundtrip(self):
+        writer = ByteWriter()
+        writer.uvarint(0)
+        writer.uvarint(300)
+        writer.svarint(-17)
+        writer.deltas([5, 9, 2, 2, 1000])
+        writer.floats([1.5, -2.25, float("inf")])
+        reader = ByteReader(writer.payload())
+        assert reader.uvarint() == 0
+        assert reader.uvarint() == 300
+        assert reader.svarint() == -17
+        assert reader.deltas(5) == [5, 9, 2, 2, 1000]
+        assert reader.floats(3) == (1.5, -2.25, float("inf"))
+        assert reader.ints_exhausted()
+
+    def test_reader_rejects_overrun(self):
+        writer = ByteWriter()
+        writer.uvarint(7)
+        reader = ByteReader(writer.payload())
+        reader.uvarint()
+        with pytest.raises(BuildError):
+            reader.uvarint()
+        with pytest.raises(BuildError):
+            reader.floats(1)
+
+    def test_ragged_float_block_rejected(self):
+        writer = ByteWriter()
+        writer.floats([1.0])
+        with pytest.raises(BuildError):
+            ByteReader(writer.payload() + b"x")
+
+
+class TestRoundTrip:
+    def test_full_load_answers_identical_queries(
+        self, store_path, network, index
+    ):
+        loaded = load_index(store_path, network)
+        assert loaded.height == index.height
+        assert loaded.label_path_count() == index.label_path_count()
+        assert sorted(loaded.top_graph.nodes()) == sorted(
+            index.top_graph.nodes()
+        )
+        assert loaded.provenance == index.provenance
+        nodes = sorted(network.nodes())
+        for s, t in [(nodes[1], nodes[-2]), (nodes[4], nodes[-7])]:
+            assert costs_of(loaded.query(s, t)) == costs_of(index.query(s, t))
+
+    def test_landmark_bounds_bit_identical(self, store_path, network, index):
+        loaded = load_index(store_path, network)
+        assert loaded.landmarks.landmarks == index.landmarks.landmarks
+        tops = sorted(index.top_graph.nodes())
+        for u in tops[:5]:
+            for v in tops[-5:]:
+                assert loaded.landmarks.lower_bound(
+                    u, v
+                ) == index.landmarks.lower_bound(u, v)
+
+    def test_no_dijkstra_on_load(self, store_path, network, monkeypatch):
+        import repro.search.landmark as landmark_module
+
+        def forbid(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("load must not run Dijkstra")
+
+        monkeypatch.setattr(landmark_module, "shortest_costs", forbid)
+        loaded = load_index(store_path, network)
+        assert loaded.landmarks.size_entries() > 0
+
+    def test_params_roundtrip_exactly(self, store_path, network, index):
+        loaded = load_index(store_path, network)
+        assert loaded.params == index.params
+
+    def test_uncompressed_store_loads_too(self, tmp_path, network, index):
+        path = tmp_path / "raw.rbi"
+        save_index(index, path, compress=False)
+        loaded = load_index(path, network)
+        assert loaded.label_path_count() == index.label_path_count()
+
+    def test_directed_top_graph_flag_survives(self):
+        directed = MultiCostGraph(2, directed=True)
+        directed.add_edge(1, 2, (1.0, 2.0))
+        directed.add_edge(2, 1, (2.0, 1.0))
+        directed.add_edge(2, 5, (1.0, 1.0))
+        decoded = _decode_top_graph_payload(
+            encode_top_graph(directed), dim=2
+        )
+        assert decoded.directed
+        assert decoded.edge_costs(1, 2) == [(1.0, 2.0)]
+        assert decoded.edge_costs(2, 1) == [(2.0, 1.0)]
+        assert sorted(decoded.nodes()) == [1, 2, 5]
+
+
+def _decode_top_graph_payload(payload: bytes, dim: int) -> MultiCostGraph:
+    """Decode a topgraph section payload without a file on disk."""
+    reader = ByteReader(payload)
+    nodes = reader.deltas(reader.uvarint())
+    directed = bool(reader.uvarint())
+    graph = MultiCostGraph(dim, directed=directed)
+    for node in nodes:
+        graph.add_node(node)
+    u = 0
+    for _ in range(reader.uvarint()):
+        u += reader.svarint()
+        v = u + reader.svarint()
+        graph.add_edge(u, v, reader.floats(dim))
+    return graph
+
+
+class TestLazyLoading:
+    def test_lazy_levels_fault_in_on_demand(self, store_path, network, index):
+        loaded = load_index(store_path, network, lazy=True)
+        levels = loaded.levels
+        assert isinstance(levels, LazyLevelList)
+        assert levels.materialized_count() == 0
+        assert len(levels) == index.height
+        _ = levels[0]
+        assert levels.materialized_count() == 1
+        # reversed() and slicing both work through the Sequence protocol
+        assert len(list(reversed(levels))) == index.height
+        assert len(levels[:2]) == min(2, index.height)
+
+    def test_lazy_queries_match_eager(self, store_path, network, index):
+        lazy = load_index(store_path, network, lazy=True)
+        nodes = sorted(network.nodes())
+        s, t = nodes[2], nodes[-3]
+        assert costs_of(lazy.query(s, t)) == costs_of(index.query(s, t))
+
+
+class TestSizeBytes:
+    def test_size_bytes_is_measured_store_size(self, index):
+        assert index.size_bytes() == len(serialize_index(index))
+
+    def test_estimate_still_available_and_larger(self, index):
+        # Boxed-object estimates dwarf the packed binary encoding.
+        assert index.estimated_size_bytes() > index.size_bytes()
+
+    def test_stats_reports_both(self, index):
+        stats = index.stats()
+        assert stats["size_bytes"] == index.size_bytes()
+        assert stats["estimated_size_bytes"] == index.estimated_size_bytes()
+
+
+class TestSniffing:
+    def test_is_store_file(self, store_path, tmp_path):
+        assert is_store_file(store_path)
+        other = tmp_path / "plain.json"
+        other.write_text("{}")
+        assert not is_store_file(other)
+        assert not is_store_file(tmp_path / "missing.rbi")
+
+    def test_backbone_load_sniffs_binary(self, store_path, network, index):
+        loaded = BackboneIndex.load(store_path, network)
+        assert loaded.label_path_count() == index.label_path_count()
+
+    def test_json_save_still_loads(self, tmp_path, network, index):
+        path = tmp_path / "legacy.json"
+        index.save(path, format="json")
+        assert not is_store_file(path)
+        loaded = BackboneIndex.load(path, network)
+        nodes = sorted(network.nodes())
+        assert costs_of(loaded.query(nodes[2], nodes[-3])) == costs_of(
+            index.query(nodes[2], nodes[-3])
+        )
+
+    def test_json_v2_restores_landmarks_without_dijkstra(
+        self, tmp_path, network, index, monkeypatch
+    ):
+        path = tmp_path / "legacy.json"
+        index.save(path, format="json")
+        import repro.search.landmark as landmark_module
+
+        def forbid(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("v2 JSON load must not run Dijkstra")
+
+        monkeypatch.setattr(landmark_module, "shortest_costs", forbid)
+        loaded = BackboneIndex.load(path, network)
+        assert loaded.landmarks.landmarks == index.landmarks.landmarks
+
+    def test_unknown_save_format_rejected(self, tmp_path, index):
+        with pytest.raises(BuildError):
+            index.save(tmp_path / "x", format="msgpack")
+
+    def test_atomic_json_leaves_no_tmp_files(self, tmp_path, index):
+        path = tmp_path / "atomic.json"
+        index.save(path, format="json")
+        index.save(path, format="json")  # overwrite is atomic too
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "atomic.json"]
+        assert leftovers == []
+
+
+class TestCorruption:
+    def test_truncated_file(self, store_path, network, tmp_path):
+        data = store_path.read_bytes()
+        broken = tmp_path / "trunc.rbi"
+        broken.write_bytes(data[: len(data) - max(64, len(data) // 4)])
+        with pytest.raises(BuildError, match="truncated|CRC32"):
+            load_index(broken, network)
+
+    def test_truncated_header(self, store_path, network, tmp_path):
+        broken = tmp_path / "header.rbi"
+        broken.write_bytes(store_path.read_bytes()[:10])
+        with pytest.raises(BuildError, match="truncated"):
+            load_index(broken, network)
+
+    def test_flipped_payload_byte_fails_crc(
+        self, store_path, network, tmp_path
+    ):
+        data = bytearray(store_path.read_bytes())
+        store = IndexStore(store_path)
+        # Flip one byte inside the largest section's payload.
+        victim = max(store.sections.values(), key=lambda s: s.stored_len)
+        data[victim.offset + victim.stored_len // 2] ^= 0xFF
+        broken = tmp_path / "bitrot.rbi"
+        broken.write_bytes(bytes(data))
+        with pytest.raises(BuildError, match="CRC32"):
+            load_index(broken, network)
+
+    def test_wrong_magic(self, store_path, network, tmp_path):
+        data = bytearray(store_path.read_bytes())
+        data[:4] = b"NOPE"
+        broken = tmp_path / "magic.rbi"
+        broken.write_bytes(bytes(data))
+        with pytest.raises(BuildError, match="not a backbone index"):
+            load_index(broken, network)
+
+    def test_wrong_version(self, store_path, network, tmp_path):
+        data = bytearray(store_path.read_bytes())
+        header = HEADER_STRUCT.unpack_from(data)
+        HEADER_STRUCT.pack_into(
+            data, 0, header[0], 99, *header[2:]
+        )
+        broken = tmp_path / "v99.rbi"
+        broken.write_bytes(bytes(data))
+        with pytest.raises(BuildError, match="version"):
+            load_index(broken, network)
+
+    def test_lazy_load_reports_corrupt_level_on_access(
+        self, store_path, network, tmp_path
+    ):
+        data = bytearray(store_path.read_bytes())
+        store = IndexStore(store_path)
+        victim = max(
+            (s for tag, s in store.sections.items() if tag.startswith("level:")),
+            key=lambda s: s.stored_len,
+        )
+        data[victim.offset] ^= 0xFF
+        broken = tmp_path / "lazylevel.rbi"
+        broken.write_bytes(bytes(data))
+        # Opening and loading the eager sections succeeds...
+        lazy = load_index(broken, network, lazy=True)
+        # ...the corrupt level only surfaces when faulted in.
+        level_number = int(victim.tag.split(":")[1])
+        with pytest.raises(BuildError, match="CRC32"):
+            lazy.levels[level_number]
+
+    def test_missing_section(self, index, network, tmp_path):
+        data = bytearray(serialize_index(index))
+        # Rename the landmarks section tag so lookup fails.
+        offset = HEADER_STRUCT.size
+        while True:
+            tag = bytes(data[offset : offset + 12]).rstrip(b"\x00")
+            if tag == b"landmarks":
+                data[offset : offset + 12] = b"nolandmarks!".ljust(12, b"\x00")
+                # fix the table entry's tag only; CRC covers payloads
+                break
+            offset += SECTION_STRUCT.size
+        broken = tmp_path / "missing.rbi"
+        broken.write_bytes(bytes(data))
+        with pytest.raises(BuildError, match="missing section"):
+            load_index(broken, network)
+
+
+class TestInspect:
+    def test_inspect_reports_sections(self, store_path):
+        info = inspect_store(store_path)
+        assert info["format"] == "repro-backbone-store"
+        assert info["version"] == 1
+        tags = {section["tag"] for section in info["sections"]}
+        assert {"params", "topgraph", "landmarks", "provenance"} <= tags
+        assert any(tag.startswith("level:") for tag in tags)
+        assert info["file_bytes"] == store_path.stat().st_size
+        for section in info["sections"]:
+            assert section["raw_bytes"] >= section["stored_bytes"] or (
+                not section["compressed"]
+            )
+
+    def test_inspect_rejects_non_store(self, tmp_path):
+        path = tmp_path / "nope.rbi"
+        path.write_bytes(b"garbage bytes that are not a store")
+        with pytest.raises(BuildError):
+            inspect_store(path)
+
+
+class TestCompressionEffectiveness:
+    def test_binary_much_smaller_than_json(self, tmp_path, index):
+        json_path = tmp_path / "i.json"
+        binary_path = tmp_path / "i.rbi"
+        index.save(json_path, format="json")
+        index.save(binary_path)
+        assert binary_path.stat().st_size * 3 <= json_path.stat().st_size

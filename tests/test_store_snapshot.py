@@ -1,0 +1,161 @@
+"""Tests for the generation-aware snapshotter: atomic writes,
+retention, corrupt-skipping recovery, and maintenance/engine hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.maintenance import MaintainableIndex
+from repro.core.params import BackboneParams
+from repro.errors import BuildError
+from repro.graph.generators import road_network
+from repro.service.engine import SkylineQueryEngine
+from repro.store import Snapshotter
+
+from tests.conftest import costs_of
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(200, dim=2, seed=23)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return BackboneParams(m_max=25, m_min=4, p=0.03)
+
+
+@pytest.fixture(scope="module")
+def index(network, params):
+    return build_backbone_index(network, params)
+
+
+class TestSnapshotWrites:
+    def test_snapshot_and_recover(self, tmp_path, network, index):
+        snapshotter = Snapshotter(tmp_path / "snaps")
+        snapshotter.snapshot(index, 7)
+        recovered = snapshotter.recover(network)
+        assert recovered is not None
+        loaded, generation = recovered
+        assert generation == 7
+        nodes = sorted(network.nodes())
+        assert costs_of(loaded.query(nodes[1], nodes[-2])) == costs_of(
+            index.query(nodes[1], nodes[-2])
+        )
+
+    def test_retention_keeps_newest_k(self, tmp_path, index):
+        snapshotter = Snapshotter(tmp_path / "snaps", retain=2)
+        for generation in range(5):
+            snapshotter.snapshot(index, generation)
+        kept = snapshotter.snapshots()
+        assert [generation for generation, _ in kept] == [4, 3]
+
+    def test_no_tmp_file_leftovers(self, tmp_path, index):
+        directory = tmp_path / "snaps"
+        Snapshotter(directory).snapshot(index, 1)
+        assert all(
+            not entry.name.startswith(".") for entry in directory.iterdir()
+        )
+
+    def test_bad_retention_rejected(self, tmp_path):
+        with pytest.raises(BuildError):
+            Snapshotter(tmp_path, retain=0)
+
+
+class TestRecovery:
+    def test_recovery_skips_corrupt_newest(self, tmp_path, network, index):
+        snapshotter = Snapshotter(tmp_path / "snaps", retain=5)
+        snapshotter.snapshot(index, 1)
+        good_bytes = snapshotter.snapshots()[0][1].read_bytes()
+        snapshotter.snapshot(index, 2)
+        newest = snapshotter.snapshots()[0][1]
+        newest.write_bytes(good_bytes[: len(good_bytes) // 3])  # truncate g2
+        recovered = snapshotter.recover(network)
+        assert recovered is not None
+        _, generation = recovered
+        assert generation == 1
+
+    def test_recovery_skips_garbage_files(self, tmp_path, network, index):
+        directory = tmp_path / "snaps"
+        snapshotter = Snapshotter(directory, retain=5)
+        snapshotter.snapshot(index, 3)
+        (directory / "snapshot-g0000000009.rbi").write_bytes(b"not a store")
+        (directory / "unrelated.txt").write_text("ignored")
+        recovered = snapshotter.recover(network)
+        assert recovered is not None
+        assert recovered[1] == 3
+
+    def test_recovery_with_nothing_valid(self, tmp_path, network):
+        directory = tmp_path / "snaps"
+        directory.mkdir()
+        (directory / "snapshot-g0000000001.rbi").write_bytes(b"junk")
+        assert Snapshotter(directory).recover(network) is None
+
+    def test_recovery_on_missing_directory(self, tmp_path, network):
+        assert Snapshotter(tmp_path / "absent").recover(network) is None
+
+
+class TestMaintenanceIntegration:
+    def test_attach_snapshots_every_generation(self, tmp_path, network, params):
+        maintainer = MaintainableIndex(network, params)
+        snapshotter = Snapshotter(tmp_path / "snaps", retain=10)
+        snapshotter.attach(maintainer)
+        nodes = sorted(network.nodes())
+        maintainer.insert_edge(nodes[0], nodes[-1], (5.0, 5.0))
+        maintainer.delete_edge(nodes[0], nodes[-1])
+        generations = [g for g, _ in snapshotter.snapshots()]
+        assert generations == [2, 1]
+        recovered = snapshotter.recover(network)
+        assert recovered is not None
+        loaded, generation = recovered
+        assert generation == 2
+        s, t = nodes[2], nodes[-3]
+        assert costs_of(loaded.query(s, t)) == costs_of(
+            maintainer.index.query(s, t)
+        )
+
+    def test_engine_snapshots_on_generation_bump(
+        self, tmp_path, network, params
+    ):
+        maintainer = MaintainableIndex(network, params)
+        snapshotter = Snapshotter(tmp_path / "snaps", retain=4)
+        engine = SkylineQueryEngine(
+            maintainer=maintainer, snapshotter=snapshotter
+        )
+        nodes = sorted(network.nodes())
+        maintainer.insert_edge(nodes[0], nodes[-1], (5.0, 5.0))
+        assert [g for g, _ in snapshotter.snapshots()] == [1]
+        doc = engine.metrics.snapshot()
+        assert doc["counters"]["engine.snapshots"] == 1
+
+    def test_engine_warm_from_snapshot_dir(self, tmp_path, network, index):
+        directory = tmp_path / "snaps"
+        Snapshotter(directory).snapshot(index, 5)
+        engine = SkylineQueryEngine(network)
+        timings = engine.warm_from_store(directory)
+        assert timings["snapshot_generation"] == 5
+        assert engine.index is not None
+        nodes = sorted(network.nodes())
+        response = engine.query(nodes[1], nodes[-2], mode="approx")
+        assert costs_of(response.paths) == costs_of(
+            index.query(nodes[1], nodes[-2])
+        )
+
+    def test_engine_warm_from_file(self, tmp_path, network, index):
+        path = tmp_path / "warm.rbi"
+        index.save(path)
+        engine = SkylineQueryEngine(network)
+        timings = engine.warm_from_store(path)
+        assert timings["store_load_seconds"] >= 0
+        doc = engine.metrics.snapshot()
+        assert doc["counters"]["engine.store_loads"] == 1
+
+    def test_engine_warm_from_empty_dir_raises(self, tmp_path, network):
+        from repro.errors import QueryError
+
+        engine = SkylineQueryEngine(network)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(QueryError):
+            engine.warm_from_store(empty)
