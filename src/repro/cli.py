@@ -1,6 +1,6 @@
 """Command-line interface for the backbone-index library.
 
-Nine subcommands cover the full workflow a downstream user needs::
+Ten subcommands cover the full workflow a downstream user needs::
 
     repro generate --nodes 2000 --out net          # net.gr + net.co
     repro build net.gr --out net.rbi
@@ -11,6 +11,7 @@ Nine subcommands cover the full workflow a downstream user needs::
     repro index inspect net.rbi                    # also: save/load/snapshot
     repro stats net.gr --index net.rbi
     repro datasets
+    repro qa fuzz --seeds 20                       # also: replay/shrink
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -486,6 +487,124 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _qa_config(args: argparse.Namespace):
+    from repro.qa import QAConfig
+
+    return QAConfig(
+        rac_bound=args.rac_bound,
+        check_store=not args.no_store,
+        check_engine=not args.no_engine,
+        check_updates=not args.no_updates,
+        check_metamorphic=not args.no_metamorphic,
+    )
+
+
+def _print_case_report(report, *, verbose: bool) -> None:
+    status = "ok" if report.ok else f"{len(report.discrepancies)} DISCREPANCIES"
+    print(
+        f"seed {report.spec.seed:>4}  {report.spec.style:<8} "
+        f"d={report.spec.dim}  queries={report.queries_checked} "
+        f"variants={report.variants_checked} "
+        f"updates={report.updates_applied}  {status}"
+    )
+    if verbose or not report.ok:
+        for discrepancy in report.discrepancies:
+            print(f"  {discrepancy}")
+
+
+def cmd_qa_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import fuzz
+
+    started = time.perf_counter()
+    report = fuzz(
+        range(args.start, args.start + args.seeds),
+        _qa_config(args),
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        n_updates=args.updates,
+        on_case=lambda case: _print_case_report(case, verbose=args.verbose),
+    )
+    elapsed = time.perf_counter() - started
+    total = len(report.discrepancies)
+    print(
+        f"{len(report.cases)} cases, "
+        f"{sum(c.queries_checked for c in report.cases)} queries, "
+        f"{total} discrepancies in {fmt_seconds(elapsed)}"
+    )
+    return 1 if total else 0
+
+
+def cmd_qa_replay(args: argparse.Namespace) -> int:
+    from repro.qa import CaseSpec, run_case
+
+    spec = CaseSpec.from_seed(
+        args.seed,
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        n_updates=args.updates,
+    )
+    report = run_case(spec, _qa_config(args))
+    _print_case_report(report, verbose=True)
+    return 1 if report.discrepancies else 0
+
+
+def cmd_qa_shrink(args: argparse.Namespace) -> int:
+    from repro.qa import CaseSpec, emit_fixture, shrink_case
+    from repro.qa.workload import build_case
+
+    spec = CaseSpec.from_seed(
+        args.seed,
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        n_updates=args.updates,
+    )
+    case = build_case(spec)
+    queries = (
+        [(args.source, args.target)]
+        if args.source is not None and args.target is not None
+        else case.queries
+    )
+    for source, target in queries:
+        shrunk = shrink_case(case.graph, source, target)
+        if shrunk is None:
+            print(f"({source}, {target}): no static discrepancy to shrink")
+            continue
+        print(
+            f"({source}, {target}): reduced to {len(shrunk.edges)} edges / "
+            f"{len(shrunk.nodes)} nodes in {shrunk.trials} trials"
+        )
+        print(f"  reproduces: {shrunk.problems[0]}")
+        fixture = emit_fixture(shrunk, seed=args.seed)
+        if args.out:
+            FilePath(args.out).write_text(fixture)
+            print(f"  fixture written to {args.out}")
+        else:
+            print(fixture)
+        return 0
+    print("nothing shrinkable: no query reproduces statically")
+    return 1
+
+
+def _add_qa_case_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=70,
+                        help="nodes per random network (default 70)")
+    parser.add_argument("--queries", type=int, default=5,
+                        help="queries per case (default 5)")
+    parser.add_argument("--updates", type=int, default=3,
+                        help="structural updates per case (default 3)")
+    parser.add_argument("--rac-bound", type=float, default=16.0,
+                        dest="rac_bound",
+                        help="per-query RAC quality tripwire (default 16)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="skip the binary-store round-trip variants")
+    parser.add_argument("--no-engine", action="store_true",
+                        help="skip the cached service-engine variants")
+    parser.add_argument("--no-updates", action="store_true",
+                        help="skip the maintenance-update variants")
+    parser.add_argument("--no-metamorphic", action="store_true",
+                        help="skip swap/permutation/scaling relations")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -683,6 +802,49 @@ def build_parser() -> argparse.ArgumentParser:
         "datasets", help="list the catalog's synthetic stand-ins"
     )
     datasets.set_defaults(handler=cmd_datasets)
+
+    qa = commands.add_parser(
+        "qa",
+        help="differential correctness harness (fuzz / replay / shrink)",
+    )
+    qa_sub = qa.add_subparsers(dest="qa_command", required=True)
+
+    qa_fuzz = qa_sub.add_parser(
+        "fuzz",
+        help="cross-check exact BBS, index, store, engine, and "
+        "maintenance on seeded random cases",
+    )
+    qa_fuzz.add_argument("--seeds", type=int, default=20,
+                         help="number of seeded cases (default 20)")
+    qa_fuzz.add_argument("--start", type=int, default=0,
+                         help="first seed (default 0)")
+    qa_fuzz.add_argument("--verbose", action="store_true",
+                         help="print every discrepancy as cases finish")
+    _add_qa_case_options(qa_fuzz)
+    qa_fuzz.set_defaults(handler=cmd_qa_fuzz)
+
+    qa_replay = qa_sub.add_parser(
+        "replay", help="re-run one seeded case with full detail"
+    )
+    qa_replay.add_argument("--seed", type=int, required=True,
+                           help="case seed to replay")
+    _add_qa_case_options(qa_replay)
+    qa_replay.set_defaults(handler=cmd_qa_replay)
+
+    qa_shrink = qa_sub.add_parser(
+        "shrink",
+        help="delta-debug a failing case into a regression fixture",
+    )
+    qa_shrink.add_argument("--seed", type=int, required=True,
+                           help="case seed to shrink")
+    qa_shrink.add_argument("--source", type=int, default=None,
+                           help="pin the failing query's source node")
+    qa_shrink.add_argument("--target", type=int, default=None,
+                           help="pin the failing query's target node")
+    qa_shrink.add_argument("--out", default=None,
+                           help="write the pytest fixture to this file")
+    _add_qa_case_options(qa_shrink)
+    qa_shrink.set_defaults(handler=cmd_qa_shrink)
     return parser
 
 

@@ -24,6 +24,27 @@ from repro.search.landmark import LandmarkIndex
 
 ShortcutKey = tuple[int, int, CostVector]
 
+# Distinct-cost expansion states kept while splicing one walk; beyond
+# this the cheapest-by-sum states survive (best-effort expansion).
+_MAX_EXPANSION_STATES = 4096
+
+
+def _combine_expansions(
+    states: dict[CostVector, tuple[int, ...]],
+    options: dict[CostVector, tuple[int, ...]],
+) -> dict[CostVector, tuple[int, ...]]:
+    """Extend every partial walk by every expansion of the next pair."""
+    combined: dict[CostVector, tuple[int, ...]] = {}
+    for acc_cost, walk in states.items():
+        for opt_cost, opt_walk in options.items():
+            total = tuple(a + b for a, b in zip(acc_cost, opt_cost))
+            if total not in combined:
+                combined[total] = walk + opt_walk[1:]
+    if len(combined) > _MAX_EXPANSION_STATES:
+        keep = sorted(combined, key=sum)[:_MAX_EXPANSION_STATES]
+        combined = {cost: combined[cost] for cost in keep}
+    return combined
+
 
 @dataclass
 class LevelStats:
@@ -76,6 +97,9 @@ class BackboneIndex:
         for (u, v, _cost), sequence in provenance.items():
             key = (u, v) if u <= v else (v, u)
             self._pair_provenance.setdefault(key, []).append(sequence)
+        self._expansion_memo: dict[
+            tuple[int, int], dict[CostVector, tuple[int, ...]]
+        ] = {}
         self._size_bytes_cache: int | None = None
 
     # ------------------------------------------------------------------
@@ -183,25 +207,68 @@ class BackboneIndex:
     # ------------------------------------------------------------------
 
     def expand_path(self, path: Path) -> Path:
-        """Best-effort expansion of an abstract path to an original walk.
+        """Expand an abstract path to an original-graph walk, cost-aware.
 
         Shortcut edges created by aggressive summarization are spliced
         with their recorded underlying sequences, recursively, until
-        every consecutive pair is an edge of the original graph.  The
-        returned path is a *valid walk* in G_0 with its cost recomputed
-        from original edges; where parallel alternatives were collapsed
-        the recomputed cost may differ from the abstract estimate.
+        every consecutive pair is an edge of the original graph.  A
+        node pair may have *several* recorded expansions (and parallel
+        original edges), each with a different cost; the expansion
+        explores the combinations and returns the walk whose total
+        cost reproduces the abstract path's cost.  If no combination
+        matches (the abstract estimate collapsed alternatives the
+        provenance no longer distinguishes), the cheapest-by-sum walk
+        is returned as a best effort.
         """
-        graph = self.original_graph
-        expanded = [path.nodes[0]]
+        if len(path.nodes) < 2:
+            return path
+        states: dict[CostVector, tuple[int, ...]] = {
+            (0.0,) * self.dim: (path.nodes[0],)
+        }
         for u, v in zip(path.nodes, path.nodes[1:]):
-            expanded.extend(self._expand_pair(u, v, depth=0)[1:])
-        cost = [0.0] * self.dim
-        for u, v in zip(expanded, expanded[1:]):
-            best = min(graph.edge_costs(u, v), key=sum)
-            for i, c in enumerate(best):
-                cost[i] += c
-        return Path(expanded, tuple(cost))
+            states = _combine_expansions(
+                states, self._pair_expansions(u, v, depth=0)
+            )
+        for cost, walk in states.items():
+            if all(
+                abs(a - b) <= max(1e-9, 1e-9 * abs(b))
+                for a, b in zip(cost, path.cost)
+            ):
+                return Path(list(walk), cost)
+        cost = min(states, key=sum)
+        return Path(list(states[cost]), cost)
+
+    def _pair_expansions(
+        self, u: int, v: int, depth: int
+    ) -> dict[CostVector, tuple[int, ...]]:
+        """All distinct-cost original walks one abstract edge stands for."""
+        if depth > 64:
+            raise BuildError(f"shortcut expansion too deep at edge ({u}, {v})")
+        cached = self._expansion_memo.get((u, v))
+        if cached is not None:
+            return cached
+        options: dict[CostVector, tuple[int, ...]] = {}
+        if self.original_graph.has_edge(u, v):
+            for cost in self.original_graph.edge_costs(u, v):
+                options.setdefault(tuple(cost), (u, v))
+        key = (u, v) if u <= v else (v, u)
+        for sequence in self._pair_provenance.get(key, ()):
+            oriented = sequence if sequence[0] == u else sequence[::-1]
+            states: dict[CostVector, tuple[int, ...]] = {
+                (0.0,) * self.dim: (u,)
+            }
+            for a, b in zip(oriented, oriented[1:]):
+                states = _combine_expansions(
+                    states, self._pair_expansions(a, b, depth + 1)
+                )
+            for cost, walk in states.items():
+                options.setdefault(cost, walk)
+        if not options:
+            raise BuildError(
+                f"edge ({u}, {v}) is neither original nor a recorded shortcut"
+            )
+        self._expansion_memo[(u, v)] = options
+        return options
 
     def _expand_pair(self, u: int, v: int, depth: int) -> list[int]:
         if depth > 64:

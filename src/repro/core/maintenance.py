@@ -30,7 +30,17 @@ from repro.core.index import BackboneIndex, BuildStats, ShortcutKey
 from repro.core.params import BackboneParams
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
 from repro.search.landmark import LandmarkIndex
+
+
+def _path_uses_edge(path: Path, edge: tuple[int, int]) -> bool:
+    """True when the walk traverses the (undirected) edge either way."""
+    u, v = edge
+    for a, b in zip(path.nodes, path.nodes[1:]):
+        if (a == u and b == v) or (a == v and b == u):
+            return True
+    return False
 
 
 @dataclass
@@ -116,7 +126,9 @@ class MaintainableIndex:
         if not self._graph.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
         self._graph.remove_edge(u, v, cost)
-        self._apply_at(self._deepest_level_with_edge(u, v), "remove_edge", u, v, cost)
+        level = self._deepest_level_with_edge(u, v)
+        level = self._shallowest_label_reference(level, edge=(u, v))
+        self._apply_at(level, "remove_edge", u, v, cost)
 
     def update_edge_cost(
         self, u: int, v: int, old_cost: Sequence[float], new_cost: Sequence[float]
@@ -125,6 +137,7 @@ class MaintainableIndex:
         self._graph.remove_edge(u, v, old_cost)
         self._graph.add_edge(u, v, new_cost)
         level = self._deepest_level_with_edge(u, v)
+        level = self._shallowest_label_reference(level, edge=(u, v))
         self._apply_at(level, "update_edge", u, v, (old_cost, new_cost))
 
     def insert_node(
@@ -154,6 +167,7 @@ class MaintainableIndex:
         for i, snapshot in enumerate(self._snapshots):
             if snapshot.has_node(node):
                 level = i
+        level = self._shallowest_label_reference(level, node=node)
         self._graph.remove_node(node)
         self._replay(level, lambda g: g.remove_node(node) if g.has_node(node) else None)
 
@@ -174,6 +188,46 @@ class MaintainableIndex:
             if snapshot.has_edge(u, v):
                 level = i
         return level
+
+    def _shallowest_label_reference(
+        self,
+        limit: int,
+        *,
+        edge: tuple[int, int] | None = None,
+        node: int | None = None,
+    ) -> int:
+        """Lower the replay level to the shallowest level whose labels
+        price or traverse the touched element; ``limit`` when none does.
+
+        Level-i labels are normally built exclusively from edges removed
+        during level i's construction, so an element surviving into
+        deeper snapshots is invisible to them.  Two cases escape that
+        argument: a label path may be routed *through* a surviving
+        border node that is about to be deleted, and a label may price
+        an edge that later construction rounds re-exposed.  Replaying
+        from the first referencing level keeps every retained label
+        provably untouched by the update.
+        """
+        index = self._index
+        if index is None:
+            return limit
+        for i, level in enumerate(index.levels[:limit]):
+            for owner in level.nodes():
+                label = level.get(owner)
+                if label is None:
+                    continue
+                if node is not None and owner == node:
+                    return i
+                for entrance, hops in label.entrances.items():
+                    if node is not None and entrance == node:
+                        return i
+                    for hop in hops:
+                        if node is not None:
+                            if node in hop.nodes:
+                                return i
+                        elif edge is not None and _path_uses_edge(hop, edge):
+                            return i
+        return limit
 
     def _apply_at(self, level: int, op: str, u: int, v: int, payload) -> None:
         def mutate(g: MultiCostGraph) -> None:
@@ -196,15 +250,25 @@ class MaintainableIndex:
         self._replay(level, mutate)
 
     def _replay(self, level: int, mutate) -> None:
-        """Replay construction from ``level`` after mutating its snapshot."""
+        """Replay construction from ``level`` after mutating its snapshot.
+
+        The (guarded) mutation is also applied to every kept snapshot
+        *below* the replay level.  Their levels' labels stay valid —
+        they never reference the touched element — but a later update
+        replaying from one of those lower levels re-summarizes from its
+        snapshot, and a snapshot still holding pre-update state would
+        resurrect stale costs into the rebuilt upper levels and the top
+        graph.
+        """
         self.maintenance_stats.updates += 1
         if level == 0:
-            mutated = self._graph  # already mutated by the caller
+            # self._graph was already mutated by the caller.
             self._rebuild_from(0)
             self.maintenance_stats.full_rebuilds += 1
-            del mutated
             self._bump_generation()
             return
+        for snapshot in self._snapshots[:level]:
+            mutate(snapshot)
         work = self._snapshots[level].copy()
         mutate(work)
         self._rebuild_from(level, work)

@@ -213,6 +213,12 @@ def backbone_query(
         result = QueryResult(paths=[Path.trivial(source, index.dim)], stats=stats)
         stats.elapsed_seconds = time.perf_counter() - started
         return result
+    if time_budget is not None and time_budget <= 0:
+        # An already-expired budget must not pay for a first grow
+        # iteration; return the immediately-truncated empty result.
+        stats.mark_truncated("grow_s")
+        stats.elapsed_seconds = time.perf_counter() - started
+        return QueryResult(stats=stats, truncated=True)
 
     tracer = resolve_tracer(tracer)
     results = PathSet()
@@ -304,6 +310,23 @@ def backbone_query_shared_source(
             raise NodeNotFoundError(target)
     started = time.perf_counter()
     deadline = started + time_budget if time_budget is not None else None
+    if time_budget is not None and time_budget <= 0:
+        # Same contract as backbone_query: an expired budget yields
+        # immediately-truncated empty results without growing anything.
+        answers: dict[int, QueryResult] = {}
+        for target in targets:
+            if target in answers:
+                continue
+            stats = QueryStats()
+            if source == target:
+                answers[target] = QueryResult(
+                    paths=[Path.trivial(source, index.dim)], stats=stats
+                )
+            else:
+                stats.mark_truncated("grow_s")
+                answers[target] = QueryResult(stats=stats, truncated=True)
+            stats.elapsed_seconds = time.perf_counter() - started
+        return answers
     tracer = resolve_tracer(tracer)
 
     with tracer.span(

@@ -164,6 +164,14 @@ def condense_round(
             condensed = condense_cluster(
                 graph, live_nodes, policy=params.tree_policy
             )
+            if not condensed.kept_nodes:
+                # The cluster is an entire connected component of the
+                # working graph, so it has no highway entrance to label
+                # toward: condensing would strand every node in it,
+                # unreachable by any query.  Algorithm 2's non-empty
+                # G_{i+1} requirement applies per component — leave the
+                # remnant intact and let it flow up to G_L.
+                continue
             cluster_result.clusters_condensed += 1
             cspan.count("spanning_trees")
             costed: list[CostedEdge] = []

@@ -15,6 +15,8 @@ of skyline path queries).
 
 from __future__ import annotations
 
+import math
+
 from collections.abc import Sequence
 
 from repro.errors import QueryError
@@ -42,7 +44,17 @@ def hypervolume(
         if all(c <= r for c, r in zip(cost, reference)):
             cleaned.append(tuple(float(c) for c in cost))
     frontier = skyline_of(cleaned)
-    return _sweep(frontier, reference)
+    if not frontier:
+        return 0.0
+    value = _sweep(frontier, reference)
+    # The dominated region is contained in the box spanned by the
+    # per-dimension minima and the reference; rounding inside the
+    # sweep's slab products can push the sum a few ulps past that box
+    # (breaking value <= volume(box) and ratios <= 1), so clamp to it.
+    bound = 1.0
+    for d in range(len(reference)):
+        bound *= reference[d] - min(cost[d] for cost in frontier)
+    return max(0.0, min(value, bound))
 
 
 def _sweep(frontier: list[CostVector], reference: tuple[float, ...]) -> float:
@@ -53,7 +65,10 @@ def _sweep(frontier: list[CostVector], reference: tuple[float, ...]) -> float:
         return reference[0] - min(cost[0] for cost in frontier)
     # sweep the last dimension from best (smallest) to worst
     ordered = sorted(frontier, key=lambda cost: cost[-1])
-    total = 0.0
+    # fsum keeps each level correctly rounded: naive accumulation can
+    # push the total past the enclosing box (e.g. 3595.2 + 4.8 > 3600),
+    # breaking the value <= box-volume invariant and ratios <= 1.
+    slabs: list[float] = []
     previous_level = None
     active: list[CostVector] = []
     for index, cost in enumerate(ordered):
@@ -62,14 +77,14 @@ def _sweep(frontier: list[CostVector], reference: tuple[float, ...]) -> float:
             slab = _sweep(
                 skyline_of([c[:-1] for c in active]), reference[:-1]
             )
-            total += slab * (level - previous_level)
+            slabs.append(slab * (level - previous_level))
         active.append(cost)
         previous_level = level if previous_level is None else max(
             previous_level, level
         )
     slab = _sweep(skyline_of([c[:-1] for c in active]), reference[:-1])
-    total += slab * (reference[-1] - previous_level)
-    return total
+    slabs.append(slab * (reference[-1] - previous_level))
+    return math.fsum(slabs)
 
 
 def reference_point(

@@ -1,0 +1,68 @@
+"""repro.qa — randomized differential testing and invariant checking.
+
+The serving stack (engine + cache + batch + store + maintenance) is
+only trustworthy if its answers continuously agree with exact BBS, the
+guarantee the paper's quality metrics are defined against.  This
+package makes that a running check rather than a hope:
+
+* :mod:`repro.qa.workload` — seeded random graphs, query workloads,
+  and structural-update scripts;
+* :mod:`repro.qa.invariants` — executable invariants (path validity
+  and pricing, mutual non-dominance, dominance consistency with the
+  exact skyline, bit-identical variant agreement);
+* :mod:`repro.qa.differential` — the runner crossing exact BBS, the
+  fresh index, binary-store round trips (eager and lazy), the cached
+  engine, and the maintained index over every workload query;
+* :mod:`repro.qa.metamorphic` — oracle-free relations (source/target
+  swap, cost-dimension permutation, uniform scaling);
+* :mod:`repro.qa.shrink` — delta-debugging reducer emitting
+  ready-to-paste regression fixtures.
+
+Exposed on the command line as ``repro qa fuzz`` / ``qa replay`` /
+``qa shrink``; CI runs a fixed-seed fuzz smoke on every change.
+"""
+
+from repro.qa.differential import (
+    CaseReport,
+    Discrepancy,
+    FuzzReport,
+    QAConfig,
+    fuzz,
+    run_case,
+)
+from repro.qa.invariants import (
+    approximation_errors,
+    cost_skyline_errors,
+    identical_answer_errors,
+    non_dominance_errors,
+    path_errors,
+)
+from repro.qa.shrink import (
+    ShrunkCase,
+    emit_fixture,
+    shrink_case,
+    static_differential_problems,
+)
+from repro.qa.workload import CaseSpec, QACase, apply_updates, build_case
+
+__all__ = [
+    "CaseReport",
+    "CaseSpec",
+    "Discrepancy",
+    "FuzzReport",
+    "QACase",
+    "QAConfig",
+    "ShrunkCase",
+    "apply_updates",
+    "approximation_errors",
+    "build_case",
+    "cost_skyline_errors",
+    "emit_fixture",
+    "fuzz",
+    "identical_answer_errors",
+    "non_dominance_errors",
+    "path_errors",
+    "run_case",
+    "shrink_case",
+    "static_differential_problems",
+]

@@ -1,0 +1,198 @@
+"""Metamorphic checks — oracle-free relations a correct engine obeys.
+
+Differential checking needs an exact oracle per query; metamorphic
+checking needs none, only a transformation of the input with a known
+effect on the output, so it scales to workloads where exact BBS would
+be the bottleneck.  Three relations from the issue:
+
+* **source/target swap** — on an undirected network the skyline *cost
+  front* of (s, t) equals that of (t, s).  Only the cost sets are
+  compared: which equal-cost alternative survives depends on search
+  order, which the swap legitimately changes.
+* **cost-dimension permutation** — permuting every edge's cost vector
+  permutes every skyline cost the same way.  Dominance, the scalarized
+  heap priority (a sum), and the structural construction decisions are
+  all permutation-invariant, so both exact BBS and the backbone index
+  must satisfy this exactly.
+* **uniform cost scaling** — multiplying every edge cost by λ > 0
+  multiplies every skyline cost by λ.  The factor is a power of two so
+  the float products are exact and the comparison needs no tolerance.
+
+Each check returns problem strings like the :mod:`repro.qa.invariants`
+checkers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.builder import build_backbone_index
+from repro.core.params import BackboneParams
+from repro.core.query import backbone_query
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+from repro.search.bbs import skyline_paths
+
+SCALE_FACTOR = 0.5  # a power of two: λ-scaled float sums stay exact
+
+
+def permute_costs(
+    graph: MultiCostGraph, permutation: Sequence[int]
+) -> MultiCostGraph:
+    """A copy of the graph with every cost vector permuted."""
+    permuted = MultiCostGraph(graph.dim, directed=graph.directed)
+    for node in graph.nodes():
+        permuted.add_node(node, graph.coord(node))
+    for u, v, cost in graph.edges():
+        permuted.add_edge(u, v, tuple(cost[i] for i in permutation))
+    return permuted
+
+
+def scale_costs(graph: MultiCostGraph, factor: float) -> MultiCostGraph:
+    """A copy of the graph with every cost multiplied by ``factor``."""
+    scaled = MultiCostGraph(graph.dim, directed=graph.directed)
+    for node in graph.nodes():
+        scaled.add_node(node, graph.coord(node))
+    for u, v, cost in graph.edges():
+        scaled.add_edge(u, v, tuple(c * factor for c in cost))
+    return scaled
+
+
+def _cost_set(paths: Sequence[Path]) -> set[tuple[float, ...]]:
+    return {path.cost for path in paths}
+
+
+_SWAP_TOLERANCE = 1e-9
+
+
+def _close(a: Sequence[float], b: Sequence[float], tolerance: float) -> bool:
+    return all(
+        abs(x - y) <= max(tolerance, tolerance * abs(y))
+        for x, y in zip(a, b, strict=True)
+    )
+
+
+def _unmatched(
+    costs: set[tuple[float, ...]],
+    others: set[tuple[float, ...]],
+    tolerance: float,
+) -> list[tuple[float, ...]]:
+    return sorted(
+        cost
+        for cost in costs
+        if not any(_close(cost, other, tolerance) for other in others)
+    )
+
+
+def swap_errors(
+    graph: MultiCostGraph, source: int, target: int
+) -> list[str]:
+    """Exact BBS must produce the same cost front in both directions.
+
+    A reversed path sums the same edge costs in the opposite order, so
+    equal fronts can differ by a few ULPs; matching uses a relative
+    tolerance rather than exact set equality.
+    """
+    if graph.directed:
+        return []
+    forward = _cost_set(skyline_paths(graph, source, target).paths)
+    backward = _cost_set(skyline_paths(graph, target, source).paths)
+    forward_only = _unmatched(forward, backward, _SWAP_TOLERANCE)
+    backward_only = _unmatched(backward, forward, _SWAP_TOLERANCE)
+    if not forward_only and not backward_only:
+        return []
+    return [
+        f"swap: exact skyline costs differ for ({source}, {target}) — "
+        f"forward-only {forward_only[:3]}, "
+        f"backward-only {backward_only[:3]}"
+    ]
+
+
+def permutation_errors(
+    graph: MultiCostGraph,
+    params: BackboneParams,
+    queries: Sequence[tuple[int, int]],
+    *,
+    check_backbone: bool = True,
+) -> list[str]:
+    """Rotate the cost dimensions and re-answer every query."""
+    dim = graph.dim
+    permutation = tuple(range(1, dim)) + (0,)
+    transformed = permute_costs(graph, permutation)
+    problems: list[str] = []
+    permuted_index = (
+        build_backbone_index(transformed, params) if check_backbone else None
+    )
+    base_index = build_backbone_index(graph, params) if check_backbone else None
+    for source, target in queries:
+        expected = {
+            tuple(cost[i] for i in permutation)
+            for cost in _cost_set(skyline_paths(graph, source, target).paths)
+        }
+        observed = _cost_set(skyline_paths(transformed, source, target).paths)
+        if expected != observed:
+            problems.append(
+                f"permutation: exact skyline costs differ for "
+                f"({source}, {target})"
+            )
+        if permuted_index is None:
+            continue
+        expected = {
+            tuple(cost[i] for i in permutation)
+            for cost in _cost_set(
+                backbone_query(base_index, source, target).paths
+            )
+        }
+        observed = _cost_set(
+            backbone_query(permuted_index, source, target).paths
+        )
+        if expected != observed:
+            problems.append(
+                f"permutation: backbone skyline costs differ for "
+                f"({source}, {target})"
+            )
+    return problems
+
+
+def scaling_errors(
+    graph: MultiCostGraph,
+    params: BackboneParams,
+    queries: Sequence[tuple[int, int]],
+    *,
+    factor: float = SCALE_FACTOR,
+    check_backbone: bool = True,
+) -> list[str]:
+    """Uniformly scale every cost and re-answer every query."""
+    transformed = scale_costs(graph, factor)
+    problems: list[str] = []
+    scaled_index = (
+        build_backbone_index(transformed, params) if check_backbone else None
+    )
+    base_index = build_backbone_index(graph, params) if check_backbone else None
+    for source, target in queries:
+        expected = {
+            tuple(c * factor for c in cost)
+            for cost in _cost_set(skyline_paths(graph, source, target).paths)
+        }
+        observed = _cost_set(skyline_paths(transformed, source, target).paths)
+        if expected != observed:
+            problems.append(
+                f"scaling: exact skyline costs differ for ({source}, {target})"
+            )
+        if scaled_index is None:
+            continue
+        expected = {
+            tuple(c * factor for c in cost)
+            for cost in _cost_set(
+                backbone_query(base_index, source, target).paths
+            )
+        }
+        observed = _cost_set(
+            backbone_query(scaled_index, source, target).paths
+        )
+        if expected != observed:
+            problems.append(
+                f"scaling: backbone skyline costs differ for "
+                f"({source}, {target})"
+            )
+    return problems

@@ -145,6 +145,12 @@ def _skyline_paths_impl(
 ) -> SkylineResult:
     start_time = time.perf_counter()
     stats = SearchStats()
+    if time_budget is not None and time_budget <= 0:
+        # Bail before paying for bound construction or seeding: an
+        # already-expired budget means an empty, timed-out result.
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return SkylineResult(stats=stats)
     if bounds is None:
         bounds = ExactBounds(graph, [target])
 

@@ -117,6 +117,10 @@ def _many_to_many_impl(
     start_time = time.perf_counter()
     stats = SearchStats()
     result = ManyToManyResult(stats=stats)
+    if time_budget is not None and time_budget <= 0:
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return result
     frontiers: dict[int, NodeFrontier] = {}
     tie_breaker = itertools.count()
     heap: list[tuple[float, int, Label]] = []

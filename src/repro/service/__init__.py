@@ -10,18 +10,26 @@ registry with percentile latency summaries
 """
 
 from repro.service.batch import BatchResult, execute_batch
-from repro.service.cache import CacheStats, ResultCache
-from repro.service.engine import QueryResponse, SkylineQueryEngine
+from repro.service.cache import CacheStats, ResultCache, key_generation
+from repro.service.engine import (
+    EngineCacheKey,
+    QueryResponse,
+    SkylineQueryEngine,
+    engine_cache_key,
+)
 from repro.service.metrics import Counter, Histogram, MetricsRegistry
 
 __all__ = [
     "BatchResult",
     "CacheStats",
     "Counter",
+    "EngineCacheKey",
     "Histogram",
     "MetricsRegistry",
     "QueryResponse",
     "ResultCache",
     "SkylineQueryEngine",
+    "engine_cache_key",
     "execute_batch",
+    "key_generation",
 ]

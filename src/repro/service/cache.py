@@ -19,6 +19,30 @@ from typing import Any, Hashable
 CacheKey = Hashable
 
 
+def key_generation(key: CacheKey) -> int | None:
+    """The generation component of a cache key, or None.
+
+    Keys built by :func:`repro.service.engine.engine_cache_key` carry a
+    named ``generation`` field, so invalidation keeps matching them
+    even when the key grows additional components (planner mode,
+    budget, ...).  Bare tuples in the engine's historical
+    ``(source, target, mode, generation)`` layout are still
+    recognized; any other key has no generation and is never touched
+    by generation-based invalidation.
+    """
+    generation = getattr(key, "generation", None)
+    if isinstance(generation, int) and not isinstance(generation, bool):
+        return generation
+    if (
+        isinstance(key, tuple)
+        and len(key) == 4
+        and isinstance(key[3], int)
+        and not isinstance(key[3], bool)
+    ):
+        return key[3]
+    return None
+
+
 @dataclass
 class CacheStats:
     """Counters describing cache behaviour so far."""
@@ -89,18 +113,17 @@ class ResultCache:
     def invalidate_generations_below(self, generation: int) -> int:
         """Drop entries whose key's generation component is stale.
 
-        Assumes keys shaped ``(source, target, mode, generation)`` (the
-        engine's layout); keys of other shapes are left alone.  Returns
-        the number of entries removed.
+        The generation is extracted by :func:`key_generation`, which
+        understands every key the engine's central key builder can
+        produce; keys without a generation are left alone.  Returns the
+        number of entries removed.
         """
         with self._lock:
             stale = [
                 key
                 for key in self._entries
-                if isinstance(key, tuple)
-                and len(key) == 4
-                and isinstance(key[3], int)
-                and key[3] < generation
+                if (key_gen := key_generation(key)) is not None
+                and key_gen < generation
             ]
             for key in stale:
                 del self._entries[key]
@@ -116,15 +139,21 @@ class ResultCache:
             return removed
 
     def snapshot(self) -> dict:
-        """Current counters and occupancy as a plain dict."""
+        """Current counters and occupancy as one consistent dict.
+
+        Every field is read under the cache lock (which also guards all
+        counter mutation), so a snapshot taken during concurrent batch
+        traffic is internally consistent — in particular ``hit_rate``
+        always equals ``hits / (hits + misses)`` computed from the same
+        returned dict, never a torn read across two instants.
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.stats.hits,
-            "misses": self.stats.misses,
-            "evictions": self.stats.evictions,
-            "invalidations": self.stats.invalidations,
-            "hit_rate": self.stats.hit_rate,
-        }
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "invalidations": self.stats.invalidations,
+                "hit_rate": self.stats.hit_rate,
+            }

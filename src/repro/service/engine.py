@@ -29,6 +29,7 @@ import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path as FilePath
+from typing import NamedTuple
 
 from repro.core.builder import build_backbone_index
 from repro.core.index import BackboneIndex
@@ -51,6 +52,31 @@ from repro.service.cache import ResultCache
 from repro.service.metrics import MetricsRegistry
 
 MODES = ("auto", "exact", "approx")
+
+
+class EngineCacheKey(NamedTuple):
+    """The engine's result-cache key.
+
+    Built exclusively through :func:`engine_cache_key` — put, get, and
+    generation invalidation all speak this one shape, so adding a
+    component (planner budget, cost model, ...) is a single-site change
+    and removing the ``generation`` field fails loudly at construction
+    time instead of silently surviving maintenance invalidation
+    (:func:`repro.service.cache.key_generation` matches keys by that
+    named field).
+    """
+
+    source: int
+    target: int
+    mode: str
+    generation: int
+
+
+def engine_cache_key(
+    source: int, target: int, mode: str, generation: int
+) -> EngineCacheKey:
+    """The single place engine cache keys are constructed."""
+    return EngineCacheKey(source, target, mode, generation)
 
 # Below this node count exact BBS with good bounds answers interactively,
 # so "auto" does not pay the approximation error.
@@ -472,7 +498,9 @@ class SkylineQueryEngine:
         if not use_cache:
             return None
         started = time.perf_counter()
-        cached = self.cache.get((source, target, mode, self._generation))
+        cached = self.cache.get(
+            engine_cache_key(source, target, mode, self._generation)
+        )
         if cached is None:
             return None
         hit = replace(
@@ -484,8 +512,11 @@ class SkylineQueryEngine:
         return hit
 
     def _record(self, response: QueryResponse, use_cache: bool) -> QueryResponse:
-        if use_cache:
-            key = (
+        # A truncated response is the partial skyline a deadline allowed,
+        # not the answer; caching it would serve an incomplete result to
+        # later callers with a larger (or no) budget.
+        if use_cache and not response.truncated:
+            key = engine_cache_key(
                 response.source,
                 response.target,
                 response.mode,

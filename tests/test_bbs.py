@@ -82,6 +82,20 @@ class TestBudget:
         nodes = sorted(g.nodes())
         result = skyline_paths(g, nodes[0], nodes[-1], time_budget=0.0)
         assert result.stats.timed_out
+        # Regression: an already-expired budget used to seed the result
+        # with the per-dimension shortest paths before checking the
+        # clock, leaking partial answers from a query that did no work.
+        assert result.paths == []
+        assert result.stats.expansions == 0
+
+    @pytest.mark.parametrize("budget", [-1.0, -0.001])
+    def test_negative_time_budget_behaves_like_zero(self, budget):
+        g = road_network(200, dim=3, seed=2)
+        nodes = sorted(g.nodes())
+        result = skyline_paths(g, nodes[0], nodes[-1], time_budget=budget)
+        assert result.stats.timed_out
+        assert result.paths == []
+        assert result.stats.expansions == 0
 
     def test_stats_populated(self):
         g = make_diamond_graph()

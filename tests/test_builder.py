@@ -10,6 +10,7 @@ from repro.errors import BuildError
 from repro.graph.generators import road_network
 from repro.graph.mcrn import MultiCostGraph
 from repro.graph.traversal import is_connected
+from repro.search.bbs import skyline_paths
 
 
 @pytest.fixture(scope="module")
@@ -123,3 +124,47 @@ class TestParameterEffects:
             network, BackboneParams(m_max=2, m_min=1, p=0.02)
         )
         assert index.height >= 1
+
+
+class TestWholeComponentClusters:
+    """Regression: a dense cluster that is an entire connected component
+    of the working graph has no highway entrance, and condensing it used
+    to vacuum every node in it out of the index with no labels — queries
+    inside the component silently returned empty skylines.
+
+    The edge list below is the minimized reproduction found by
+    ``repro qa shrink`` (fuzz seed 10 after its delete updates): a
+    4-cycle component plus two isolated nodes.
+    """
+
+    EDGES = [
+        (23, 42, (0.78, 60.3, 32.5, 80.3)),
+        (12, 42, (0.87, 96.8, 32.0, 32.3)),
+        (12, 39, (0.07, 12.6, 36.4, 74.6)),
+        (23, 39, (0.57, 23.1, 48.4, 59.6)),
+    ]
+
+    def build(self):
+        graph = MultiCostGraph(4)
+        graph.add_node(13)
+        graph.add_node(69)
+        for u, v, cost in self.EDGES:
+            graph.add_edge(u, v, cost)
+        params = BackboneParams(m_max=10, m_min=2, p=0.2, landmark_count=4)
+        return graph, build_backbone_index(graph, params)
+
+    def test_every_node_stays_reachable_in_the_index(self):
+        graph, index = self.build()
+        accounted = set(index.top_graph.nodes())
+        for level in index.levels:
+            accounted |= set(level.nodes())
+        assert accounted == set(graph.nodes())
+
+    def test_intra_component_query_is_not_empty(self):
+        from repro.core.query import backbone_query
+
+        graph, index = self.build()
+        result = backbone_query(index, 12, 23)
+        assert result.paths
+        exact = {p.cost for p in skyline_paths(graph, 12, 23).paths}
+        assert {p.cost for p in result.paths} <= exact

@@ -8,7 +8,11 @@ from repro.core.maintenance import MaintainableIndex
 from repro.core.params import BackboneParams
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.graph.generators import road_network
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
 from repro.search.dijkstra import shortest_costs
+
+from tests.conftest import assert_valid_walk
 
 
 def make_maintainer(seed=111, n=250):
@@ -132,3 +136,41 @@ class TestReplayEconomy:
         assert m.maintenance_stats.levels_replayed >= 1
         nodes = sorted(m.graph.nodes())
         check_query_sound(m, nodes[0], nodes[-1])
+
+
+class TestSnapshotPropagation:
+    """Regression: replaying an update from level k used to leave the
+    snapshots *below* k holding pre-update state; a later update
+    replaying from one of those lower levels then resummarized from the
+    stale snapshot and resurrected the old edge costs into the rebuilt
+    index, so queries priced paths the current graph cannot achieve.
+    """
+
+    @staticmethod
+    def ladder(rungs):
+        g = MultiCostGraph(2)
+        for i in range(rungs - 1):
+            g.add_edge(2 * i, 2 * (i + 1), (1.0, 2.0))
+            g.add_edge(2 * i + 1, 2 * (i + 1) + 1, (2.0, 1.0))
+        for i in range(rungs):
+            g.add_edge(2 * i, 2 * i + 1, (1.0, 1.0))
+        return g
+
+    def test_stale_lower_snapshots_do_not_resurrect_old_costs(self):
+        m = MaintainableIndex(
+            self.ladder(5), BackboneParams(m_max=6, m_min=1, p=0.15)
+        )
+        m.insert_edge(4, 1, (5.0, 5.0))
+        for u, v in ((1, 3), (4, 6)):
+            old = m.graph.edge_costs(u, v)[0]
+            m.update_edge_cost(u, v, old, tuple(c * 1.5 for c in old))
+
+        paths = m.query(0, 9)
+        assert paths
+        for path in paths:
+            walk = path
+            if not path.is_trivial():
+                walk = Path(m.index.expand_path(path).nodes, path.cost)
+            # Pre-fix this reported cost (9.0, 5.0) along 0-1-3-5-7-9,
+            # achievable only with the pre-bump cost of edge (1, 3).
+            assert_valid_walk(m.graph, walk)

@@ -111,3 +111,21 @@ class TestBasics:
             max_expansions=2,
         )
         assert outcome.stats.timed_out
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_expired_time_budget_times_out_with_no_work(
+        self, network, budget
+    ):
+        # Regression: an already-expired budget must not build
+        # frontiers or expand anything before reporting the timeout.
+        nodes = sorted(network.nodes())
+        outcome = many_to_many_skyline(
+            network,
+            [Seed(nodes[0], (0.0,) * network.dim, payload=None)],
+            [nodes[-1]],
+            time_budget=budget,
+        )
+        assert outcome.stats.timed_out
+        assert outcome.hits == {}
+        assert outcome.stats.expansions == 0
+        assert outcome.stats.pushes == 0

@@ -6,7 +6,11 @@ import pytest
 
 from repro.core.builder import build_backbone_index
 from repro.core.params import AggressiveMode, BackboneParams
-from repro.core.query import backbone_one_to_all, backbone_query
+from repro.core.query import (
+    backbone_one_to_all,
+    backbone_query,
+    backbone_query_shared_source,
+)
 from repro.errors import NodeNotFoundError
 from repro.eval.metrics import goodness, rac
 from repro.graph.generators import road_network
@@ -147,3 +151,49 @@ class TestOneToAll:
     def test_missing_source(self, index):
         with pytest.raises(NodeNotFoundError):
             backbone_one_to_all(index, -5)
+
+
+class TestBudget:
+    """An expired time budget must cost nothing and hide nothing.
+
+    Regression: ``backbone_query`` used to pay for the first grow
+    iteration (and could return its partial harvest) even when called
+    with a budget that had already expired.
+    """
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_expired_budget_truncates_immediately(
+        self, index, network, budget
+    ):
+        nodes = sorted(network.nodes())
+        result = backbone_query(
+            index, nodes[0], nodes[-1], time_budget=budget
+        )
+        assert result.truncated
+        assert result.paths == []
+        assert result.stats.truncated_phase == "grow_s"
+        # ... and must not have paid for any growing.
+        assert result.stats.source_keys == 0
+        assert result.stats.target_keys == 0
+
+    def test_expired_budget_self_query_still_trivial(self, index, network):
+        source = sorted(network.nodes())[0]
+        result = backbone_query(index, source, source, time_budget=0.0)
+        assert not result.truncated
+        assert len(result.paths) == 1 and result.paths[0].is_trivial()
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_expired_budget_shared_source(self, index, network, budget):
+        nodes = sorted(network.nodes())
+        source = nodes[0]
+        targets = [source, nodes[-1], nodes[-2]]
+        answers = backbone_query_shared_source(
+            index, source, targets, time_budget=budget
+        )
+        assert set(answers) == set(targets)
+        assert not answers[source].truncated
+        assert answers[source].paths[0].is_trivial()
+        for target in targets[1:]:
+            assert answers[target].truncated
+            assert answers[target].paths == []
+            assert answers[target].stats.source_keys == 0

@@ -6,10 +6,18 @@ import threading
 
 import pytest
 
+from typing import NamedTuple
+
 from repro.core.maintenance import MaintainableIndex
 from repro.core.params import AggressiveMode, BackboneParams
 from repro.graph.generators import road_network
-from repro.service import ResultCache, SkylineQueryEngine
+from repro.service import (
+    EngineCacheKey,
+    ResultCache,
+    SkylineQueryEngine,
+    engine_cache_key,
+    key_generation,
+)
 
 
 def costs(paths):
@@ -73,6 +81,44 @@ class TestGenerations:
         assert cache.get((1, 2, "approx", 0)) is None
         assert cache.get((1, 3, "approx", 1)) == "current"
         assert cache.get("unrelated-key") == "kept"
+
+    def test_engine_cache_key_builder_carries_generation(self):
+        key = engine_cache_key(1, 2, "approx", 7)
+        assert isinstance(key, EngineCacheKey)
+        assert key == (1, 2, "approx", 7)
+        assert key_generation(key) == 7
+
+    def test_named_generation_field_purged_regardless_of_key_width(self):
+        """Regression: invalidation used to pattern-match bare 4-tuples,
+        so a key that grew extra components (planner budget, ...) kept
+        its stale entries alive forever."""
+
+        class ExtendedKey(NamedTuple):
+            source: int
+            target: int
+            mode: str
+            budget: float
+            generation: int
+
+        cache = ResultCache(8)
+        cache.put(ExtendedKey(1, 2, "approx", 0.5, 0), "stale-extended")
+        cache.put(ExtendedKey(1, 2, "approx", 0.5, 2), "fresh-extended")
+        cache.put((1, 2, "approx", 0), "stale-legacy")
+        cache.put("opaque", "kept")
+        removed = cache.invalidate_generations_below(2)
+        assert removed == 2
+        assert cache.get(ExtendedKey(1, 2, "approx", 0.5, 0)) is None
+        assert cache.get((1, 2, "approx", 0)) is None
+        assert cache.get(ExtendedKey(1, 2, "approx", 0.5, 2)) == (
+            "fresh-extended"
+        )
+        assert cache.get("opaque") == "kept"
+
+    def test_key_generation_ignores_lookalikes(self):
+        assert key_generation((1, 2, 3)) is None  # too short
+        assert key_generation((1, 2, "m", True)) is None  # bool, not gen
+        assert key_generation((1, 2, "m", "0")) is None
+        assert key_generation("opaque-string") is None
 
     def test_snapshot_reports_counters(self):
         cache = ResultCache(2)
@@ -173,6 +219,43 @@ class TestConcurrency:
         assert len(cache) <= 32
         stats = cache.stats
         assert stats.lookups == 8 * 300
+
+    def test_snapshot_is_internally_consistent_under_hammer(self):
+        """Regression: ``snapshot()`` used to read the counters outside
+        the lock, so ``hit_rate`` could be computed from a different
+        instant than ``hits``/``misses`` in the same dict."""
+        cache = ResultCache(16)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer(worker_id: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    key = (worker_id, i % 24, "m", 0)
+                    if cache.get(key) is None:
+                        cache.put(key, i)
+                    i += 1
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(400):
+                snap = cache.snapshot()
+                lookups = snap["hits"] + snap["misses"]
+                expected = snap["hits"] / lookups if lookups else 0.0
+                assert snap["hit_rate"] == expected
+                assert 0 <= snap["size"] <= snap["capacity"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
 
     @pytest.mark.slow
     def test_concurrent_engine_queries_share_cache(self):

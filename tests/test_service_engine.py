@@ -165,6 +165,24 @@ class TestBudgets:
         s, t = pair(network)
         assert not engine.query(s, t, time_budget=120.0).truncated
 
+    def test_truncated_response_is_never_cached(self, engine, network):
+        """Regression: a deadline-truncated partial skyline used to be
+        stored like a complete answer, so every later unbudgeted query
+        for the pair was served the partial result from cache."""
+        s, t = pair(network)
+        first = engine.query(s, t, mode="approx", time_budget=0.0)
+        assert first.truncated
+        assert len(engine.cache) == 0
+
+        follow_up = engine.query(s, t, mode="approx")
+        assert not follow_up.cache_hit
+        assert not follow_up.truncated
+        assert follow_up.paths
+        # The complete answer is cached as usual.
+        repeat = engine.query(s, t, mode="approx")
+        assert repeat.cache_hit
+        assert costs(repeat.paths) == costs(follow_up.paths)
+
 
 class TestWarmState:
     def test_index_built_on_demand(self, network):
