@@ -15,7 +15,7 @@ import pytest
 
 from repro.eval import fmt_seconds, format_table
 
-from benchmarks.conftest import report
+from benchmarks.conftest import record_telemetry, report
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +76,86 @@ def test_fig10_none_variant_is_slowest_backbone(fig10_report):
         by_variant["backbone_each"] + by_variant["backbone_normal"]
     )
     assert none_mean >= 0.5 * other_mean
+
+
+def test_fig10_flat_vs_python(ny_small, workload_seed):
+    """Engine A/B: the CSR flat kernel vs the python BBS loop.
+
+    Independent of the quality grid (selectable with ``-k
+    flat_vs_python``) so CI's perf-smoke job can run it alone.  Both
+    engines answer the same workload; answers must be bit-identical and
+    the flat mean strictly lower — the flat engine earns its keep or
+    the build fails.
+    """
+    import statistics
+    import time
+
+    from repro.accel.csr import CSRSnapshot
+    from repro.eval import fmt_seconds, format_table, random_queries
+    from repro.search import skyline_paths
+
+    queries = random_queries(ny_small, 6, seed=workload_seed, min_hops=10)
+    snapshot = CSRSnapshot.from_graph(ny_small)
+
+    def run(engine):
+        times, answers = [], []
+        for query in queries:
+            started = time.perf_counter()
+            result = skyline_paths(
+                ny_small,
+                query.source,
+                query.target,
+                engine=engine,
+                snapshot=snapshot if engine == "flat" else None,
+            )
+            times.append(time.perf_counter() - started)
+            answers.append([(p.nodes, p.cost) for p in result.paths])
+        return times, answers
+
+    run("python")
+    run("flat")  # warm-up: memoized views, module imports
+    python_times: list[float] = []
+    flat_times: list[float] = []
+    for _ in range(3):
+        tp, ap = run("python")
+        tf, af = run("flat")
+        assert ap == af, "flat engine diverged from python answers"
+        python_times.extend(tp)
+        flat_times.extend(tf)
+
+    python_mean = statistics.mean(python_times)
+    flat_mean = statistics.mean(flat_times)
+    rows = [
+        ["python", fmt_seconds(python_mean), fmt_seconds(max(python_times)), "1.0x"],
+        [
+            "flat",
+            fmt_seconds(flat_mean),
+            fmt_seconds(max(flat_times)),
+            f"{python_mean / flat_mean:.2f}x",
+        ],
+    ]
+    report(
+        "fig10_flat_vs_python",
+        format_table(
+            ["engine", "mean query", "max query", "speed-up"],
+            rows,
+            title="Figure 10 extension: flat CSR kernel vs python BBS",
+        ),
+    )
+    record_telemetry(
+        "bench_fig10_query_time",
+        flat_vs_python={
+            "queries": len(queries),
+            "rounds": 3,
+            "python_mean_seconds": python_mean,
+            "flat_mean_seconds": flat_mean,
+            "speedup": python_mean / flat_mean,
+            "identical_answers": True,
+        },
+    )
+    assert flat_mean < python_mean, (
+        f"flat engine must beat python: {flat_mean:.4f}s >= {python_mean:.4f}s"
+    )
 
 
 def test_fig10_bbs_benchmark(benchmark, fig10_report, ny_small):

@@ -108,6 +108,25 @@ def record_telemetry(module: str, **values) -> None:
     _EXTRA_TELEMETRY.setdefault(module, {}).update(values)
 
 
+@pytest.fixture(scope="module", autouse=True)
+def module_tracer(request):
+    """A recording tracer installed process-wide for each bench module.
+
+    Every instrumented call site resolves the process tracer, so index
+    builds, searches, and engine serving all record spans without any
+    per-benchmark plumbing — and ``span_aggregates`` in
+    ``BENCH_<module>.json`` is populated instead of empty.  Session-
+    scoped fixture work (e.g. ``quality_grid``) is attributed to the
+    module that first requests it.
+    """
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield tracer
+    record_span_aggregates(request.module.__name__.rsplit(".", 1)[-1], tracer)
+
+
 def _timing_rows_by_module(session) -> dict[str, list[dict]]:
     """pytest-benchmark results grouped by benchmark module name.
 

@@ -1,0 +1,26 @@
+"""Flat array kernels for skyline search.
+
+The package freezes a :class:`~repro.graph.mcrn.MultiCostGraph` into an
+immutable CSR snapshot (:mod:`repro.accel.csr`), materializes lower
+bounds into dense matrices (:mod:`repro.accel.bounds`), and runs the
+BBS/m_BBS hot loops over those arrays (:mod:`repro.accel.bbs_kernel`).
+Results are bit-identical to the python engines; only the constant
+factors change.  See ``docs/acceleration.md``.
+"""
+
+from repro.accel.bbs_kernel import flat_many_to_many, flat_skyline_paths
+from repro.accel.bounds import (
+    exact_bound_matrix,
+    landmark_bound_matrix,
+    materialize_bound_matrix,
+)
+from repro.accel.csr import CSRSnapshot
+
+__all__ = [
+    "CSRSnapshot",
+    "exact_bound_matrix",
+    "flat_many_to_many",
+    "flat_skyline_paths",
+    "landmark_bound_matrix",
+    "materialize_bound_matrix",
+]

@@ -1,0 +1,407 @@
+"""Flat BBS / m_BBS hot loops over CSR snapshots.
+
+These kernels re-run the exact label-setting searches of
+:mod:`repro.search.bbs` and :mod:`repro.search.mbbs` with the dict
+machinery swapped for flat, slot-indexed state:
+
+* neighbor iteration walks CSR slot ranges — one list index per slot
+  replaces the adjacency-dict and parallel-edge-dict lookups;
+* lower bounds come from a dense ``(n, dim)`` matrix built once per
+  search (:mod:`repro.accel.bounds`, array Dijkstra) and flattened to
+  per-node tuples, so the two bound probes per label (push and pop)
+  are list indexing instead of per-dimension dict probes;
+* the result-set dominance prune runs as an inlined early-exit loop
+  with a 2-D fast path, and labels are only allocated for candidates
+  that survive every prune.
+
+NumPy is deliberately kept *out* of the per-expansion path: road
+networks average 2–3 outgoing slots per node, and dispatching array
+operations on batches that small costs more than the python loop it
+replaces (measured on the benchmark workloads).  The arrays earn their
+keep building the bound matrices and landmark tables, where the batch
+is the whole node set.
+
+Bit-identity with the python engines is a hard requirement (enforced by
+``repro.qa`` and the property tests): candidate costs are produced by
+the same IEEE additions in the same association order, heap keys use the
+builtin left-to-right ``sum``, and push order matches because both
+engines expand neighbors in ascending id order with parallel slots in
+the graph's canonical cost order.  Identical push order means identical
+tie-breaker sequences, so even equal-cost label races resolve the same
+way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections.abc import Sequence
+
+from repro.accel.bounds import exact_bound_matrix, materialize_bound_matrix
+from repro.accel.csr import CSRSnapshot
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import dominates_or_equal
+from repro.paths.frontier import ParetoSet, PathSet
+from repro.paths.path import Path
+from repro.search.bounds import LowerBoundProvider
+from repro.search.dijkstra import per_dimension_shortest_paths
+from repro.search.labels import Label, NodeFrontier
+
+_INF = float("inf")
+
+
+def _bound_rows(bound_mat) -> list[tuple[float, ...]]:
+    """Flatten a dense bound matrix into per-node python tuples."""
+    return [tuple(row) for row in bound_mat.tolist()]
+
+
+def _to_original_path(label: Label, node_ids: list[int]) -> Path:
+    """Materialize a dense-id label chain as an original-id path."""
+    nodes = []
+    walker: Label | None = label
+    while walker is not None:
+        nodes.append(node_ids[walker.node])
+        walker = walker.parent
+    nodes.reverse()
+    return Path(nodes, label.cost)
+
+
+def flat_skyline_paths(
+    graph: MultiCostGraph,
+    snapshot: CSRSnapshot,
+    source: int,
+    target: int,
+    *,
+    bounds: LowerBoundProvider | None = None,
+    seed_with_shortest_paths: bool = True,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+):
+    """Exact BBS over the snapshot; mirrors ``_skyline_paths_impl``.
+
+    The caller (:func:`repro.search.bbs.skyline_paths`) has already
+    validated the endpoints and handled the trivial ``source == target``
+    case; ``graph`` is only consulted for result seeding.
+    """
+    from repro.search.bbs import SearchStats, SkylineResult
+
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    if time_budget is not None and time_budget <= 0:
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return SkylineResult(stats=stats)
+
+    dim = snapshot.dim
+    src = snapshot.dense_of(source)
+    dst = snapshot.dense_of(target)
+    if bounds is None:
+        bound_rows = _bound_rows(exact_bound_matrix(snapshot, [dst]))
+    else:
+        bound_rows = _bound_rows(materialize_bound_matrix(bounds, snapshot))
+
+    results = PathSet()
+    if seed_with_shortest_paths:
+        results.add_all(per_dimension_shortest_paths(graph, source, target))
+    res_costs = results.costs()
+    two_d = dim == 2
+    three_d = dim == 3
+
+    def res_dominates(projected: tuple[float, ...]) -> bool:
+        # Same predicate as PathSet.dominates_candidate, inlined with
+        # early-exit loops for the common road-network dimensionalities.
+        if two_d:
+            p0, p1 = projected
+            for kept in res_costs:
+                if kept[0] <= p0 and kept[1] <= p1:
+                    return True
+            return False
+        if three_d:
+            p0, p1, p2 = projected
+            for kept in res_costs:
+                if kept[0] <= p0 and kept[1] <= p1 and kept[2] <= p2:
+                    return True
+            return False
+        return any(dominates_or_equal(kept, projected) for kept in res_costs)
+
+    indptr, indices_list = snapshot.adjacency_lists()
+    cost_tuples = snapshot.cost_tuples()
+    node_ids = snapshot.node_ids.tolist()
+
+    frontiers: dict[int, NodeFrontier] = {}
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    # Source push (scalar mirror of the python push()).
+    source_label = Label(src, (0.0,) * dim)
+    source_projected = tuple(
+        c + b for c, b in zip(source_label.cost, bound_rows[src])
+    )
+    if _INF in source_projected:
+        stats.pruned_by_bound += 1
+    else:
+        stats.dominance_checks += 1
+        if res_dominates(source_projected):
+            stats.pruned_by_bound += 1
+        else:
+            frontier = frontiers[src] = NodeFrontier()
+            frontier.try_add(source_label.cost)
+            stats.pushes += 1
+            heapq.heappush(
+                heap, (sum(source_projected), next(tie_breaker), source_label)
+            )
+            stats.max_heap_size = 1
+
+    check_interval = 512
+    while heap:
+        if stats.expansions % check_interval == 0:
+            if time_budget is not None and (
+                time.perf_counter() - start_time > time_budget
+            ):
+                stats.timed_out = True
+                break
+        if max_expansions is not None and stats.expansions >= max_expansions:
+            stats.timed_out = True
+            break
+
+        _, _, label = heapq.heappop(heap)
+        node = label.node
+        if not frontiers[node].is_current(label.cost):
+            continue  # evicted since push: stale heap entry
+        lcost = label.cost
+        brow = bound_rows[node]
+        if two_d:
+            projected = (lcost[0] + brow[0], lcost[1] + brow[1])
+        elif three_d:
+            projected = (
+                lcost[0] + brow[0], lcost[1] + brow[1], lcost[2] + brow[2]
+            )
+        else:
+            projected = tuple(c + b for c, b in zip(lcost, brow))
+        stats.dominance_checks += 1
+        if res_dominates(projected):
+            stats.pruned_by_bound += 1
+            continue
+        stats.expansions += 1
+
+        if node == dst:
+            if results.add(_to_original_path(label, node_ids)):
+                res_costs = results.costs()
+            continue
+
+        for slot in range(indptr[node], indptr[node + 1]):
+            w = cost_tuples[slot]
+            neighbor = indices_list[slot]
+            brow = bound_rows[neighbor]
+            # Same association order as the python engine: extend first,
+            # then add the bound — (c + w) + b, bit for bit.
+            if two_d:
+                extended = (lcost[0] + w[0], lcost[1] + w[1])
+                projected = (extended[0] + brow[0], extended[1] + brow[1])
+            elif three_d:
+                extended = (lcost[0] + w[0], lcost[1] + w[1], lcost[2] + w[2])
+                projected = (
+                    extended[0] + brow[0],
+                    extended[1] + brow[1],
+                    extended[2] + brow[2],
+                )
+            else:
+                extended = tuple(c + e for c, e in zip(lcost, w))
+                projected = tuple(c + b for c, b in zip(extended, brow))
+            if _INF in projected:
+                stats.pruned_by_bound += 1
+                continue
+            stats.dominance_checks += 1
+            if res_dominates(projected):
+                stats.pruned_by_bound += 1
+                continue
+            frontier = frontiers.get(neighbor)
+            if frontier is None:
+                frontier = frontiers[neighbor] = NodeFrontier()
+            if not frontier.try_add(extended):
+                stats.pruned_by_frontier += 1
+                continue
+            stats.pushes += 1
+            heapq.heappush(
+                heap,
+                (
+                    sum(projected),
+                    next(tie_breaker),
+                    Label(neighbor, extended, parent=label),
+                ),
+            )
+            if len(heap) > stats.max_heap_size:
+                stats.max_heap_size = len(heap)
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = len(frontiers)
+    return SkylineResult(paths=results.paths(), stats=stats)
+
+
+def flat_many_to_many(
+    graph: MultiCostGraph,
+    snapshot: CSRSnapshot,
+    seeds: Sequence,
+    targets: Sequence[int],
+    *,
+    bounds: LowerBoundProvider | None = None,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+):
+    """m_BBS over the snapshot; mirrors ``_many_to_many_impl``."""
+    from repro.search.bbs import SearchStats
+    from repro.search.mbbs import ManyToManyResult, Seed
+
+    target_set = set(targets)
+    for node in target_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    result = ManyToManyResult(stats=stats)
+    if time_budget is not None and time_budget <= 0:
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return result
+
+    dim = snapshot.dim
+    if bounds is None:
+        # Mirrors ZeroBounds: the addition still runs so projected costs
+        # match the python engine bit for bit.
+        bound_rows: list = [(0.0,) * dim] * snapshot.num_nodes
+        bound_provider = None
+    else:
+        # m_BBS searches on G_L touch a small slice of the node set but
+        # aim at many targets, so dense up-front materialization loses;
+        # rows fault in per node through the provider instead — the
+        # exact tuples the python engine sees, computed once per node
+        # rather than once per push.
+        bound_rows = [None] * snapshot.num_nodes
+        bound_provider = bounds
+
+    indptr, indices_list = snapshot.adjacency_lists()
+    cost_tuples = snapshot.cost_tuples()
+    node_ids = snapshot.node_ids.tolist()
+    dense_targets = {snapshot.dense_of(node) for node in target_set}
+    two_d = dim == 2
+    three_d = dim == 3
+
+    frontiers: dict[int, NodeFrontier] = {}
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    def push_scalar(label: Label) -> None:
+        brow = bound_rows[label.node]
+        if brow is None:
+            brow = bound_rows[label.node] = tuple(
+                bound_provider.bound(node_ids[label.node])
+            )
+        projected = tuple(c + b for c, b in zip(label.cost, brow))
+        if _INF in projected:
+            stats.pruned_by_bound += 1
+            return
+        frontier = frontiers.get(label.node)
+        if frontier is None:
+            frontier = frontiers[label.node] = NodeFrontier()
+        if not frontier.try_add(label.cost):
+            stats.pruned_by_frontier += 1
+            return
+        stats.pushes += 1
+        heapq.heappush(heap, (sum(projected), next(tie_breaker), label))
+        if len(heap) > stats.max_heap_size:
+            stats.max_heap_size = len(heap)
+
+    for seed in seeds:
+        if not graph.has_node(seed.node):
+            raise NodeNotFoundError(seed.node)
+        push_scalar(Label(snapshot.dense_of(seed.node), tuple(seed.cost), seed=seed))
+
+    while heap:
+        if time_budget is not None and stats.expansions % 512 == 0:
+            if time.perf_counter() - start_time > time_budget:
+                stats.timed_out = True
+                break
+        if max_expansions is not None and stats.expansions >= max_expansions:
+            stats.timed_out = True
+            break
+
+        _, _, label = heapq.heappop(heap)
+        node = label.node
+        if not frontiers[node].is_current(label.cost):
+            continue
+        stats.expansions += 1
+
+        if node in dense_targets:
+            seed: Seed = label.seed  # type: ignore[assignment]
+            original = node_ids[node]
+            hits = result.hits.get(original)
+            if hits is None:
+                hits = result.hits[original] = ParetoSet(keep_equal_costs=True)
+            hits.add(
+                label.cost,
+                (seed.payload, _label_to_local_path(label, seed, node_ids)),
+            )
+            # Targets are ordinary nodes; keep expanding through them.
+
+        lcost = label.cost
+        for slot in range(indptr[node], indptr[node + 1]):
+            w = cost_tuples[slot]
+            neighbor = indices_list[slot]
+            brow = bound_rows[neighbor]
+            if brow is None:
+                brow = bound_rows[neighbor] = tuple(
+                    bound_provider.bound(node_ids[neighbor])
+                )
+            if two_d:
+                extended = (lcost[0] + w[0], lcost[1] + w[1])
+                projected = (extended[0] + brow[0], extended[1] + brow[1])
+            elif three_d:
+                extended = (lcost[0] + w[0], lcost[1] + w[1], lcost[2] + w[2])
+                projected = (
+                    extended[0] + brow[0],
+                    extended[1] + brow[1],
+                    extended[2] + brow[2],
+                )
+            else:
+                extended = tuple(c + e for c, e in zip(lcost, w))
+                projected = tuple(c + b for c, b in zip(extended, brow))
+            if _INF in projected:
+                stats.pruned_by_bound += 1
+                continue
+            frontier = frontiers.get(neighbor)
+            if frontier is None:
+                frontier = frontiers[neighbor] = NodeFrontier()
+            if not frontier.try_add(extended):
+                stats.pruned_by_frontier += 1
+                continue
+            stats.pushes += 1
+            heapq.heappush(
+                heap,
+                (
+                    sum(projected),
+                    next(tie_breaker),
+                    Label(neighbor, extended, parent=label),
+                ),
+            )
+            if len(heap) > stats.max_heap_size:
+                stats.max_heap_size = len(heap)
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = len(frontiers)
+    return result
+
+
+def _label_to_local_path(label: Label, seed, node_ids: list[int]) -> Path:
+    """The path through the searched graph only (seed cost stripped)."""
+    nodes = []
+    walker: Label | None = label
+    while walker is not None:
+        nodes.append(node_ids[walker.node])
+        walker = walker.parent
+    nodes.reverse()
+    local_cost = tuple(c - s for c, s in zip(label.cost, seed.cost))
+    # Guard against float drift producing tiny negative components.
+    return Path(nodes, tuple(max(c, 0.0) for c in local_cost))

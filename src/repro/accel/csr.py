@@ -1,0 +1,281 @@
+"""Immutable CSR snapshots of a multi-cost graph.
+
+A :class:`CSRSnapshot` freezes a :class:`~repro.graph.mcrn.MultiCostGraph`
+into contiguous arrays:
+
+* ``node_ids`` — the original node identifiers, ascending.  The dense id
+  of a node is its rank in this array, so the remap preserves order:
+  iterating dense ids ascending visits original ids ascending.
+* ``indptr``/``indices`` (int32) — CSR adjacency over dense ids.  The
+  neighbor slots of each node are sorted by dense neighbor id, with
+  parallel edges inlined as consecutive slots in the graph's canonical
+  (sorted) cost-list order.
+* ``costs`` — one ``(num_edge_slots, dim)`` float64 matrix, row ``k``
+  holding the cost vector of slot ``k``.
+
+For directed graphs a second CSR (``rev_*``) stores the transposed
+adjacency for reverse searches; undirected snapshots share the forward
+arrays.  Because both the node remap and the per-node slot order are
+canonical, a snapshot built from a graph equals the snapshot built from
+any store round-trip of that graph.
+
+Snapshots are value objects: build once (traced as ``accel.csr.build``),
+share freely, never mutate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BuildError, NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.obs.tracer import Tracer, resolve_tracer
+from repro.store.codec import ByteReader, ByteWriter
+
+
+class CSRSnapshot:
+    """A frozen array view of a :class:`MultiCostGraph`."""
+
+    __slots__ = (
+        "dim",
+        "directed",
+        "node_ids",
+        "indptr",
+        "indices",
+        "costs",
+        "rev_indptr",
+        "rev_indices",
+        "rev_costs",
+        "_dense_of",
+        "_adj_lists",
+        "_weight_lists",
+        "_cost_tuples",
+    )
+
+    def __init__(
+        self,
+        *,
+        dim: int,
+        directed: bool,
+        node_ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        costs: np.ndarray,
+        rev_indptr: np.ndarray,
+        rev_indices: np.ndarray,
+        rev_costs: np.ndarray,
+    ) -> None:
+        self.dim = dim
+        self.directed = directed
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.costs = costs
+        self.rev_indptr = rev_indptr
+        self.rev_indices = rev_indices
+        self.rev_costs = rev_costs
+        self._dense_of: dict[int, int] | None = None
+        # Lazily materialized python-list mirrors for the scalar hot
+        # loops (list indexing beats numpy scalar indexing by ~10x).
+        self._adj_lists: dict[bool, tuple[list[int], list[int]]] = {}
+        self._weight_lists: dict[bool, list[list[float]]] = {}
+        self._cost_tuples: list[tuple[float, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls, graph: MultiCostGraph, *, tracer: Tracer | None = None
+    ) -> "CSRSnapshot":
+        """Freeze ``graph`` into a snapshot (traced as ``accel.csr.build``)."""
+        tracer = resolve_tracer(tracer)
+        with tracer.span(
+            "accel.csr.build",
+            nodes=graph.num_nodes,
+            edges=graph.num_edge_entries,
+            directed=graph.directed,
+        ) as span:
+            snapshot = cls._build(graph)
+            if span.enabled:
+                span.set(slots=snapshot.num_edge_slots)
+        return snapshot
+
+    @classmethod
+    def _build(cls, graph: MultiCostGraph) -> "CSRSnapshot":
+        dim = graph.dim
+        node_ids = np.asarray(sorted(graph.nodes()), dtype=np.int64)
+        dense_of = {int(orig): i for i, orig in enumerate(node_ids)}
+
+        def one_direction(reverse: bool) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            indptr = np.zeros(len(node_ids) + 1, dtype=np.int32)
+            indices: list[int] = []
+            cost_rows: list[tuple[float, ...]] = []
+            for i, orig in enumerate(node_ids):
+                orig = int(orig)
+                nbrs = (
+                    graph.in_neighbors(orig) if reverse else graph.neighbors(orig)
+                )
+                for nbr in sorted(nbrs):
+                    u, v = (nbr, orig) if reverse else (orig, nbr)
+                    for cost in graph.edge_costs(u, v):
+                        indices.append(dense_of[nbr])
+                        cost_rows.append(cost)
+                indptr[i + 1] = len(indices)
+            return (
+                indptr,
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(cost_rows, dtype=np.float64).reshape(len(cost_rows), dim),
+            )
+
+        indptr, indices, costs = one_direction(False)
+        if graph.directed:
+            rev_indptr, rev_indices, rev_costs = one_direction(True)
+        else:
+            rev_indptr, rev_indices, rev_costs = indptr, indices, costs
+        return cls(
+            dim=dim,
+            directed=graph.directed,
+            node_ids=node_ids,
+            indptr=indptr,
+            indices=indices,
+            costs=costs,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+            rev_costs=rev_costs,
+        )
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edge_slots(self) -> int:
+        return len(self.indices)
+
+    def dense_of(self, original: int) -> int:
+        """The dense id of an original node id."""
+        mapping = self._dense_of
+        if mapping is None:
+            mapping = self._dense_of = {
+                int(orig): i for i, orig in enumerate(self.node_ids)
+            }
+        try:
+            return mapping[original]
+        except KeyError:
+            raise NodeNotFoundError(original) from None
+
+    def original_of(self, dense: int) -> int:
+        """The original node id of a dense id."""
+        return int(self.node_ids[dense])
+
+    def adjacency_lists(self, *, reverse: bool = False) -> tuple[list[int], list[int]]:
+        """``(indptr, indices)`` as plain python lists (memoized)."""
+        cached = self._adj_lists.get(reverse)
+        if cached is None:
+            if reverse:
+                cached = (self.rev_indptr.tolist(), self.rev_indices.tolist())
+            else:
+                cached = (self.indptr.tolist(), self.indices.tolist())
+            self._adj_lists[reverse] = cached
+        return cached
+
+    def weight_lists(self, *, reverse: bool = False) -> list[list[float]]:
+        """Per-dimension slot weights as python lists (memoized)."""
+        cached = self._weight_lists.get(reverse)
+        if cached is None:
+            costs = self.rev_costs if reverse else self.costs
+            cached = [costs[:, i].tolist() for i in range(self.dim)]
+            self._weight_lists[reverse] = cached
+        return cached
+
+    def cost_tuples(self) -> list[tuple[float, ...]]:
+        """Forward slot cost vectors as python float tuples (memoized)."""
+        if self._cost_tuples is None:
+            self._cost_tuples = [tuple(row) for row in self.costs.tolist()]
+        return self._cost_tuples
+
+    # ------------------------------------------------------------------
+    # serialization (repro.store section payload)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> bytes:
+        """Encode the snapshot as a store section payload."""
+        writer = ByteWriter()
+        writer.uvarint(self.dim)
+        writer.uvarint(1 if self.directed else 0)
+        writer.uvarint(self.num_nodes)
+        writer.deltas(self.node_ids.tolist())
+        writer.uvarint(self.num_edge_slots)
+        writer.deltas(self.indptr.tolist())
+        writer.deltas(self.indices.tolist())
+        writer.floats(self.costs.reshape(-1).tolist())
+        if self.directed:
+            writer.uvarint(len(self.rev_indices))
+            writer.deltas(self.rev_indptr.tolist())
+            writer.deltas(self.rev_indices.tolist())
+            writer.floats(self.rev_costs.reshape(-1).tolist())
+        return writer.payload()
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "CSRSnapshot":
+        """Decode a snapshot from a store section payload."""
+        reader = ByteReader(payload)
+        dim = reader.uvarint()
+        if dim < 1:
+            raise BuildError(f"csr section carries invalid dim {dim}")
+        directed = bool(reader.uvarint())
+        n = reader.uvarint()
+        node_ids = np.asarray(reader.deltas(n), dtype=np.int64)
+        slots = reader.uvarint()
+        indptr = np.asarray(reader.deltas(n + 1), dtype=np.int32)
+        indices = np.asarray(reader.deltas(slots), dtype=np.int32)
+        costs = np.asarray(reader.floats(slots * dim), dtype=np.float64).reshape(
+            slots, dim
+        )
+        if directed:
+            rev_slots = reader.uvarint()
+            rev_indptr = np.asarray(reader.deltas(n + 1), dtype=np.int32)
+            rev_indices = np.asarray(reader.deltas(rev_slots), dtype=np.int32)
+            rev_costs = np.asarray(
+                reader.floats(rev_slots * dim), dtype=np.float64
+            ).reshape(rev_slots, dim)
+        else:
+            rev_indptr, rev_indices, rev_costs = indptr, indices, costs
+        return cls(
+            dim=dim,
+            directed=directed,
+            node_ids=node_ids,
+            indptr=indptr,
+            indices=indices,
+            costs=costs,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+            rev_costs=rev_costs,
+        )
+
+    def same_topology(self, other: "CSRSnapshot") -> bool:
+        """Array-for-array equality (testing aid)."""
+        return (
+            self.dim == other.dim
+            and self.directed == other.directed
+            and np.array_equal(self.node_ids, other.node_ids)
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.costs, other.costs)
+            and np.array_equal(self.rev_indptr, other.rev_indptr)
+            and np.array_equal(self.rev_indices, other.rev_indices)
+            and np.array_equal(self.rev_costs, other.rev_costs)
+        )
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"CSRSnapshot({kind}, dim={self.dim}, |V|={self.num_nodes}, "
+            f"slots={self.num_edge_slots})"
+        )

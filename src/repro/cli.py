@@ -11,6 +11,7 @@ Ten subcommands cover the full workflow a downstream user needs::
     repro index inspect net.rbi                    # also: save/load/snapshot
     repro stats net.gr --index net.rbi
     repro datasets
+    repro bench net.gr --engine both               # flat vs python A/B
     repro qa fuzz --seeds 20                       # also: replay/shrink
 
 Run ``python -m repro <command> --help`` for per-command options.
@@ -512,6 +513,77 @@ def _print_case_report(report, *, verbose: bool) -> None:
             print(f"  {discrepancy}")
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """A/B the search engines on one graph with a random workload."""
+    import statistics
+
+    from repro.eval import random_queries
+
+    graph = _load_graph(args.graph)
+    queries = random_queries(
+        graph, args.queries, seed=args.seed, min_hops=args.min_hops
+    )
+    engines = ["python", "flat"] if args.engine == "both" else [args.engine]
+
+    snapshot = None
+    if "flat" in engines:
+        from repro.accel.csr import CSRSnapshot
+
+        started = time.perf_counter()
+        snapshot = CSRSnapshot.from_graph(graph)
+        print(f"CSR snapshot built in {fmt_seconds(time.perf_counter() - started)}")
+
+    timings: dict[str, list[float]] = {}
+    answers: dict[str, list] = {}
+    for _ in range(args.rounds):
+        for engine in engines:
+            per_engine = timings.setdefault(engine, [])
+            collected = []
+            for query in queries:
+                started = time.perf_counter()
+                result = skyline_paths(
+                    graph,
+                    query.source,
+                    query.target,
+                    engine=engine,
+                    snapshot=snapshot if engine == "flat" else None,
+                    time_budget=args.budget,
+                )
+                per_engine.append(time.perf_counter() - started)
+                collected.append([(p.nodes, p.cost) for p in result.paths])
+            answers[engine] = collected
+
+    if len(engines) == 2 and answers["python"] != answers["flat"]:
+        print("error: engines returned different answers", file=sys.stderr)
+        return 2
+
+    baseline = statistics.mean(timings[engines[0]])
+    rows = []
+    for engine in engines:
+        mean = statistics.mean(timings[engine])
+        rows.append(
+            [
+                engine,
+                fmt_seconds(mean),
+                fmt_seconds(max(timings[engine])),
+                f"{baseline / mean:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["engine", "mean query", "max query", "speed-up"],
+            rows,
+            title=(
+                f"{len(queries)} queries x {args.rounds} rounds on "
+                f"{graph.num_nodes}-node graph"
+            ),
+        )
+    )
+    if len(engines) == 2:
+        print("answers: bit-identical across engines")
+    return 0
+
+
 def cmd_qa_fuzz(args: argparse.Namespace) -> int:
     from repro.qa import fuzz
 
@@ -802,6 +874,27 @@ def build_parser() -> argparse.ArgumentParser:
         "datasets", help="list the catalog's synthetic stand-ins"
     )
     datasets.set_defaults(handler=cmd_datasets)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the search engines (python vs flat CSR kernel) "
+        "on a random workload",
+    )
+    bench.add_argument("graph", help="DIMACS .gr file")
+    bench.add_argument("--engine", choices=["both", "flat", "python"],
+                       default="both",
+                       help="which engine(s) to time (default both)")
+    bench.add_argument("--queries", type=int, default=6,
+                       help="workload size (default 6)")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds over the workload (default 3)")
+    bench.add_argument("--seed", type=int, default=88,
+                       help="workload RNG seed (default 88)")
+    bench.add_argument("--min-hops", type=int, default=10, dest="min_hops",
+                       help="minimum query length in hops (default 10)")
+    bench.add_argument("--budget", type=float, default=None,
+                       help="per-query time budget in seconds")
+    bench.set_defaults(handler=cmd_bench)
 
     qa = commands.add_parser(
         "qa",

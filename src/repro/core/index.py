@@ -101,6 +101,30 @@ class BackboneIndex:
             tuple[int, int], dict[CostVector, tuple[int, ...]]
         ] = {}
         self._size_bytes_cache: int | None = None
+        self._csr_top = None
+
+    # ------------------------------------------------------------------
+    # accelerator snapshot
+    # ------------------------------------------------------------------
+
+    def csr_top(self, *, build: bool = True, tracer=None):
+        """The CSR snapshot of the top graph G_L, built lazily.
+
+        The snapshot is cached on the index; an index is immutable after
+        construction (maintenance builds a new one), so the cache never
+        goes stale.  ``build=False`` only returns an already-available
+        snapshot — the probe used by ``engine="auto"`` callers that must
+        not pay a build on the query path.
+        """
+        if self._csr_top is None and build:
+            from repro.accel.csr import CSRSnapshot
+
+            self._csr_top = CSRSnapshot.from_graph(self.top_graph, tracer=tracer)
+        return self._csr_top
+
+    def install_csr_top(self, snapshot) -> None:
+        """Install a snapshot restored by :mod:`repro.store` (warm start)."""
+        self._csr_top = snapshot
 
     # ------------------------------------------------------------------
     # introspection

@@ -137,6 +137,19 @@ def _grow(
     return reached, False
 
 
+def _top_snapshot(index: BackboneIndex, engine: str, tracer: Tracer | None):
+    """The CSR snapshot the top-graph search should use, per ``engine``.
+
+    ``"flat"`` builds (and caches on the index) the snapshot; ``"auto"``
+    only reuses one that already exists, so queries never pay a build.
+    """
+    if engine == "flat":
+        return index.csr_top(tracer=tracer)
+    if engine == "auto":
+        return index.csr_top(build=False)
+    return None
+
+
 def _connect_through_top(
     index: BackboneIndex,
     source_map: dict[int, PathSet],
@@ -145,6 +158,7 @@ def _connect_through_top(
     stats: QueryStats,
     deadline: float | None,
     tracer: Tracer | None = None,
+    engine: str = "auto",
 ) -> None:
     """Phase 3: second-type paths through the most abstracted graph."""
     top = index.top_graph
@@ -164,6 +178,7 @@ def _connect_through_top(
         for prefix in source_map[node]
     ]
     bounds = LandmarkLowerBounds(index.landmarks, target_possible)
+    snapshot = _top_snapshot(index, engine, tracer)
     outcome = many_to_many_skyline(
         top,
         seeds,
@@ -171,6 +186,8 @@ def _connect_through_top(
         bounds=bounds,
         time_budget=remaining,
         tracer=tracer,
+        engine="flat" if snapshot is not None else "python",
+        snapshot=snapshot,
     )
     stats.mbbs_stats = outcome.stats
     if outcome.stats.timed_out:
@@ -191,6 +208,7 @@ def backbone_query(
     *,
     time_budget: float | None = None,
     tracer: Tracer | None = None,
+    engine: str = "auto",
 ) -> QueryResult:
     """Approximate skyline paths between two nodes (Algorithm 3).
 
@@ -200,6 +218,12 @@ def backbone_query(
     names the phase that was cut).  An enabled ``tracer`` wraps the
     query in a ``query.backbone`` span with one child span per phase
     (``query.phase.grow_s`` / ``grow_t`` / ``connect_top``).
+
+    ``engine`` selects the kernel for the top-graph m_BBS phase (the
+    dominant search): ``"flat"`` builds and caches the index's CSR
+    snapshot, ``"auto"`` (default) uses it when already built, and
+    ``"python"`` never does.  The grow phases walk per-level label
+    structures, not a graph, so the option does not affect them.
     """
     graph = index.original_graph
     if not graph.has_node(source):
@@ -256,7 +280,7 @@ def backbone_query(
         with tracer.span("query.phase.connect_top") as span:
             _connect_through_top(
                 index, source_map, target_map, results, stats, deadline,
-                tracer=tracer,
+                tracer=tracer, engine=engine,
             )
             if span.enabled and stats.mbbs_stats is not None:
                 span.counters.update(stats.mbbs_stats.as_span_counters())
@@ -284,6 +308,7 @@ def backbone_query_shared_source(
     *,
     time_budget: float | None = None,
     tracer: Tracer | None = None,
+    engine: str = "auto",
 ) -> dict[int, QueryResult]:
     """Answer many queries from one source, growing S only once.
 
@@ -382,7 +407,7 @@ def backbone_query_shared_source(
                 with tracer.span("query.phase.connect_top") as span:
                     _connect_through_top(
                         index, source_map, target_map, results, stats,
-                        deadline, tracer=tracer,
+                        deadline, tracer=tracer, engine=engine,
                     )
                     if span.enabled and stats.mbbs_stats is not None:
                         span.counters.update(

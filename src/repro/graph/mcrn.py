@@ -55,6 +55,9 @@ class MultiCostGraph:
         self._edges: dict[tuple[int, int], list[CostVector]] = {}
         self._coords: dict[int, Coordinate] = {}
         self._edge_entries = 0
+        # memoized immutable neighborhood views, invalidated on mutation
+        self._frozen_adj: dict[int, frozenset[int]] = {}
+        self._sorted_adj: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # basic properties
@@ -120,6 +123,8 @@ class MultiCostGraph:
         if self._radj is not None:
             del self._radj[node]
         self._coords.pop(node, None)
+        self._frozen_adj.pop(node, None)
+        self._sorted_adj.pop(node, None)
 
     def nodes(self) -> Iterator[int]:
         """Iterate over all node identifiers."""
@@ -165,12 +170,16 @@ class MultiCostGraph:
                 self._radj[v].add(u)
             else:
                 self._adj[v].add(u)
+            self._invalidate_neighbor_views(u, v)
             self._edge_entries += 1
             return True
         if any(dominates_or_equal(kept, vec) for kept in existing):
             return False
         survivors = [kept for kept in existing if not dominates(vec, kept)]
         survivors.append(vec)
+        # Parallel-cost lists stay sorted so edge-slot order is canonical
+        # regardless of insertion history (store round-trips, CSR snapshots).
+        survivors.sort()
         self._edge_entries += len(survivors) - len(existing)
         self._edges[key] = survivors
         return True
@@ -213,6 +222,7 @@ class MultiCostGraph:
                 self._radj[v].discard(u)
             else:
                 self._adj[v].discard(u)
+            self._invalidate_neighbor_views(u, v)
 
     def edges(self) -> Iterator[tuple[int, int, CostVector]]:
         """Iterate ``(u, v, cost)`` per stored parallel edge.
@@ -231,21 +241,48 @@ class MultiCostGraph:
     # neighborhoods and degrees
     # ------------------------------------------------------------------
 
-    def neighbors(self, node: int) -> set[int]:
-        """Out-neighbors of the node (all neighbors when undirected)."""
-        try:
-            return set(self._adj[node])
-        except KeyError:
-            raise NodeNotFoundError(node) from None
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Out-neighbors of the node (all neighbors when undirected).
 
-    def in_neighbors(self, node: int) -> set[int]:
+        The returned view is immutable and memoized: callers can neither
+        corrupt the adjacency structure through it nor observe later
+        mutations, and repeat lookups on an unchanged node are free.
+        """
+        frozen = self._frozen_adj.get(node)
+        if frozen is None:
+            try:
+                frozen = frozenset(self._adj[node])
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            self._frozen_adj[node] = frozen
+        return frozen
+
+    def sorted_neighbors(self, node: int) -> tuple[int, ...]:
+        """Out-neighbors in ascending id order (memoized).
+
+        Search kernels iterate this instead of the set view so expansion
+        order — and therefore tie-breaking among equal-cost labels — is
+        deterministic and identical across engines.
+        """
+        ordered = self._sorted_adj.get(node)
+        if ordered is None:
+            ordered = tuple(sorted(self.neighbors(node)))
+            self._sorted_adj[node] = ordered
+        return ordered
+
+    def in_neighbors(self, node: int) -> frozenset[int]:
         """In-neighbors of the node (equals neighbors when undirected)."""
         if self._radj is None:
             return self.neighbors(node)
         try:
-            return set(self._radj[node])
+            return frozenset(self._radj[node])
         except KeyError:
             raise NodeNotFoundError(node) from None
+
+    def _invalidate_neighbor_views(self, u: int, v: int) -> None:
+        for node in (u, v):
+            self._frozen_adj.pop(node, None)
+            self._sorted_adj.pop(node, None)
 
     def degree(self, node: int) -> int:
         """Number of distinct neighbors (paper's degree convention)."""
@@ -290,6 +327,8 @@ class MultiCostGraph:
         self._edges = clone._edges
         self._coords = clone._coords
         self._edge_entries = clone._edge_entries
+        self._frozen_adj = {}
+        self._sorted_adj = {}
 
     def induced_subgraph(self, nodes: Iterable[int]) -> "MultiCostGraph":
         """The subgraph induced by the given node set (coords preserved)."""

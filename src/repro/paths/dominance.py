@@ -23,9 +23,24 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     ``a`` dominates ``b`` when ``a[i] <= b[i]`` for every dimension ``i``
     and ``a[i] < b[i]`` for at least one.  A vector never dominates
     itself.
+
+    Dimensionality is validated once at graph load, so these hot helpers
+    assume equal-length inputs; the 2-D and 3-D cases (the common
+    road-network configurations) skip the loop entirely.
     """
+    if len(a) == 2:
+        a0, a1 = a
+        b0, b1 = b
+        return a0 <= b0 and a1 <= b1 and (a0 < b0 or a1 < b1)
+    if len(a) == 3:
+        a0, a1, a2 = a
+        b0, b1, b2 = b
+        return (
+            a0 <= b0 and a1 <= b1 and a2 <= b2
+            and (a0 < b0 or a1 < b1 or a2 < b2)
+        )
     strictly_better = False
-    for x, y in zip(a, b, strict=True):
+    for x, y in zip(a, b):
         if x > y:
             return False
         if x < y:
@@ -39,7 +54,11 @@ def dominates_or_equal(a: Sequence[float], b: Sequence[float]) -> bool:
     This is the pruning test used inside searches: a candidate that is
     merely *equal* to something already found adds no information.
     """
-    for x, y in zip(a, b, strict=True):
+    if len(a) == 2:
+        return a[0] <= b[0] and a[1] <= b[1]
+    if len(a) == 3:
+        return a[0] <= b[0] and a[1] <= b[1] and a[2] <= b[2]
+    for x, y in zip(a, b):
         if x > y:
             return False
     return True
@@ -52,7 +71,11 @@ def incomparable(a: Sequence[float], b: Sequence[float]) -> bool:
 
 def add_costs(a: Sequence[float], b: Sequence[float]) -> CostVector:
     """Component-wise sum of two cost vectors."""
-    return tuple(x + y for x, y in zip(a, b, strict=True))
+    if len(a) == 2:
+        return (a[0] + b[0], a[1] + b[1])
+    if len(a) == 3:
+        return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+    return tuple(x + y for x, y in zip(a, b))
 
 
 def zero_cost(dim: int) -> CostVector:

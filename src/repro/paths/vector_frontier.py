@@ -95,6 +95,17 @@ class VectorParetoSet(Generic[T]):
         """True iff :meth:`add` with this cost would currently succeed."""
         return not self.dominates_candidate(cost)
 
+    def contains(self, cost: Sequence[float]) -> bool:
+        """True iff this exact cost vector is currently on the frontier.
+
+        Exact float equality — the lazy-heap staleness test
+        (``NodeFrontier.is_current``) for flat search kernels.
+        """
+        if not self._size:
+            return False
+        vector = np.asarray(cost, dtype=np.float64)
+        return bool((self._view() == vector).all(axis=1).any())
+
     def costs(self) -> list[CostVector]:
         """The cost vectors currently on the frontier."""
         return [tuple(row) for row in self._view()]

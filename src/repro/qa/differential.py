@@ -18,6 +18,10 @@ variant          what it exercises
                  through :class:`~repro.core.maintenance
                  .MaintainableIndex`, re-checked against a fresh exact
                  oracle on the updated network
+``exact_flat``   BBS through the CSR kernel (:mod:`repro.accel`),
+                 required bit-identical to the python oracle
+``backbone_flat`` :func:`backbone_query` with ``engine="flat"``,
+                 required bit-identical to the python backbone answer
 ===============  ====================================================
 
 Hard invariants (any violation is a discrepancy): path validity and
@@ -77,6 +81,7 @@ class QAConfig:
     check_engine: bool = True
     check_updates: bool = True
     check_metamorphic: bool = True
+    check_flat: bool = True
     metamorphic_queries: int = 2
     cache_size: int = 64
 
@@ -216,6 +221,12 @@ def run_case(
             else None
         )
 
+        case_csr = None
+        if config.check_flat:
+            from repro.accel.csr import CSRSnapshot
+
+            case_csr = CSRSnapshot.from_graph(graph, tracer=tracer)
+
         for query in case.queries:
             source, target = query
             exact = skyline_paths(graph, source, target).paths
@@ -232,6 +243,40 @@ def run_case(
                 paths=fresh, exact=exact, rac_bound=config.rac_bound,
                 expand=index.expand_path,
             )
+
+            if case_csr is not None:
+                # The CSR kernel must be bit-identical, not merely
+                # equivalent: same paths, same order.
+                exact_flat = skyline_paths(
+                    graph, source, target, engine="flat", snapshot=case_csr
+                ).paths
+                for detail in identical_answer_errors(
+                    "exact", exact, "exact_flat", exact_flat
+                ):
+                    report.discrepancies.append(
+                        Discrepancy(
+                            spec.seed, "flat_identity", "exact_flat", query,
+                            detail,
+                        )
+                    )
+                report.variants_checked += 1
+                backbone_flat = backbone_query(
+                    index, source, target, engine="flat"
+                ).paths
+                _check_answer_set(
+                    report, variant="backbone_flat", graph=graph, query=query,
+                    paths=backbone_flat, exact=exact,
+                    rac_bound=config.rac_bound, expand=index.expand_path,
+                )
+                for detail in identical_answer_errors(
+                    "backbone", fresh, "backbone_flat", backbone_flat
+                ):
+                    report.discrepancies.append(
+                        Discrepancy(
+                            spec.seed, "flat_identity", "backbone_flat",
+                            query, detail,
+                        )
+                    )
 
             for name, store_index in loaded.items():
                 round_tripped = backbone_query(

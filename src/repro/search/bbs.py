@@ -75,6 +75,31 @@ class SkylineResult:
         return iter(self.paths)
 
 
+def resolve_search_engine(
+    engine: str, snapshot, graph: MultiCostGraph, *, tracer: Tracer | None = None
+):
+    """Resolve an ``engine=`` option to ``("python"|"flat", snapshot)``.
+
+    ``"python"`` ignores any snapshot.  ``"flat"`` forces the CSR kernel,
+    building (and tracing) a snapshot of ``graph`` when none is given.
+    ``"auto"`` uses the flat kernel exactly when a snapshot is already
+    available — it never pays a build on the query path.
+    """
+    if engine == "python":
+        return "python", None
+    if engine == "flat":
+        if snapshot is None:
+            from repro.accel.csr import CSRSnapshot
+
+            snapshot = CSRSnapshot.from_graph(graph, tracer=tracer)
+        return "flat", snapshot
+    if engine == "auto":
+        if snapshot is not None:
+            return "flat", snapshot
+        return "python", None
+    raise QueryError(f"unknown search engine {engine!r}")
+
+
 def skyline_paths(
     graph: MultiCostGraph,
     source: int,
@@ -85,6 +110,8 @@ def skyline_paths(
     time_budget: float | None = None,
     max_expansions: int | None = None,
     tracer: Tracer | None = None,
+    engine: str = "auto",
+    snapshot=None,
 ) -> SkylineResult:
     """Exact skyline paths from ``source`` to ``target`` (Definition 3.2).
 
@@ -106,6 +133,14 @@ def skyline_paths(
         Observability hook; defaults to the process-wide tracer.  When
         enabled the whole search runs inside one ``search.bbs`` span
         carrying the :class:`SearchStats` counters.
+    engine:
+        ``"python"`` runs the dict-based loop, ``"flat"`` the CSR kernel
+        of :mod:`repro.accel` (building ``snapshot`` on demand), and
+        ``"auto"`` (default) picks flat exactly when ``snapshot`` is
+        provided.  Results are bit-identical across engines.
+    snapshot:
+        Optional pre-built :class:`~repro.accel.csr.CSRSnapshot` of
+        ``graph``, typically cached by the caller.
     """
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
@@ -115,16 +150,35 @@ def skyline_paths(
         return SkylineResult(paths=[Path.trivial(source, graph.dim)])
 
     tracer = resolve_tracer(tracer)
-    with tracer.span("search.bbs", source=source, target=target) as span:
-        result = _skyline_paths_impl(
-            graph,
-            source,
-            target,
-            bounds=bounds,
-            seed_with_shortest_paths=seed_with_shortest_paths,
-            time_budget=time_budget,
-            max_expansions=max_expansions,
-        )
+    resolved, snapshot = resolve_search_engine(
+        engine, snapshot, graph, tracer=tracer
+    )
+    with tracer.span(
+        "search.bbs", source=source, target=target, engine=resolved
+    ) as span:
+        if resolved == "flat":
+            from repro.accel.bbs_kernel import flat_skyline_paths
+
+            result = flat_skyline_paths(
+                graph,
+                snapshot,
+                source,
+                target,
+                bounds=bounds,
+                seed_with_shortest_paths=seed_with_shortest_paths,
+                time_budget=time_budget,
+                max_expansions=max_expansions,
+            )
+        else:
+            result = _skyline_paths_impl(
+                graph,
+                source,
+                target,
+                bounds=bounds,
+                seed_with_shortest_paths=seed_with_shortest_paths,
+                time_budget=time_budget,
+                max_expansions=max_expansions,
+            )
         if span.enabled:
             span.counters.update(result.stats.as_span_counters())
             span.set(
@@ -213,7 +267,10 @@ def _skyline_paths_impl(
             results.add(label.to_path())
             continue
 
-        for neighbor in graph.neighbors(label.node):
+        # Ascending-id neighbor order keeps the push sequence — and with
+        # it equal-cost tie resolution — identical to the flat kernel's
+        # CSR slot order.
+        for neighbor in graph.sorted_neighbors(label.node):
             for edge_cost in graph.edge_costs(label.node, neighbor):
                 extended = tuple(
                     c + w for c, w in zip(label.cost, edge_cost)

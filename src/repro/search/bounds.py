@@ -77,6 +77,16 @@ class LandmarkLowerBounds:
         self._index = index
         self._targets = list(targets)
 
+    @property
+    def index(self) -> LandmarkIndex:
+        """The underlying landmark index (read-only)."""
+        return self._index
+
+    @property
+    def targets(self) -> list[int]:
+        """The target node set the bounds point at."""
+        return list(self._targets)
+
     def bound(self, node: int) -> CostVector:
         if len(self._targets) == 1:
             return self._index.lower_bound(node, self._targets[0])

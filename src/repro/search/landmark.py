@@ -75,6 +75,7 @@ class LandmarkIndex:
         count: int = 8,
         *,
         tracer: Tracer | None = None,
+        csr: object | None = None,
     ) -> None:
         if count < 1:
             raise BuildError(f"landmark count must be >= 1, got {count}")
@@ -87,17 +88,21 @@ class LandmarkIndex:
                 self._landmarks = select_landmarks(graph, count)
             # _dist[l][i][node] = per-dimension distances from landmark l
             with tracer.span("landmark.distances"):
-                self._dist: list[list[dict[int, float]]] = [
-                    [
-                        shortest_costs(graph, landmark, i)
-                        for i in range(graph.dim)
+                if csr is not None:
+                    self._dist = _distances_via_csr(csr, self._landmarks)
+                else:
+                    self._dist: list[list[dict[int, float]]] = [
+                        [
+                            shortest_costs(graph, landmark, i)
+                            for i in range(graph.dim)
+                        ]
+                        for landmark in self._landmarks
                     ]
-                    for landmark in self._landmarks
-                ]
             if span.enabled:
                 span.set(
                     landmarks=len(self._landmarks),
                     entries=self.size_entries(),
+                    csr_backed=csr is not None,
                 )
 
     @classmethod
@@ -186,6 +191,61 @@ class LandmarkIndex:
                     bound[i] = candidate[i]
         return tuple(0.0 if b is _INF else b for b in bound)
 
+    def to_arrays(self, node_order: Sequence[int]) -> "object":
+        """The distance tables as one ``(L, dim, n)`` float64 array.
+
+        ``node_order`` fixes the third axis (typically
+        ``CSRSnapshot.node_ids``); missing entries become ``inf``.  The
+        stored floats are copied verbatim, so array-backed bounds see
+        exactly the values the dict lookups would.
+        """
+        import numpy as np
+
+        node_list = [int(node) for node in node_order]
+        out = np.full(
+            (len(self._landmarks), self._dim, len(node_list)),
+            _INF,
+            dtype=np.float64,
+        )
+        for li, tables in enumerate(self._dist):
+            for i, table in enumerate(tables):
+                row = out[li, i]
+                for j, node in enumerate(node_list):
+                    dist = table.get(node)
+                    if dist is not None:
+                        row[j] = dist
+        return out
+
     def size_entries(self) -> int:
         """Number of stored (landmark, dimension, node) distance entries."""
         return sum(len(table) for tables in self._dist for table in tables)
+
+
+def _distances_via_csr(
+    csr: object, landmarks: Sequence[int]
+) -> list[list[dict[int, float]]]:
+    """Landmark distance tables computed over a CSR snapshot.
+
+    Bit-identical to the dict Dijkstra (distance values are
+    accumulation-order-deterministic); unreachable nodes are dropped
+    from the tables just like ``shortest_costs`` omits them.
+    """
+    from repro.accel.bounds import csr_shortest_costs
+
+    node_ids = csr.node_ids.tolist()
+    tables: list[list[dict[int, float]]] = []
+    for landmark in landmarks:
+        dense = csr.dense_of(landmark)
+        per_dim: list[dict[int, float]] = []
+        for i in range(csr.dim):
+            dist = csr_shortest_costs(csr, [dense], i)
+            per_dim.append(
+                {
+                    node: d
+                    for node, d in zip(node_ids, dist)
+                    if d != _INF
+                }
+            )
+        tables.append(per_dim)
+    return tables
+

@@ -66,6 +66,8 @@ def many_to_many_skyline(
     time_budget: float | None = None,
     max_expansions: int | None = None,
     tracer: Tracer | None = None,
+    engine: str = "auto",
+    snapshot=None,
 ) -> ManyToManyResult:
     """Run one best-first skyline search from many seeds to many targets.
 
@@ -74,21 +76,44 @@ def many_to_many_skyline(
     :class:`~repro.search.bounds.LandmarkLowerBounds`, or
     :class:`~repro.search.bounds.ExactBounds` built with all targets).
     ``tracer`` wraps the search in one ``search.mbbs`` span carrying
-    the :class:`~repro.search.bbs.SearchStats` counters.
+    the :class:`~repro.search.bbs.SearchStats` counters.  ``engine``
+    and ``snapshot`` select the CSR kernel exactly as in
+    :func:`repro.search.bbs.skyline_paths`.
     """
+    from repro.search.bbs import resolve_search_engine
+
     seed_list = list(seeds)
     tracer = resolve_tracer(tracer)
+    resolved, snapshot = resolve_search_engine(
+        engine, snapshot, graph, tracer=tracer
+    )
     with tracer.span(
-        "search.mbbs", seeds=len(seed_list), targets=len(targets)
+        "search.mbbs",
+        seeds=len(seed_list),
+        targets=len(targets),
+        engine=resolved,
     ) as span:
-        result = _many_to_many_impl(
-            graph,
-            seed_list,
-            targets,
-            bounds=bounds,
-            time_budget=time_budget,
-            max_expansions=max_expansions,
-        )
+        if resolved == "flat":
+            from repro.accel.bbs_kernel import flat_many_to_many
+
+            result = flat_many_to_many(
+                graph,
+                snapshot,
+                seed_list,
+                targets,
+                bounds=bounds,
+                time_budget=time_budget,
+                max_expansions=max_expansions,
+            )
+        else:
+            result = _many_to_many_impl(
+                graph,
+                seed_list,
+                targets,
+                bounds=bounds,
+                time_budget=time_budget,
+                max_expansions=max_expansions,
+            )
         if span.enabled:
             span.counters.update(result.stats.as_span_counters())
             span.set(
@@ -170,7 +195,9 @@ def _many_to_many_impl(
             # Targets are ordinary nodes of G_L; keep expanding through
             # them — a skyline path may pass one target to reach another.
 
-        for neighbor in graph.neighbors(label.node):
+        # Ascending-id order: keeps push order identical to the flat
+        # kernel's CSR slot order (see repro.accel.bbs_kernel).
+        for neighbor in graph.sorted_neighbors(label.node):
             for edge_cost in graph.edge_costs(label.node, neighbor):
                 extended = tuple(c + w for c, w in zip(label.cost, edge_cost))
                 push(Label(neighbor, extended, parent=label))

@@ -37,6 +37,9 @@ SECTION_PARAMS = "params"
 SECTION_TOP_GRAPH = "topgraph"
 SECTION_LANDMARKS = "landmarks"
 SECTION_PROVENANCE = "provenance"
+# CSR snapshot of G_L (repro.accel); absent in files written before the
+# flat engine existed — readers treat it as optional.
+SECTION_CSR = "csr"
 
 # Guard against a corrupt header driving a huge allocation loop.
 MAX_SECTIONS = 100_000

@@ -30,6 +30,7 @@ from repro.store.format import (
     HEADER_STRUCT,
     MAGIC,
     MAX_SECTIONS,
+    SECTION_CSR,
     SECTION_LANDMARKS,
     SECTION_PARAMS,
     SECTION_PROVENANCE,
@@ -253,6 +254,18 @@ class IndexStore:
             tables.append(per_landmark)
         return LandmarkIndex.from_tables(dim, ids, tables)
 
+    def load_csr(self):
+        """Decode the persisted CSR snapshot of G_L, or None if absent.
+
+        Files written before the flat engine existed simply lack the
+        section; the index then rebuilds the snapshot on first use.
+        """
+        if SECTION_CSR not in self.sections:
+            return None
+        from repro.accel.csr import CSRSnapshot
+
+        return CSRSnapshot.from_payload(self.section_bytes(SECTION_CSR))
+
     def load_provenance(self) -> dict:
         """Decode the shortcut provenance map, insertion order intact."""
         reader = ByteReader(self.section_bytes(SECTION_PROVENANCE))
@@ -300,6 +313,9 @@ class IndexStore:
                 provenance=provenance,
                 build_stats=BuildStats(),
             )
+            snapshot = self.load_csr()
+            if snapshot is not None:
+                index.install_csr_top(snapshot)
             if span.enabled:
                 span.set(
                     bytes=self._size,

@@ -22,6 +22,7 @@ from repro.store.format import (
     FORMAT_VERSION,
     HEADER_STRUCT,
     MAGIC,
+    SECTION_CSR,
     SECTION_FLAG_ZLIB,
     SECTION_LANDMARKS,
     SECTION_PARAMS,
@@ -205,6 +206,9 @@ def _iter_sections(index: "BackboneIndex"):
     yield SECTION_TOP_GRAPH, encode_top_graph(index.top_graph)
     yield SECTION_LANDMARKS, encode_landmarks(index.landmarks)
     yield SECTION_PROVENANCE, encode_provenance(index)
+    # Persisting the G_L CSR snapshot lets a warm start serve flat
+    # queries without rebuilding it (repro.accel).
+    yield SECTION_CSR, index.csr_top().to_payload()
     for i, level in enumerate(index.levels):
         yield level_section_tag(i), encode_level(level)
 
@@ -249,5 +253,5 @@ def save_index(
     return {
         "path": str(path),
         "bytes": len(data),
-        "sections": 4 + index.height,
+        "sections": 5 + index.height,
     }

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -40,9 +39,12 @@ class TestDominates:
         assert dominates(p, p_prime)
         assert not dominates(p_prime, p)
 
-    def test_length_mismatch_raises(self):
-        with pytest.raises(ValueError):
-            dominates((1.0,), (1.0, 2.0))
+    def test_two_dimensional_fast_path(self):
+        # The 2-D specialization must agree with the general definition.
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+        assert not dominates((1.0, 5.0), (2.0, 4.0))
 
 
 class TestDominatesOrEqual:

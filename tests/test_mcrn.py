@@ -245,3 +245,71 @@ def test_parallel_edge_store_is_exactly_the_skyline(costs):
     # every input is covered by a stored vector
     for cost in costs:
         assert any(dominates_or_equal(s, cost) for s in stored)
+
+
+class TestFrozenNeighborViews:
+    """The memoized frozenset views must stay immutable and must be
+    invalidated by every mutation that changes adjacency."""
+
+    def test_view_is_frozen_and_memoized(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 1))
+        view = g.neighbors(1)
+        assert isinstance(view, frozenset)
+        assert g.neighbors(1) is view  # repeat lookups are free
+
+    def test_captured_view_does_not_observe_mutations(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 1))
+        before = g.neighbors(1)
+        g.add_edge(1, 3, (2, 2))
+        assert before == {2}
+        assert g.neighbors(1) == {2, 3}
+
+    def test_add_edge_invalidates_both_endpoints(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 1))
+        assert g.neighbors(2) == {1}
+        g.add_edge(2, 3, (1, 1))
+        assert g.neighbors(2) == {1, 3}
+        assert g.sorted_neighbors(2) == (1, 3)
+
+    def test_remove_edge_invalidates(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 1))
+        g.add_edge(1, 3, (1, 1))
+        assert g.neighbors(1) == {2, 3}
+        g.remove_edge(1, 2)
+        assert g.neighbors(1) == {3}
+        assert g.sorted_neighbors(1) == (3,)
+
+    def test_removing_one_parallel_edge_keeps_the_neighbor(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 3))
+        g.add_edge(1, 2, (3, 1))
+        g.remove_edge(1, 2, (1, 3))
+        assert g.neighbors(1) == {2}  # the other parallel edge remains
+        g.remove_edge(1, 2, (3, 1))
+        assert g.neighbors(1) == frozenset()
+
+    def test_remove_node_invalidates_former_neighbors(self):
+        g = MultiCostGraph(2)
+        g.add_edge(1, 2, (1, 1))
+        g.add_edge(2, 3, (1, 1))
+        assert g.neighbors(1) == {2}
+        assert g.neighbors(3) == {2}
+        g.remove_node(2)
+        assert g.neighbors(1) == frozenset()
+        assert g.neighbors(3) == frozenset()
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(2)
+
+    def test_directed_views_invalidate_on_mutation(self):
+        g = MultiCostGraph(2, directed=True)
+        g.add_edge(1, 2, (1, 1))
+        assert g.neighbors(1) == {2}
+        assert g.neighbors(2) == frozenset()
+        assert g.in_neighbors(2) == {1}
+        g.remove_edge(1, 2)
+        assert g.neighbors(1) == frozenset()
+        assert g.in_neighbors(2) == frozenset()

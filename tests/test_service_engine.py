@@ -200,7 +200,9 @@ class TestWarmState:
             network, params=PARAMS, exact_node_threshold=0
         )
         timings = engine.warm()
-        assert set(timings) == {"index_seconds", "landmark_seconds"}
+        assert set(timings) == {
+            "index_seconds", "csr_seconds", "landmark_seconds"
+        }
         snapshot = engine.metrics_snapshot()
         assert snapshot["index_ready"] and snapshot["landmarks_ready"]
 
