@@ -1,0 +1,127 @@
+"""Multi-process batch serving throughput at cohort sizes 1 / 2 / 4.
+
+Not a paper figure — this measures the ``repro.mp`` subsystem: one
+batch workload served through :class:`~repro.mp.dispatcher.MPBatchServer`
+at workers ∈ {1, 2, 4}, against the single-process flat engine as the
+baseline.  Every variant must return answer-set-identical results; the
+speedup column is only meaningful relative to ``cpu_count`` (on a
+single-core runner the cohort serializes and the measurement reports
+fork + IPC overhead, honestly below 1.0x).
+
+Also measured: the published segment size and the attach cost — a
+worker's attach is O(header), so the segment can grow without touching
+per-worker startup.
+
+Results go to ``benchmarks/results/mp_throughput.txt`` and the
+``BENCH_mp.json`` telemetry series at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    SCALED_M_MIN,
+    SCALED_P,
+    record_telemetry,
+    report,
+    scaled_m,
+)
+from repro.core import BackboneParams, build_backbone_index
+from repro.eval import format_table, random_queries
+from repro.mp.benchmark import measure_mp, measure_single_process
+
+WORKER_COUNTS = (1, 2, 4)
+BATCH_QUERIES = 48
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def mp_network(ny_large, workload_seed):
+    """Index + batch workload shared by every cohort size."""
+    params = BackboneParams(
+        m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    index = build_backbone_index(ny_large, params)
+    unique = random_queries(
+        ny_large, BATCH_QUERIES, seed=workload_seed, min_hops=8
+    )
+    pairs = [q.as_tuple() for q in unique]
+    return ny_large, index, pairs
+
+
+def test_mp_throughput_scaling(mp_network):
+    graph, index, pairs = mp_network
+    baseline = measure_single_process(
+        graph, pairs, index=index, rounds=ROUNDS
+    )
+    series = [baseline]
+    for workers in WORKER_COUNTS:
+        doc = measure_mp(
+            graph, pairs, index=index, workers=workers, rounds=ROUNDS
+        )
+        assert doc["signature"] == baseline["signature"], (
+            f"mp workers={workers} answers differ from single-process"
+        )
+        series.append(doc)
+
+    rows = [
+        [
+            doc["variant"],
+            doc["workers"],
+            f"{doc['qps']:.1f}",
+            f"{doc['best_seconds'] * 1e3:.1f}ms",
+            f"{doc['qps'] / baseline['qps']:.2f}x",
+        ]
+        for doc in series
+    ]
+    text = format_table(
+        ["variant", "workers", "q/s", "best batch", "vs single"],
+        rows,
+        title=(
+            f"mp batch throughput: {len(pairs)} queries x {ROUNDS} rounds "
+            f"on {graph.num_nodes}-node graph ({os.cpu_count()} cpu)"
+        ),
+    )
+    report("mp_throughput", text)
+    record_telemetry(
+        "mp",
+        throughput=[
+            {k: v for k, v in doc.items() if k != "signature"}
+            for doc in series
+        ],
+        answers_identical=True,
+    )
+
+
+def test_mp_attach_is_header_cost(mp_network):
+    """Attaching the published segment costs O(header), not O(arrays)."""
+    from repro.accel.csr import CSRSnapshot
+    from repro.mp.shm import SharedCSR
+
+    graph, _index, _pairs = mp_network
+    snapshot = CSRSnapshot.from_graph(graph)
+    shared = SharedCSR.publish(snapshot)
+    try:
+        started = time.perf_counter()
+        attached = SharedCSR.attach(shared.name)
+        view = attached.snapshot()
+        attach_seconds = time.perf_counter() - started
+        assert view.same_topology(snapshot)
+        attached.close()
+        record_telemetry(
+            "mp",
+            attach={
+                "segment_bytes": shared.nbytes,
+                "attach_seconds": attach_seconds,
+            },
+        )
+        # Attach + view construction must be far cheaper than the
+        # publish-side copy; 50ms is orders of magnitude of headroom.
+        assert attach_seconds < 0.05
+    finally:
+        shared.close()
+        shared.unlink()

@@ -9,6 +9,7 @@ factors change.  See ``docs/acceleration.md``.
 """
 
 from repro.accel.bbs_kernel import flat_many_to_many, flat_skyline_paths
+from repro.accel.blob import pack_bytes, pack_nbytes, read_pack, write_pack
 from repro.accel.bounds import (
     exact_bound_matrix,
     landmark_bound_matrix,
@@ -23,4 +24,8 @@ __all__ = [
     "flat_skyline_paths",
     "landmark_bound_matrix",
     "materialize_bound_matrix",
+    "pack_bytes",
+    "pack_nbytes",
+    "read_pack",
+    "write_pack",
 ]

@@ -201,6 +201,154 @@ class CSRSnapshot:
         return self._cost_tuples
 
     # ------------------------------------------------------------------
+    # flat-buffer construction (repro.mp zero-copy sharing)
+    # ------------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the snapshot's arrays (mirrors excluded)."""
+        total = (
+            self.node_ids.nbytes
+            + self.indptr.nbytes
+            + self.indices.nbytes
+            + self.costs.nbytes
+        )
+        if self.directed:
+            total += (
+                self.rev_indptr.nbytes
+                + self.rev_indices.nbytes
+                + self.rev_costs.nbytes
+            )
+        return total
+
+    def export_buffers(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """The snapshot as ``(meta, buffers)`` — views, not copies.
+
+        ``meta`` carries ``dim``/``directed``; ``buffers`` maps array
+        names to the snapshot's own arrays (reverse arrays only for
+        directed graphs, since undirected snapshots alias the forward
+        ones).  Feed both to :meth:`from_buffers` to reconstruct, or to
+        :func:`repro.accel.blob.write_pack` to publish into shared
+        memory.
+        """
+        meta = {"dim": self.dim, "directed": self.directed}
+        buffers = {
+            "node_ids": self.node_ids,
+            "indptr": self.indptr,
+            "indices": self.indices,
+            "costs": self.costs,
+        }
+        if self.directed:
+            buffers["rev_indptr"] = self.rev_indptr
+            buffers["rev_indices"] = self.rev_indices
+            buffers["rev_costs"] = self.rev_costs
+        return meta, buffers
+
+    @classmethod
+    def from_buffers(
+        cls, meta: dict, buffers: dict[str, np.ndarray]
+    ) -> "CSRSnapshot":
+        """Rebuild a snapshot around existing buffers — zero copies.
+
+        The arrays are wrapped as read-only views (a buffer-backed
+        snapshot is shared state by construction; nobody may scribble on
+        it).  Shapes and dtypes are validated so a torn or mislabelled
+        segment fails loudly instead of mis-answering queries.
+        """
+        dim = int(meta["dim"])
+        directed = bool(meta["directed"])
+        if dim < 1:
+            raise BuildError(f"buffer-backed snapshot has invalid dim {dim}")
+
+        def view(name: str, dtype: str, *, allow_2d: bool = False) -> np.ndarray:
+            try:
+                array = buffers[name]
+            except KeyError:
+                raise BuildError(
+                    f"buffer-backed snapshot missing array {name!r}"
+                ) from None
+            array = np.asarray(array)
+            if array.dtype != np.dtype(dtype):
+                raise BuildError(
+                    f"array {name!r} has dtype {array.dtype}, expected {dtype}"
+                )
+            if array.ndim != (2 if allow_2d else 1):
+                raise BuildError(
+                    f"array {name!r} has {array.ndim} dimensions"
+                )
+            array = array.view()
+            if array.flags.writeable:
+                array.flags.writeable = False
+            return array
+
+        node_ids = view("node_ids", "int64")
+        indptr = view("indptr", "int32")
+        indices = view("indices", "int32")
+        costs = view("costs", "float64", allow_2d=True)
+        n = len(node_ids)
+        if len(indptr) != n + 1:
+            raise BuildError(
+                f"indptr has {len(indptr)} entries for {n} nodes"
+            )
+        if int(indptr[-1]) != len(indices) or costs.shape != (len(indices), dim):
+            raise BuildError("CSR buffer shapes are inconsistent")
+        if directed:
+            rev_indptr = view("rev_indptr", "int32")
+            rev_indices = view("rev_indices", "int32")
+            rev_costs = view("rev_costs", "float64", allow_2d=True)
+            if len(rev_indptr) != n + 1 or rev_costs.shape != (
+                len(rev_indices),
+                dim,
+            ):
+                raise BuildError("reverse CSR buffer shapes are inconsistent")
+        else:
+            rev_indptr, rev_indices, rev_costs = indptr, indices, costs
+        return cls(
+            dim=dim,
+            directed=directed,
+            node_ids=node_ids,
+            indptr=indptr,
+            indices=indices,
+            costs=costs,
+            rev_indptr=rev_indptr,
+            rev_indices=rev_indices,
+            rev_costs=rev_costs,
+        )
+
+    def raw_nbytes(self) -> int:
+        """Byte size of the raw (shareable) pack of this snapshot."""
+        from repro.accel.blob import pack_nbytes
+
+        meta, buffers = self.export_buffers()
+        return pack_nbytes(buffers, meta)
+
+    def write_raw_into(self, buffer) -> int:
+        """Publish the snapshot into a writable buffer (shm segment)."""
+        from repro.accel.blob import write_pack
+
+        meta, buffers = self.export_buffers()
+        return write_pack(buffer, buffers, meta)
+
+    def to_raw_bytes(self) -> bytes:
+        """The snapshot as a standalone raw pack (mmap-able verbatim)."""
+        from repro.accel.blob import pack_bytes
+
+        meta, buffers = self.export_buffers()
+        return pack_bytes(buffers, meta)
+
+    @classmethod
+    def from_raw_buffer(cls, buffer) -> "CSRSnapshot":
+        """Attach to a raw pack — shm segment, mmap view, or bytes.
+
+        Zero-copy: the snapshot's arrays are read-only views into
+        ``buffer``, which stays alive through their ``base`` chain.
+        """
+        from repro.accel.blob import read_pack
+
+        meta, buffers = read_pack(buffer)
+        return cls.from_buffers(meta, buffers)
+
+    # ------------------------------------------------------------------
     # serialization (repro.store section payload)
     # ------------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path as FilePath
@@ -237,6 +238,111 @@ def _read_query_lines(source) -> list[tuple[int, int]]:
     return pairs
 
 
+def _print_response_lines(responses) -> None:
+    """One JSON line per served query (None = task failed upstream)."""
+    for response in responses:
+        if response is None:
+            continue
+        print(
+            json.dumps(
+                {
+                    "source": response.source,
+                    "target": response.target,
+                    "mode": response.mode,
+                    "paths": len(response.paths),
+                    "costs": [list(p.cost) for p in response.paths],
+                    "truncated": response.truncated,
+                    "cache_hit": response.cache_hit,
+                    "latency_ms": round(response.elapsed_seconds * 1e3, 3),
+                    "generation": response.generation,
+                }
+            )
+        )
+
+
+def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs) -> int:
+    """serve-batch with ``--engine mp``: a forked worker cohort."""
+    from repro.mp import MPBatchServer, MPQueryError
+
+    server = MPBatchServer(
+        graph,
+        index=index,
+        params=_params_from(args),
+        workers=args.workers,
+        cache_size=args.cache_size,
+        default_time_budget=args.budget,
+    )
+    try:
+        if args.store:
+            timings = server.engine.warm_from_store(args.store)
+            print(
+                f"warm-started from {timings['source']} in "
+                f"{fmt_seconds(timings['store_load_seconds'])}",
+                file=sys.stderr,
+            )
+        server.start()
+        try:
+            outcome = server.submit(
+                pairs,
+                mode=args.mode,
+                time_budget=args.budget,
+                fail_fast=args.fail_fast,
+            )
+        except MPQueryError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+        _print_response_lines(outcome.responses)
+        for error in outcome.errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(
+            f"served {len(outcome.responses)} queries "
+            f"({outcome.unique_queries} unique, {outcome.tasks} tasks, "
+            f"{outcome.workers} workers, generation "
+            f"{outcome.generation}) in "
+            f"{fmt_seconds(outcome.elapsed_seconds)} — "
+            f"{outcome.queries_per_second:.1f} q/s",
+            file=sys.stderr,
+        )
+        if args.verify:
+            from repro.qa.invariants import identical_answer_errors
+            from repro.service.batch import execute_batch as _execute
+
+            baseline = _execute(
+                server.engine, pairs, max_workers=1, mode=args.mode,
+                time_budget=args.budget, use_cache=False,
+            )
+            mismatches = 0
+            for pair, single, multi in zip(
+                pairs, baseline.responses, outcome.responses
+            ):
+                if multi is None:
+                    mismatches += 1
+                    continue
+                for detail in identical_answer_errors(
+                    "single-process", single.paths, "mp", multi.paths
+                ):
+                    mismatches += 1
+                    print(f"verify {pair}: {detail}", file=sys.stderr)
+            if mismatches:
+                print(
+                    f"verification FAILED: {mismatches} queries disagree "
+                    f"with single-process serving",
+                    file=sys.stderr,
+                )
+                return 4
+            print(
+                f"verification ok: {len(pairs)} answers bit-identical to "
+                f"single-process serving",
+                file=sys.stderr,
+            )
+        if args.metrics:
+            server.flush_metrics()
+            print(server.metrics.to_text(), file=sys.stderr)
+        return 3 if outcome.errors else 0
+    finally:
+        server.stop()
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.core.index import BackboneIndex as _Index
     from repro.service import SkylineQueryEngine, execute_batch
@@ -250,6 +356,16 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     index = None
     if args.index:
         index = _Index.load(args.index, graph)
+    if args.queries == "-":
+        pairs = _read_query_lines(sys.stdin)
+    else:
+        with open(args.queries) as handle:
+            pairs = _read_query_lines(handle)
+    if not pairs:
+        print("error: no queries to serve", file=sys.stderr)
+        return 1
+    if args.serve_engine == "mp":
+        return _serve_batch_mp(args, graph, index, pairs)
     engine = SkylineQueryEngine(
         graph,
         index=index,
@@ -274,14 +390,6 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             f"{fmt_seconds(sum(timings.values()))}",
             file=sys.stderr,
         )
-    if args.queries == "-":
-        pairs = _read_query_lines(sys.stdin)
-    else:
-        with open(args.queries) as handle:
-            pairs = _read_query_lines(handle)
-    if not pairs:
-        print("error: no queries to serve", file=sys.stderr)
-        return 1
 
     outcome = execute_batch(
         engine,
@@ -291,22 +399,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         time_budget=args.budget,
         tracer=tracer,
     )
-    for response in outcome.responses:
-        print(
-            json.dumps(
-                {
-                    "source": response.source,
-                    "target": response.target,
-                    "mode": response.mode,
-                    "paths": len(response.paths),
-                    "costs": [list(p.cost) for p in response.paths],
-                    "truncated": response.truncated,
-                    "cache_hit": response.cache_hit,
-                    "latency_ms": round(response.elapsed_seconds * 1e3, 3),
-                    "generation": response.generation,
-                }
-            )
-        )
+    _print_response_lines(outcome.responses)
     cache = engine.cache.snapshot()
     print(
         f"served {len(outcome.responses)} queries "
@@ -581,7 +674,81 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     if len(engines) == 2:
         print("answers: bit-identical across engines")
+
+    if args.mp_workers:
+        from repro.mp.benchmark import measure_mp, measure_single_process
+
+        try:
+            cohort_sizes = [
+                int(field) for field in args.mp_workers.split(",") if field
+            ]
+        except ValueError:
+            print(f"error: --mp-workers expects integers, got "
+                  f"{args.mp_workers!r}", file=sys.stderr)
+            return 1
+        pairs = [(q.source, q.target) for q in queries]
+        while len(pairs) < args.mp_batch:
+            pairs.extend(pairs)
+        pairs = pairs[: args.mp_batch]
+        baseline = measure_single_process(
+            graph, pairs, rounds=args.rounds, time_budget=args.budget
+        )
+        rows = [[
+            "single", 1, f"{baseline['qps']:.1f}",
+            fmt_seconds(baseline["best_seconds"]), "1.00x",
+        ]]
+        mismatched = False
+        for size in cohort_sizes:
+            doc = measure_mp(
+                graph, pairs, workers=size, rounds=args.rounds,
+                time_budget=args.budget,
+            )
+            if doc["signature"] != baseline["signature"]:
+                mismatched = True
+            rows.append([
+                "mp", size, f"{doc['qps']:.1f}",
+                fmt_seconds(doc["best_seconds"]),
+                f"{doc['qps'] / baseline['qps']:.2f}x"
+                if baseline["qps"] else "n/a",
+            ])
+        print(
+            format_table(
+                ["variant", "workers", "q/s", "best batch", "vs single"],
+                rows,
+                title=(
+                    f"mp batch throughput: {len(pairs)} queries x "
+                    f"{args.rounds} rounds ({os.cpu_count()} cpu)"
+                ),
+            )
+        )
+        if mismatched:
+            print("error: mp answers differ from single-process",
+                  file=sys.stderr)
+            return 2
+        print("answers: answer-set-identical across worker counts")
     return 0
+
+
+def cmd_qa_mpload(args: argparse.Namespace) -> int:
+    from repro.qa import MPLoadConfig, fuzz_mp
+
+    started = time.perf_counter()
+    report = fuzz_mp(
+        range(args.start, args.start + args.seeds),
+        MPLoadConfig(workers=args.workers),
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        n_updates=args.updates,
+        on_case=lambda case: _print_case_report(case, verbose=args.verbose),
+    )
+    elapsed = time.perf_counter() - started
+    total = len(report.discrepancies)
+    print(
+        f"{len(report.cases)} cases, "
+        f"{sum(c.queries_checked for c in report.cases)} responses checked, "
+        f"{total} discrepancies in {fmt_seconds(elapsed)}"
+    )
+    return 1 if total else 0
 
 
 def cmd_qa_fuzz(args: argparse.Namespace) -> int:
@@ -777,7 +944,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queries", default="-",
                        help="query file, or '-' for stdin (default)")
     serve.add_argument("--workers", type=int, default=4,
-                       help="batch executor thread count (default 4)")
+                       help="batch executor thread count, or worker "
+                            "process count with --engine mp (default 4)")
+    serve.add_argument("--engine", choices=["thread", "mp"],
+                       default="thread", dest="serve_engine",
+                       help="batch executor: in-process threads (default) "
+                            "or a forked worker-process cohort sharing "
+                            "one zero-copy CSR snapshot")
+    serve.add_argument("--fail-fast", action="store_true", dest="fail_fast",
+                       help="with --engine mp: abort the batch on the "
+                            "first worker error (exit code 3)")
+    serve.add_argument("--verify", action="store_true",
+                       help="with --engine mp: re-serve the batch "
+                            "single-process and require bit-identical "
+                            "answers (exit code 4 on mismatch)")
     serve.add_argument("--mode", choices=["auto", "exact", "approx"],
                        default="auto",
                        help="planner mode (default auto)")
@@ -894,6 +1074,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="minimum query length in hops (default 10)")
     bench.add_argument("--budget", type=float, default=None,
                        help="per-query time budget in seconds")
+    bench.add_argument("--mp-workers", default=None, dest="mp_workers",
+                       metavar="N[,N...]",
+                       help="also benchmark multi-process batch serving "
+                            "at these cohort sizes (e.g. 1,2,4)")
+    bench.add_argument("--mp-batch", type=int, default=64, dest="mp_batch",
+                       help="batch size per mp throughput round "
+                            "(default 64)")
     bench.set_defaults(handler=cmd_bench)
 
     qa = commands.add_parser(
@@ -915,6 +1102,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print every discrepancy as cases finish")
     _add_qa_case_options(qa_fuzz)
     qa_fuzz.set_defaults(handler=cmd_qa_fuzz)
+
+    qa_mpload = qa_sub.add_parser(
+        "mpload",
+        help="fuzz multi-process serving under concurrent maintenance "
+        "(every response bit-matched against its stamped generation)",
+    )
+    qa_mpload.add_argument("--seeds", type=int, default=10,
+                           help="number of seeded cases (default 10)")
+    qa_mpload.add_argument("--start", type=int, default=0,
+                           help="first seed (default 0)")
+    qa_mpload.add_argument("--workers", type=int, default=2,
+                           help="worker processes per cohort (default 2)")
+    qa_mpload.add_argument("--verbose", action="store_true",
+                           help="print every discrepancy as cases finish")
+    _add_qa_case_options(qa_mpload)
+    qa_mpload.set_defaults(handler=cmd_qa_mpload)
 
     qa_replay = qa_sub.add_parser(
         "replay", help="re-run one seeded case with full detail"

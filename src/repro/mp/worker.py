@@ -1,0 +1,141 @@
+"""The worker process side of multi-process serving.
+
+A worker is forked by :class:`repro.mp.dispatcher.MPBatchServer` with
+its whole serving context inherited copy-on-write: the graph, the
+backbone index, the shared landmark tables, and the published
+:class:`~repro.mp.shm.SharedCSR` handle.  On startup it wraps that
+context in a local flat-engine :class:`SkylineQueryEngine` and installs
+the *shared* CSR snapshot — read-only views into the publisher's
+segment — so the flat kernels in every worker walk the same physical
+arrays.
+
+The loop then serves three message kinds off its task queue:
+
+``("task", task_id, source, targets, mode, budget)``
+    Serve one shared-source query group; reply ``("result", worker_id,
+    task_id, responses)`` with stats stripped (keeps the pickle small),
+    or ``("error", worker_id, task_id, message)`` if the group raised.
+``("flush", token)``
+    Reply ``("metrics", worker_id, token, registry_state)`` — the full
+    :meth:`~repro.service.metrics.MetricsRegistry.dump_state` document
+    the dispatcher merges into the parent registry.
+``("stop",)``
+    Ship a final metrics document (token ``"stop"``) and exit.
+
+Workers never raise out of the loop: any per-task exception becomes an
+error reply, so the dispatcher always learns the task's fate and its
+admission slot is always released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.mp.shm import SharedCSR
+
+# Message tags (tuples keep the queue payloads pickle-cheap).
+MSG_TASK = "task"
+MSG_FLUSH = "flush"
+MSG_STOP = "stop"
+MSG_RESULT = "result"
+MSG_ERROR = "error"
+MSG_METRICS = "metrics"
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Engine knobs forwarded from the dispatcher to every worker."""
+
+    cache_size: int = 1024
+    exact_node_threshold: int = 400
+    default_time_budget: float | None = None
+
+
+def build_worker_engine(graph, index, landmarks, shared, generation, config):
+    """A flat-engine serving stack around the shared snapshot.
+
+    Separated from :func:`worker_main` so tests can build the exact
+    engine a worker would use in-process and compare answers.
+    """
+    from repro.service.engine import SkylineQueryEngine
+
+    engine = SkylineQueryEngine(
+        graph,
+        index=index,
+        cache_size=config.cache_size,
+        exact_node_threshold=config.exact_node_threshold,
+        default_time_budget=config.default_time_budget,
+        engine="flat",
+    )
+    # Install the shared state instead of letting the engine rebuild
+    # it: the CSR arrays are views into the published segment (the
+    # zero-copy attach), and the landmark tables are the parent's,
+    # inherited copy-on-write.
+    engine._csr_original = shared.snapshot() if shared is not None else None
+    engine._original_landmarks = landmarks
+    engine._generation = generation
+    return engine
+
+
+def worker_main(
+    worker_id: int,
+    generation: int,
+    task_queue,
+    result_queue,
+    graph,
+    index,
+    landmarks,
+    shared: SharedCSR | None,
+    config: WorkerConfig,
+) -> None:
+    """Entry point of one worker process (runs until ``stop``)."""
+    engine = build_worker_engine(
+        graph, index, landmarks, shared, generation, config
+    )
+    engine.metrics.increment("mp.worker.starts")
+    try:
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == MSG_TASK:
+                _task_id, source, targets, mode, budget = message[1:]
+                try:
+                    responses = engine.query_group(
+                        source, list(targets), mode=mode, time_budget=budget
+                    )
+                except Exception as error:  # ship, never crash the loop
+                    engine.metrics.increment("mp.worker.task_errors")
+                    result_queue.put((
+                        MSG_ERROR,
+                        worker_id,
+                        _task_id,
+                        f"{type(error).__name__}: {error}",
+                    ))
+                else:
+                    engine.metrics.increment("mp.worker.tasks")
+                    result_queue.put((
+                        MSG_RESULT,
+                        worker_id,
+                        _task_id,
+                        [replace(r, stats=None) for r in responses],
+                    ))
+            elif kind == MSG_FLUSH:
+                result_queue.put((
+                    MSG_METRICS,
+                    worker_id,
+                    message[1],
+                    engine.metrics.dump_state(),
+                ))
+            elif kind == MSG_STOP:
+                result_queue.put((
+                    MSG_METRICS,
+                    worker_id,
+                    MSG_STOP,
+                    engine.metrics.dump_state(),
+                ))
+                return
+            # Unknown kinds are ignored; a newer dispatcher talking to
+            # an older worker degrades to a no-op instead of a crash.
+    finally:
+        if shared is not None:
+            shared.close()

@@ -16,7 +16,10 @@ package makes that a running check rather than a hope:
 * :mod:`repro.qa.metamorphic` — oracle-free relations (source/target
   swap, cost-dimension permutation, uniform scaling);
 * :mod:`repro.qa.shrink` — delta-debugging reducer emitting
-  ready-to-paste regression fixtures.
+  ready-to-paste regression fixtures;
+* :mod:`repro.qa.mp_load` — concurrent-maintenance-under-load checking
+  for multi-process serving: every worker response bit-matched against
+  the expected answers of the generation it is stamped with.
 
 Exposed on the command line as ``repro qa fuzz`` / ``qa replay`` /
 ``qa shrink``; CI runs a fixed-seed fuzz smoke on every change.
@@ -37,6 +40,7 @@ from repro.qa.invariants import (
     non_dominance_errors,
     path_errors,
 )
+from repro.qa.mp_load import MPLoadConfig, fuzz_mp, run_mp_case
 from repro.qa.shrink import (
     ShrunkCase,
     emit_fixture,
@@ -50,6 +54,7 @@ __all__ = [
     "CaseSpec",
     "Discrepancy",
     "FuzzReport",
+    "MPLoadConfig",
     "QACase",
     "QAConfig",
     "ShrunkCase",
@@ -59,10 +64,12 @@ __all__ = [
     "cost_skyline_errors",
     "emit_fixture",
     "fuzz",
+    "fuzz_mp",
     "identical_answer_errors",
     "non_dominance_errors",
     "path_errors",
     "run_case",
+    "run_mp_case",
     "shrink_case",
     "static_differential_problems",
 ]

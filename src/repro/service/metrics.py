@@ -116,6 +116,91 @@ class Histogram:
         with self._lock:
             return self._count
 
+    # ------------------------------------------------------------------
+    # merging (per-worker histograms roll up into one parent histogram)
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Full-fidelity state as plain data (picklable, JSON-able).
+
+        Unlike :meth:`summary` this keeps the raw reservoir, so a
+        histogram reconstructed with :meth:`from_state` — e.g. shipped
+        from a worker process — merges without losing tail resolution.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "samples": list(self._samples),
+                "max_samples": self._max_samples,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        histogram = cls(state["name"], max_samples=state["max_samples"])
+        histogram._count = int(state["count"])
+        histogram._sum = float(state["sum"])
+        histogram._min = (
+            float(state["min"]) if state["min"] is not None else math.inf
+        )
+        histogram._max = (
+            float(state["max"]) if state["max"] is not None else -math.inf
+        )
+        histogram._samples = [float(v) for v in state["samples"]]
+        return histogram
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one.
+
+        ``count``/``sum``/``min``/``max`` merge exactly.  The reservoirs
+        combine by *weighted* subsampling: each retained sample stands
+        for ``count / len(samples)`` observations of its source, and
+        when the union exceeds the cap, samples are kept with
+        probability proportional to that weight
+        (Efraimidis-Spirakis keys drawn from this histogram's seeded
+        RNG).  A 10k-observation worker therefore outweighs a
+        100-observation one ~100:1 in the merged reservoir, so rolled-up
+        p95/p99 track the traffic-weighted distribution instead of
+        over-representing idle workers.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        # Lock in id order so concurrent a.merge(b) / b.merge(a) cannot
+        # deadlock.
+        first, second = (
+            (self, other) if id(self) <= id(other) else (other, self)
+        )
+        with first._lock, second._lock:
+            if other._count == 0:
+                return
+            weighted: list[tuple[float, list[float]]] = []
+            for source in (self, other):
+                if source._samples:
+                    weight = source._count / len(source._samples)
+                    weighted.append((weight, source._samples))
+            merged: list[float] = []
+            total = sum(len(samples) for _weight, samples in weighted)
+            if total <= self._max_samples:
+                for _weight, samples in weighted:
+                    merged.extend(samples)
+            else:
+                keyed: list[tuple[float, float]] = []
+                for weight, samples in weighted:
+                    for value in samples:
+                        u = self._rng.random()
+                        keyed.append((u ** (1.0 / weight), value))
+                keyed.sort(key=lambda pair: pair[0], reverse=True)
+                merged = [value for _key, value in keyed[: self._max_samples]]
+            self._samples = merged
+            self._count += other._count
+            self._sum += other._sum
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
     def percentile(self, q: float) -> float:
         """The q-quantile (0 < q <= 1) of the recorded samples."""
         with self._lock:
@@ -201,6 +286,38 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Shorthand for ``histogram(name).observe(value)``."""
         self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # merging (multi-process rollup)
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Every instrument at full fidelity, as plain picklable data.
+
+        This is the wire format worker processes ship to the parent:
+        counters as integers, histograms as :meth:`Histogram.state`
+        (reservoir included).  Feed it to :meth:`merge_state`.
+        """
+        counters, histograms = self._instruments()
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "histograms": {h.name: h.state() for h in histograms},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` document into this registry.
+
+        Counters add; histograms merge via :meth:`Histogram.merge`, so
+        per-worker percentile reservoirs roll up traffic-weighted.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).increment(int(value))
+        for name, doc in state.get("histograms", {}).items():
+            self.histogram(name).merge(Histogram.from_state(doc))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        self.merge_state(other.dump_state())
 
     # ------------------------------------------------------------------
     # exporting

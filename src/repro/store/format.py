@@ -40,6 +40,15 @@ SECTION_PROVENANCE = "provenance"
 # CSR snapshot of G_L (repro.accel); absent in files written before the
 # flat engine existed — readers treat it as optional.
 SECTION_CSR = "csr"
+# The same snapshot as a raw array pack (repro.accel.blob), written
+# uncompressed so multi-process readers can mmap the section and attach
+# zero-copy (repro.mp).  Optional like ``csr``; decoded readers prefer
+# ``csr`` (smaller), mapping readers require ``csrraw``.
+SECTION_CSR_RAW = "csrraw"
+
+# Sections that must stay byte-verbatim on disk (mmap attach targets);
+# the writer never compresses them.
+RAW_SECTIONS = frozenset({SECTION_CSR_RAW})
 
 # Guard against a corrupt header driving a huge allocation loop.
 MAX_SECTIONS = 100_000

@@ -325,7 +325,8 @@ class TestSnapshotLifecycle:
         built = index.csr_top()
         path = tmp_path / "case.rbi"
         info = save_index(index, path)
-        assert info["sections"] == 5 + index.height
+        # params/topgraph/landmarks/provenance/csr/csrraw + one per level
+        assert info["sections"] == 6 + index.height
         loaded = load_index(path, case.graph)
         restored = loaded.csr_top(build=False)
         assert restored is not None

@@ -156,3 +156,129 @@ class TestTextExport:
         assert "served 3" in text
         assert "seconds_count 4" in text
         assert 'seconds{quantile="0.95"}' in text
+
+
+class TestHistogramMerge:
+    def test_exact_stats_merge_exactly(self):
+        a = Histogram("lat", max_samples=8)
+        b = Histogram("lat", max_samples=8)
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        state = a.state()
+        assert state["sum"] == 36.0
+        assert state["min"] == 1.0
+        assert state["max"] == 20.0
+
+    def test_state_round_trip_is_lossless(self):
+        h = Histogram("lat", max_samples=16)
+        for i in range(100):
+            h.observe(i * 0.5)
+        rebuilt = Histogram.from_state(h.state())
+        assert rebuilt.state() == h.state()
+        assert rebuilt.percentile(0.95) == h.percentile(0.95)
+
+    def test_self_merge_rejected(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.merge(h)
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram("lat", max_samples=8)
+        for v in (1.0, 2.0):
+            a.observe(v)
+        before = a.state()
+        a.merge(Histogram("lat", max_samples=8))
+        assert a.state() == before
+
+    def test_merge_under_cap_keeps_every_sample(self):
+        a = Histogram("lat", max_samples=32)
+        b = Histogram("lat", max_samples=32)
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (4.0, 5.0):
+            b.observe(v)
+        a.merge(b)
+        assert sorted(a.state()["samples"]) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_merge_is_traffic_weighted_over_cap(self):
+        # A busy source (10k observations around 100) must dominate the
+        # merged reservoir over an idle one (20 observations around 1).
+        busy = Histogram("lat", max_samples=64, seed=7)
+        idle = Histogram("lat", max_samples=64, seed=8)
+        for i in range(10_000):
+            busy.observe(100.0 + (i % 10))
+        for i in range(20):
+            idle.observe(1.0)
+        busy.merge(idle)
+        samples = busy.state()["samples"]
+        assert len(samples) == 64
+        big = sum(1 for v in samples if v >= 100.0)
+        assert big >= 48  # ~500:1 weight ratio; 3/4 is a loose floor
+        assert busy.percentile(0.5) >= 100.0
+
+    def test_merge_is_deterministic_for_fixed_seeds(self):
+        def build():
+            a = Histogram("lat", max_samples=16, seed=3)
+            b = Histogram("lat", max_samples=16, seed=4)
+            for i in range(200):
+                a.observe(float(i))
+            for i in range(300):
+                b.observe(1000.0 + i)
+            a.merge(b)
+            return a.state()
+
+        assert build() == build()
+
+
+class TestRegistryRollup:
+    def test_dump_merge_state_rolls_up_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.increment("engine.queries", 5)
+        for v in (0.1, 0.2, 0.3):
+            worker.observe("engine.query_seconds", v)
+
+        parent = MetricsRegistry()
+        parent.increment("engine.queries", 2)
+        parent.observe("engine.query_seconds", 0.9)
+        parent.merge_state(worker.dump_state())
+
+        assert parent.counter("engine.queries").value == 7
+        h = parent.histogram("engine.query_seconds")
+        assert h.count == 4
+        assert h.state()["max"] == 0.9
+
+    def test_dump_state_is_picklable_plain_data(self):
+        import pickle
+
+        registry = MetricsRegistry()
+        registry.increment("c", 3)
+        registry.observe("h", 1.5)
+        state = registry.dump_state()
+        assert pickle.loads(pickle.dumps(state)) == state
+        assert state["counters"] == {"c": 3}
+        assert state["histograms"]["h"]["count"] == 1
+
+    def test_merge_registry_convenience(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.increment("x")
+        b.increment("x", 9)
+        b.observe("y", 2.0)
+        a.merge(b)
+        assert a.counter("x").value == 10
+        assert a.histogram("y").count == 1
+
+    def test_merge_unknown_instruments_materialize(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.increment("only.in.worker", 4)
+        worker.observe("only.hist", 3.0)
+        parent.merge_state(worker.dump_state())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["only.in.worker"] == 4
+        assert snapshot["histograms"]["only.hist"]["count"] == 1
