@@ -11,9 +11,14 @@ measures both sides:
   exercises implicitly.
 * ``test_enabled_tracer_benchmark`` — the same workload fully traced,
   quantifying what opting in costs.
+* ``test_mp_tracing_overhead`` — the same workload through a 2-worker
+  :class:`~repro.mp.MPBatchServer` with cross-process tracing off and
+  on, quantifying what shipping TraceContexts and span dumps over the
+  task/result queues costs.
 
-The measured ratio and the traced run's span rollup land in
-``BENCH_bench_obs_overhead.json`` at the repo root.
+The measured ratios and the traced run's span rollup land in
+``BENCH_obs.json`` at the repo root (committed, unlike the other
+bench artifacts, so overhead regressions show up in review).
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from benchmarks.conftest import (
     scaled_m,
 )
 
-MODULE = "bench_obs_overhead"
+MODULE = "obs"
 
 
 @pytest.fixture(scope="module")
@@ -48,7 +53,7 @@ def overhead_setup(ny_small, workload_seed):
     )
     index = build_backbone_index(ny_small, params)
     queries = random_queries(ny_small, 6, seed=workload_seed, min_hops=10)
-    return index, queries
+    return index, queries, params
 
 
 def _run_workload(index, queries, tracer=None):
@@ -74,7 +79,7 @@ def _best_of(fn, rounds: int = 5) -> float:
 
 def test_noop_tracer_overhead_benchmark(benchmark, overhead_setup):
     """Query workload latency with tracing off (the default)."""
-    index, queries = overhead_setup
+    index, queries, _params = overhead_setup
     paths = benchmark.pedantic(
         lambda: _run_workload(index, queries), rounds=5, iterations=1
     )
@@ -85,7 +90,7 @@ def test_enabled_tracer_benchmark(benchmark, overhead_setup):
     """The same workload with every span recorded."""
     from repro.obs import Tracer
 
-    index, queries = overhead_setup
+    index, queries, _params = overhead_setup
     tracer = Tracer()
     paths = benchmark.pedantic(
         lambda: _run_workload(index, queries, tracer=tracer),
@@ -107,7 +112,7 @@ def test_overhead_ratio(overhead_setup):
     """
     from repro.obs import Tracer
 
-    index, queries = overhead_setup
+    index, queries, _params = overhead_setup
     _run_workload(index, queries)  # warm caches
 
     off_seconds = _best_of(lambda: _run_workload(index, queries))
@@ -132,3 +137,65 @@ def test_overhead_ratio(overhead_setup):
     # Generous bound: span bookkeeping is per-phase, not per-label, so
     # even full tracing must stay well under 1.5x on real workloads.
     assert ratio < 1.5
+
+
+def test_mp_tracing_overhead(overhead_setup, ny_small):
+    """Cross-process tracing stays cheap on the mp serving path.
+
+    Tracing an mp batch additionally ships a TraceContext with every
+    task and a drained span dump with every reply; both ride the
+    existing queues, so the cost must be a small constant per task,
+    not per label.  Two 2-worker servers serve the same batch (caches
+    off so every round does real search work); the off/on ratio lands
+    in the telemetry next to the single-process one.
+    """
+    from repro.mp import MPBatchServer
+    from repro.obs import Tracer, merge_process_traces
+
+    index, queries, params = overhead_setup
+    pairs = [(q.source, q.target) for q in queries]
+
+    def measure(tracer):
+        with MPBatchServer(
+            ny_small,
+            index=index,
+            params=params,
+            workers=2,
+            cache_size=0,
+            tracer=tracer,
+        ) as server:
+            server.submit(pairs)  # warm the cohort
+            seconds = _best_of(lambda: server.submit(pairs), rounds=3)
+            dumps = server.trace_dumps()
+        return seconds, dumps
+
+    # Explicitly disabled: the bench conftest installs an enabled
+    # process-wide tracer per module, so None would not mean "off".
+    off_seconds, off_dumps = measure(Tracer(enabled=False))
+    assert off_dumps == []  # tracing off must collect nothing
+    on_seconds, on_dumps = measure(Tracer())
+    merged = merge_process_traces(on_dumps)
+    worker_pids = {d["pid"] for d in on_dumps if d["label"] != "dispatcher"}
+    assert len(worker_pids) == 2
+
+    ratio = on_seconds / off_seconds if off_seconds else 1.0
+    record_telemetry(
+        MODULE,
+        mp_tracing_off_seconds=off_seconds,
+        mp_tracing_on_seconds=on_seconds,
+        mp_on_off_ratio=ratio,
+        mp_trace_processes=len(on_dumps),
+        mp_trace_events=len(merged["traceEvents"]),
+    )
+    report(
+        "obs_mp_overhead",
+        "Cross-process tracing overhead, 2-worker mp batch\n"
+        f"  tracing off : {off_seconds * 1e3:8.2f} ms\n"
+        f"  tracing on  : {on_seconds * 1e3:8.2f} ms\n"
+        f"  on/off ratio: {ratio:8.3f}\n"
+        f"  merged trace: {len(on_dumps)} processes, "
+        f"{len(merged['traceEvents'])} events",
+    )
+    # Looser than the in-process bound: batch times here are tens of
+    # milliseconds, so queue-noise swings the ratio more.
+    assert ratio < 2.0

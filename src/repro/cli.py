@@ -1,12 +1,13 @@
 """Command-line interface for the backbone-index library.
 
-Ten subcommands cover the full workflow a downstream user needs::
+The subcommands cover the full workflow a downstream user needs::
 
     repro generate --nodes 2000 --out net          # net.gr + net.co
     repro build net.gr --out net.rbi
     repro query net.gr net.rbi --source 3 --target 907 --exact
     repro trace net.gr --source 3 --target 907 --out trace.json
     repro serve-batch net.gr --store net.rbi --queries q.txt
+    repro status /tmp/status.json                  # or http://host:port
     repro warm net.gr --out net.rbi
     repro index inspect net.rbi                    # also: save/load/snapshot
     repro stats net.gr --index net.rbi
@@ -243,24 +244,74 @@ def _print_response_lines(responses) -> None:
     for response in responses:
         if response is None:
             continue
+        doc = {
+            "source": response.source,
+            "target": response.target,
+            "mode": response.mode,
+            "paths": len(response.paths),
+            "costs": [list(p.cost) for p in response.paths],
+            "truncated": response.truncated,
+            "cache_hit": response.cache_hit,
+            "latency_ms": round(response.elapsed_seconds * 1e3, 3),
+            "generation": response.generation,
+        }
+        if response.worker_pid is not None:
+            doc["worker_pid"] = response.worker_pid
+        if response.trace_id is not None:
+            doc["trace_id"] = response.trace_id
+        print(json.dumps(doc))
+
+
+def _response_origin(response) -> str:
+    """Provenance suffix for verify reports (who computed the answer)."""
+    if response is None or response.worker_pid is None:
+        return ""
+    origin = (
+        f" [worker_pid={response.worker_pid} "
+        f"generation={response.generation}"
+    )
+    if response.trace_id is not None:
+        origin += f" trace_id={response.trace_id}"
+    return origin + "]"
+
+
+def _obs_from_args(args: argparse.Namespace, registry, events):
+    """The optional LiveStatus (+ HTTP server) the serve flags ask for."""
+    if args.status_file is None and args.status_port is None:
+        return None, None
+    from repro.obs import LiveStatus
+
+    live = LiveStatus(
+        interval_seconds=args.status_interval,
+        status_file=args.status_file,
+        registry=registry,
+        events=events,
+    ).start()
+    http_server = None
+    if args.status_port is not None:
+        http_server = live.serve_http(args.status_port)
         print(
-            json.dumps(
-                {
-                    "source": response.source,
-                    "target": response.target,
-                    "mode": response.mode,
-                    "paths": len(response.paths),
-                    "costs": [list(p.cost) for p in response.paths],
-                    "truncated": response.truncated,
-                    "cache_hit": response.cache_hit,
-                    "latency_ms": round(response.elapsed_seconds * 1e3, 3),
-                    "generation": response.generation,
-                }
-            )
+            f"status endpoints at {http_server.url} "
+            f"(/health /status /metrics /events)",
+            file=sys.stderr,
         )
+    return live, http_server
 
 
-def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs) -> int:
+def _obs_teardown(live, http_server, events) -> None:
+    """Final status write, HTTP shutdown, event-sink close."""
+    if http_server is not None:
+        http_server.close()
+    if live is not None:
+        live.stop()  # flushes one last status document
+        if live.status_file is not None:
+            print(f"status file at {live.status_file}", file=sys.stderr)
+    if events is not None:
+        events.close()
+
+
+def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs,
+                    tracer, events) -> int:
     """serve-batch with ``--engine mp``: a forked worker cohort."""
     from repro.mp import MPBatchServer, MPQueryError
 
@@ -271,8 +322,15 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs) -> int:
         workers=args.workers,
         cache_size=args.cache_size,
         default_time_budget=args.budget,
+        tracer=tracer,
+        events=events,
     )
-    try:
+    live, http_server = _obs_from_args(args, server.metrics, events)
+    if live is not None:
+        server.attach_live(live)
+        server.engine.attach_live(live)
+
+    def run() -> int:
         if args.store:
             timings = server.engine.warm_from_store(args.store)
             print(
@@ -322,7 +380,11 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs) -> int:
                     "single-process", single.paths, "mp", multi.paths
                 ):
                     mismatches += 1
-                    print(f"verify {pair}: {detail}", file=sys.stderr)
+                    print(
+                        f"verify {pair}: {detail}"
+                        f"{_response_origin(multi)}",
+                        file=sys.stderr,
+                    )
             if mismatches:
                 print(
                     f"verification FAILED: {mismatches} queries disagree "
@@ -339,8 +401,25 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs) -> int:
             server.flush_metrics()
             print(server.metrics.to_text(), file=sys.stderr)
         return 3 if outcome.errors else 0
+
+    try:
+        code = run()
     finally:
+        # Stop before exporting the trace: retirement drains the final
+        # worker replies, whose span dumps complete the merged picture.
         server.stop()
+    if tracer is not None and args.trace:
+        from repro.obs import write_merged_trace
+
+        dumps = server.trace_dumps()
+        path = write_merged_trace(dumps, args.trace)
+        print(
+            f"merged trace written to {path} "
+            f"({len(dumps)} processes)",
+            file=sys.stderr,
+        )
+    _obs_teardown(live, http_server, events)
+    return code
 
 
 def cmd_serve_batch(args: argparse.Namespace) -> int:
@@ -352,6 +431,11 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    events = None
+    if args.events:
+        from repro.obs import EventLog
+
+        events = EventLog(sink=args.events)
     graph = _load_graph(args.graph)
     index = None
     if args.index:
@@ -365,7 +449,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         print("error: no queries to serve", file=sys.stderr)
         return 1
     if args.serve_engine == "mp":
-        return _serve_batch_mp(args, graph, index, pairs)
+        return _serve_batch_mp(args, graph, index, pairs, tracer, events)
     engine = SkylineQueryEngine(
         graph,
         index=index,
@@ -373,7 +457,11 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         default_time_budget=args.budget,
         tracer=tracer,
+        events=events,
     )
+    live, http_server = _obs_from_args(args, engine.metrics, events)
+    if live is not None:
+        engine.attach_live(live)
     if args.store:
         timings = engine.warm_from_store(args.store)
         generation = timings.get("snapshot_generation")
@@ -417,6 +505,124 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         print(f"trace written to {path}", file=sys.stderr)
     if args.metrics:
         print(engine.metrics.to_text(), file=sys.stderr)
+    _obs_teardown(live, http_server, events)
+    return 0
+
+
+def _load_status_doc(source: str, timeout: float) -> dict:
+    """A live-status document from a file path or a status-server URL."""
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        url = source.rstrip("/")
+        if not url.endswith("/status"):
+            url += "/status"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.load(response)
+    return json.loads(FilePath(source).read_text(encoding="utf-8"))
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Pretty-print a live-status document (file or running server)."""
+    try:
+        doc = _load_status_doc(args.source, args.http_timeout)
+    except OSError as error:
+        print(f"error: {args.source}: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: {args.source}: not JSON ({error})", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if doc.get("format") != "repro-live-status":
+        print(
+            f"error: {args.source}: not a repro live-status document",
+            file=sys.stderr,
+        )
+        return 1
+    age = time.time() - doc.get("written_at_unix", 0.0)
+    print(
+        f"pid {doc.get('pid')}  "
+        f"uptime {fmt_seconds(doc.get('uptime_seconds', 0.0))}  "
+        f"written {age:.1f}s ago  "
+        f"writes {doc.get('status_writes', 0)} "
+        f"(+{doc.get('status_write_failures', 0)} failed)"
+    )
+    windows = doc.get("windows", {})
+    if windows:
+        rows = [
+            [
+                name,
+                window.get("count", 0),
+                f"{window.get('mean', 0.0):.6g}",
+                f"{window.get('p50', 0.0):.6g}",
+                f"{window.get('p95', 0.0):.6g}",
+                f"{window.get('p99', 0.0):.6g}",
+            ]
+            for name, window in sorted(windows.items())
+        ]
+        seconds = next(iter(windows.values())).get("window_seconds", 0)
+        print(
+            format_table(
+                ["series", "n", "mean", "p50", "p95", "p99"],
+                rows,
+                title=f"rolling windows (last {seconds:g}s)",
+            )
+        )
+    sources = doc.get("sources", {})
+    mp = sources.get("mp")
+    if mp is not None:
+        print(
+            f"mp: generation {mp.get('generation')} "
+            f"(lag {mp.get('generation_lag', 0)}), "
+            f"inflight {mp.get('inflight', 0)}/{mp.get('max_inflight', 0)}, "
+            f"workers {mp.get('live_workers', 0)}/{mp.get('workers', 0)} "
+            f"live, {mp.get('admission_stalls', 0)} admission stalls"
+        )
+        processes = mp.get("worker_processes", [])
+        if processes:
+            rows = [
+                [
+                    worker.get("worker"),
+                    worker.get("pid"),
+                    "up" if worker.get("alive") else "DOWN",
+                    worker.get("generation"),
+                ]
+                for worker in processes
+            ]
+            print(
+                format_table(
+                    ["worker", "pid", "state", "generation"],
+                    rows,
+                    title="worker processes",
+                )
+            )
+    engine_doc = sources.get("engine")
+    if engine_doc is not None:
+        cache = engine_doc.get("cache", {})
+        print(
+            f"engine: generation {engine_doc.get('generation')}, "
+            f"{engine_doc.get('queries_total', 0)} queries served, "
+            f"cache hit rate {cache.get('hit_rate', 0.0):.0%} "
+            f"({cache.get('size', 0)}/{cache.get('capacity', 0)} entries)"
+        )
+    for name, body in sorted(sources.items()):
+        if name in ("mp", "engine"):
+            continue
+        print(f"{name}: {json.dumps(body, sort_keys=True)}")
+    events = doc.get("events")
+    if events is not None:
+        print(
+            f"events: {events.get('total_emitted', 0)} emitted, "
+            f"last {len(events.get('events', []))}:"
+        )
+        for event in events.get("events", []):
+            attrs = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(event.get("attrs", {}).items())
+            )
+            print(f"  #{event.get('seq'):<5} {event.get('kind'):<28} {attrs}")
     return 0
 
 
@@ -973,9 +1179,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the plaintext metrics export to stderr")
     serve.add_argument("--trace", metavar="FILE",
                        help="enable tracing and write a Chrome trace_event "
-                            "JSON of the whole batch to FILE")
+                            "JSON of the whole batch to FILE; with "
+                            "--engine mp the file merges dispatcher and "
+                            "every worker process onto one timeline")
+    serve.add_argument("--status-file", metavar="FILE", dest="status_file",
+                       default=None,
+                       help="continuously write an atomic live-status JSON "
+                            "document to FILE (read it with 'repro status')")
+    serve.add_argument("--status-port", type=int, metavar="PORT",
+                       dest="status_port", default=None,
+                       help="serve /health /status /metrics /events over "
+                            "HTTP on 127.0.0.1:PORT (0 picks a free port)")
+    serve.add_argument("--status-interval", type=float, default=1.0,
+                       dest="status_interval",
+                       help="seconds between status-file writes (default 1)")
+    serve.add_argument("--events", metavar="FILE", default=None,
+                       help="record operational events (cohort swaps, "
+                            "worker lifecycle, cache invalidation) as JSON "
+                            "lines appended to FILE")
     _add_param_options(serve)
     serve.set_defaults(handler=cmd_serve_batch)
+
+    status = commands.add_parser(
+        "status",
+        help="pretty-print a live-status document (file or URL)",
+        description=(
+            "Read the JSON document a serving process publishes via "
+            "--status-file (a path) or --status-port (an http:// URL) "
+            "and render it: rolling-window latency percentiles, worker "
+            "liveness and generation lag, cache hit rate, and the "
+            "recent operational events."
+        ),
+    )
+    status.add_argument("source",
+                        help="status file path, or http://host:port of a "
+                             "process started with --status-port")
+    status.add_argument("--json", action="store_true",
+                        help="dump the raw JSON document instead of the "
+                             "rendered summary")
+    status.add_argument("--http-timeout", type=float, default=5.0,
+                        dest="http_timeout",
+                        help="HTTP fetch timeout in seconds (default 5)")
+    status.set_defaults(handler=cmd_status)
 
     warm = commands.add_parser(
         "warm",

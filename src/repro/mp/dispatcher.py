@@ -38,7 +38,7 @@ import queue as queue_module
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import QueryError
 from repro.mp.shm import MPServingError, SharedCSR
@@ -52,6 +52,9 @@ from repro.mp.worker import (
     WorkerConfig,
     worker_main,
 )
+from repro.obs.context import TraceContext, dump_process_spans, merge_dump_into
+from repro.obs.events import EventLog, resolve_event_log
+from repro.obs.tracer import Tracer, resolve_tracer
 from repro.service.batch import _normalize
 from repro.service.engine import QueryResponse, SkylineQueryEngine
 from repro.service.metrics import MetricsRegistry
@@ -222,6 +225,8 @@ class MPBatchServer:
         exact_node_threshold: int = 400,
         default_time_budget: float | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if workers < 1:
             raise QueryError("workers must be at least 1")
@@ -260,6 +265,21 @@ class MPBatchServer:
         self._cohort: _Cohort | None = None
         self._dispatch_lock = threading.Lock()
         self._stopped = False
+        # Observability: tracer/events default to the process-wide
+        # singletons (disabled no-ops unless the caller installed
+        # enabled ones); worker span dumps fold in keyed by
+        # (pid, epoch_wall); _inflight is a lock-free gauge for
+        # runtime_status.
+        self._tracer = tracer
+        self._events = events
+        self._trace_dumps: dict = {}
+        self._inflight = 0
+        self._admission_stalls = 0
+        self._live = None
+        # The last cohort's worker table survives retirement (alive
+        # stamped False) so a post-run status document still says which
+        # pids served.
+        self._last_worker_processes: list[dict] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -317,22 +337,42 @@ class MPBatchServer:
         # them copy-on-write instead of rebuilding per process.
         _prefault(shared.snapshot())
         _prefault(self._engine.ensure_index().csr_top())
+        # Whether workers trace is decided here, per cohort: forked
+        # workers cannot be handed a live tracer object, only the flag.
+        config = replace(
+            self._config, trace=resolve_tracer(self._tracer).enabled
+        )
         self._cohort = _Cohort(
             self._engine.generation,
             shared,
             self._context,
             self._result_queue,
             self._engine,
-            self._config,
+            config,
             self._workers,
         )
+        elapsed = time.perf_counter() - started
         self.metrics.increment("mp.cohorts")
-        self.metrics.observe(
-            "mp.cohort_spawn_seconds", time.perf_counter() - started
+        self.metrics.observe("mp.cohort_spawn_seconds", elapsed)
+        events = resolve_event_log(self._events)
+        events.emit(
+            "mp.cohort.spawn",
+            generation=self._cohort.generation,
+            workers=self._workers,
+            segment_bytes=shared.nbytes,
+            elapsed_seconds=elapsed,
         )
+        for worker_id, process in enumerate(self._cohort.processes):
+            events.emit(
+                "mp.worker.spawn",
+                worker=worker_id,
+                pid=process.pid,
+                generation=self._cohort.generation,
+            )
 
     def _retire_cohort(self, cohort: _Cohort) -> None:
         """Drain, stop, and merge one cohort; unlink its segment."""
+        events = resolve_event_log(self._events)
         for worker_id in cohort.alive:
             cohort.task_queues[worker_id].put((MSG_STOP,))
         awaiting = set(cohort.alive)
@@ -344,22 +384,58 @@ class MPBatchServer:
                 awaiting -= cohort.check_liveness()
                 continue
             if message[0] == MSG_METRICS:
-                _kind, worker_id, _token, state = message
-                self.metrics.merge_state(state)
-                awaiting.discard(worker_id)
+                self.metrics.merge_state(message[3])
+                awaiting.discard(message[1])
             # Stray result/error messages from an interrupted batch are
-            # dropped here: their batch has already been reported.
-        for process in cohort.processes:
+            # dropped here (their batch has already been reported) —
+            # but any span dump they carry is still worth folding in.
+            self._merge_message_spans(message)
+        for worker_id, process in enumerate(cohort.processes):
             process.join(timeout=_POLL_SECONDS)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=_POLL_SECONDS)
+                events.emit(
+                    "mp.worker.death",
+                    worker=worker_id,
+                    pid=process.pid,
+                    generation=cohort.generation,
+                    reason="terminated at retirement",
+                )
+            else:
+                events.emit(
+                    "mp.worker.exit",
+                    worker=worker_id,
+                    pid=process.pid,
+                    exitcode=process.exitcode,
+                    generation=cohort.generation,
+                )
         # The cohort has drained: this process drops its mapping and the
         # segment name is unlinked, so the kernel frees the pages as the
         # last worker mapping disappears.
         cohort.shared.close()
         cohort.shared.unlink()
+        self._last_worker_processes = [
+            {
+                "worker": worker_id,
+                "pid": process.pid,
+                "alive": process.is_alive(),
+                "generation": cohort.generation,
+            }
+            for worker_id, process in enumerate(cohort.processes)
+        ]
         self.metrics.increment("mp.cohorts_retired")
+        events.emit(
+            "mp.cohort.retire",
+            generation=cohort.generation,
+            workers=len(cohort.processes),
+            metrics_unmerged=len(awaiting),
+        )
+
+    def _merge_message_spans(self, message) -> None:
+        """Fold the span dump riding on a worker reply, if any."""
+        if len(message) > 4 and isinstance(message[4], dict):
+            merge_dump_into(self._trace_dumps, message[4])
 
     def _maybe_swap(self) -> None:
         cohort = self._cohort
@@ -371,10 +447,24 @@ class MPBatchServer:
         if self._pending_generation > cohort.generation:
             # Batch boundary: publish the post-maintenance snapshot and
             # recycle the cohort onto it.
+            events = resolve_event_log(self._events)
+            from_generation = cohort.generation
+            events.emit(
+                "mp.generation_swap.begin",
+                from_generation=from_generation,
+                to_generation=self._pending_generation,
+            )
+            started = time.perf_counter()
             self._retire_cohort(cohort)
             self._cohort = None
             self._spawn_cohort()
             self.metrics.increment("mp.generation_swaps")
+            events.emit(
+                "mp.generation_swap.end",
+                from_generation=from_generation,
+                generation=self._cohort.generation,
+                elapsed_seconds=time.perf_counter() - started,
+            )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -426,9 +516,19 @@ class MPBatchServer:
                 if len(targets) > 1:
                     groups += 1
 
-            answers, errors = self._dispatch(
-                cohort, tasks, mode, time_budget, fail_fast
-            )
+            tracer = resolve_tracer(self._tracer)
+            with tracer.span(
+                "mp.batch",
+                queries=len(pairs),
+                unique=len(positions),
+                tasks=len(tasks),
+                generation=cohort.generation,
+                workers=len(cohort.alive),
+            ) as batch_span:
+                answers, errors = self._dispatch(
+                    cohort, tasks, mode, time_budget, fail_fast,
+                    batch_span=batch_span,
+                )
 
             result = MPBatchResult(
                 responses=[answers.get(pair) for pair in pairs],
@@ -446,6 +546,10 @@ class MPBatchServer:
             self.metrics.increment("mp.tasks", len(tasks))
             self.metrics.increment("mp.errors", len(errors))
             self.metrics.observe("mp.batch_seconds", result.elapsed_seconds)
+            live = self._live
+            if live is not None:
+                live.observe("mp.batch_seconds", result.elapsed_seconds)
+                live.observe("mp.batch_queries", float(len(pairs)))
             if fail_fast and errors:
                 raise errors[0]
             return result
@@ -457,18 +561,30 @@ class MPBatchServer:
         mode: str,
         time_budget: float | None,
         fail_fast: bool,
+        batch_span=None,
     ):
         """Send tasks under the admission window and collect replies."""
+        tracer = resolve_tracer(self._tracer)
+        events = resolve_event_log(self._events)
         pending = deque(enumerate(tasks))
         outstanding: dict[int, tuple[int, int, list[int]]] = {}
+        dispatch_spans: dict[int, object] = {}
         loads = {worker_id: 0 for worker_id in cohort.alive}
         answers: dict[QueryPair, QueryResponse] = {}
         errors: list[MPQueryError] = []
         aborted = False
+        stalls = 0
+
+        def finish_span(task_id, **attrs):
+            span = dispatch_spans.pop(task_id, None)
+            if span is not None:
+                span.set(**attrs)
+                span.finish()
 
         def record_error(worker_id, task_id, detail):
             nonlocal aborted
             _w, source, targets = outstanding.pop(task_id)
+            finish_span(task_id, status="error", detail=detail)
             errors.append(
                 MPQueryError(
                     detail, worker_id=worker_id, source=source,
@@ -490,9 +606,32 @@ class MPBatchServer:
                 worker_id = min(loads, key=lambda w: (loads[w], w))
                 loads[worker_id] += len(targets)
                 outstanding[task_id] = (worker_id, source, targets)
-                cohort.task_queues[worker_id].put(
-                    (MSG_TASK, task_id, source, targets, mode, time_budget)
-                )
+                ctx = None
+                if tracer.enabled:
+                    # A dispatch span lives from queue-send to reply;
+                    # its extent interleaves with other dispatches on
+                    # this thread, hence begin/finish, not ``with``.
+                    span = tracer.span(
+                        "mp.dispatch",
+                        task=task_id,
+                        worker=worker_id,
+                        source=source,
+                        n_targets=len(targets),
+                    ).begin(parent=batch_span)
+                    dispatch_spans[task_id] = span
+                    ctx = TraceContext.for_span(tracer, span)
+                cohort.task_queues[worker_id].put((
+                    MSG_TASK, task_id, source, targets, mode, time_budget,
+                    ctx,
+                ))
+            self._inflight = len(outstanding)
+            if (
+                pending
+                and not aborted
+                and loads
+                and len(outstanding) >= self._max_inflight
+            ):
+                stalls += 1  # window full with work still waiting
             if aborted and not outstanding:
                 break
             if not outstanding:
@@ -504,29 +643,39 @@ class MPBatchServer:
             except queue_module.Empty:
                 for dead in cohort.check_liveness():
                     loads.pop(dead, None)
+                    exitcode = cohort.processes[dead].exitcode
+                    events.emit(
+                        "mp.worker.death",
+                        worker=dead,
+                        pid=cohort.processes[dead].pid,
+                        exitcode=exitcode,
+                        generation=cohort.generation,
+                        reason="died mid-batch",
+                    )
                     for task_id in [
                         t for t, (w, _s, _ts) in outstanding.items()
                         if w == dead
                     ]:
-                        exitcode = cohort.processes[dead].exitcode
                         record_error(
                             dead, task_id, f"worker died (exitcode {exitcode})"
                         )
                 if not loads and outstanding:  # pragma: no cover
                     raise MPServingError("every worker died mid-batch")
                 continue
+            self._merge_message_spans(message)
             kind = message[0]
             if kind == MSG_RESULT:
-                _kind, worker_id, task_id, responses = message
+                _kind, worker_id, task_id, responses = message[:4]
                 entry = outstanding.pop(task_id, None)
                 if entry is None:
                     continue  # stale reply from an aborted batch
+                finish_span(task_id, status="ok")
                 _w, source, targets = entry
                 loads[worker_id] = max(0, loads[worker_id] - len(targets))
                 for target, response in zip(targets, responses):
                     answers[(source, target)] = response
             elif kind == MSG_ERROR:
-                _kind, worker_id, task_id, detail = message
+                _kind, worker_id, task_id, detail = message[:4]
                 if task_id in outstanding:
                     _w, _source, targets = outstanding[task_id]
                     loads[worker_id] = max(
@@ -535,6 +684,19 @@ class MPBatchServer:
                     record_error(worker_id, task_id, detail)
             elif kind == MSG_METRICS:  # stray flush reply; merge anyway
                 self.metrics.merge_state(message[3])
+        self._inflight = 0
+        for task_id in list(dispatch_spans):
+            # Sent but never answered (aborted batch / dead worker).
+            finish_span(task_id, status="abandoned")
+        if stalls:
+            self._admission_stalls += stalls
+            self.metrics.increment("mp.admission_stalls", stalls)
+            events.emit(
+                "mp.admission.backpressure",
+                stalls=stalls,
+                max_inflight=self._max_inflight,
+                tasks=len(tasks),
+            )
         return answers, errors
 
     # ------------------------------------------------------------------
@@ -560,6 +722,7 @@ class MPBatchServer:
                     except queue_module.Empty:
                         awaiting -= cohort.check_liveness()
                         continue
+                    self._merge_message_spans(message)
                     if message[0] == MSG_METRICS and message[2] == token:
                         self.metrics.merge_state(message[3])
                         awaiting.discard(message[1])
@@ -582,3 +745,70 @@ class MPBatchServer:
             "segment_bytes": cohort.shared.nbytes if cohort else 0,
         }
         return doc
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def trace_dumps(self) -> list[dict]:
+        """Every span dump collected so far, dispatcher's own first.
+
+        One entry per process: the dispatcher's local tracer (batch and
+        dispatch spans), then each worker's dump folded across all the
+        task replies it shipped.  Feed the list to
+        :func:`repro.obs.export.merge_process_traces` (or
+        ``write_merged_trace``) for the single multi-pid Chrome trace.
+        """
+        tracer = resolve_tracer(self._tracer)
+        dumps: list[dict] = []
+        if tracer.enabled:
+            dumps.append(dump_process_spans(tracer, label="dispatcher"))
+        dumps.extend(self._trace_dumps.values())
+        return dumps
+
+    def runtime_status(self) -> dict:
+        """Live operational state, readable without the dispatch lock.
+
+        Values are racy by design (plain attribute reads) so a status
+        thread or HTTP scrape can never block or deadlock serving; the
+        shape is stable for :class:`repro.obs.live.LiveStatus`
+        providers and ``repro status``.
+        """
+        cohort = self._cohort
+        current = cohort.generation if cohort else self._engine.generation
+        if cohort is not None:
+            worker_processes = [
+                {
+                    "worker": worker_id,
+                    "pid": process.pid,
+                    "alive": process.is_alive(),
+                    "generation": cohort.generation,
+                }
+                for worker_id, process in enumerate(cohort.processes)
+            ]
+        else:
+            worker_processes = list(self._last_worker_processes)
+        return {
+            "workers": self._workers,
+            "live_workers": len(cohort.alive) if cohort else 0,
+            "generation": current,
+            "pending_generation": self._pending_generation,
+            "generation_lag": max(0, self._pending_generation - current),
+            "inflight": self._inflight,
+            "max_inflight": self._max_inflight,
+            "admission_stalls": self._admission_stalls,
+            "stopped": self._stopped,
+            "segment_bytes": cohort.shared.nbytes if cohort else 0,
+            "worker_processes": worker_processes,
+        }
+
+    def attach_live(self, live) -> "MPBatchServer":
+        """Publish this server into a :class:`LiveStatus` document.
+
+        Registers :meth:`runtime_status` as the ``"mp"`` source and
+        starts feeding per-batch rolling windows (``mp.batch_seconds``,
+        ``mp.batch_queries``).
+        """
+        self._live = live
+        live.register("mp", self.runtime_status)
+        return self

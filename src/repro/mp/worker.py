@@ -11,16 +11,29 @@ arrays.
 
 The loop then serves three message kinds off its task queue:
 
-``("task", task_id, source, targets, mode, budget)``
-    Serve one shared-source query group; reply ``("result", worker_id,
-    task_id, responses)`` with stats stripped (keeps the pickle small),
-    or ``("error", worker_id, task_id, message)`` if the group raised.
+``("task", task_id, source, targets, mode, budget, ctx)``
+    Serve one shared-source query group; ``ctx`` is the dispatcher's
+    :class:`~repro.obs.context.TraceContext` (or None when tracing is
+    off).  Reply ``("result", worker_id, task_id, responses, spans)``
+    with stats stripped (keeps the pickle small) and, when tracing,
+    the task's span dump; or ``("error", worker_id, task_id, message,
+    spans)`` if the group raised.
 ``("flush", token)``
-    Reply ``("metrics", worker_id, token, registry_state)`` — the full
-    :meth:`~repro.service.metrics.MetricsRegistry.dump_state` document
-    the dispatcher merges into the parent registry.
+    Reply ``("metrics", worker_id, token, registry_state, spans)`` —
+    the full :meth:`~repro.service.metrics.MetricsRegistry.dump_state`
+    document the dispatcher merges into the parent registry.
 ``("stop",)``
     Ship a final metrics document (token ``"stop"``) and exit.
+
+When the dispatcher forks the cohort with tracing enabled
+(:attr:`WorkerConfig.trace`), each worker installs its own enabled
+:class:`~repro.obs.tracer.Tracer` process-wide — the ``fork()`` hook in
+:mod:`repro.obs.tracer` has already wiped any state inherited from the
+parent — and wraps every task in an ``mp.worker.task`` span carrying
+the dispatcher's trace id and parent span id, plus an
+``mp.worker.queue_wait`` span anchored at the dispatch send instant.
+Span dumps are drained into each reply, so the dispatcher can merge
+every process's timeline into one Chrome trace.
 
 Workers never raise out of the loop: any per-task exception becomes an
 error reply, so the dispatcher always learns the task's fate and its
@@ -29,9 +42,15 @@ admission slot is always released.
 
 from __future__ import annotations
 
+import os
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 from repro.mp.shm import SharedCSR
+from repro.obs.context import TraceContext, dump_process_spans
+from repro.obs.export import PARENT_SPAN_ATTR
+from repro.obs.tracer import Tracer, set_tracer
 
 # Message tags (tuples keep the queue payloads pickle-cheap).
 MSG_TASK = "task"
@@ -49,6 +68,9 @@ class WorkerConfig:
     cache_size: int = 1024
     exact_node_threshold: int = 400
     default_time_budget: float | None = None
+    # When True each worker runs a local enabled tracer and ships span
+    # dumps back with every reply (set per cohort at spawn time).
+    trace: bool = False
 
 
 def build_worker_engine(graph, index, landmarks, shared, generation, config):
@@ -77,6 +99,15 @@ def build_worker_engine(graph, index, landmarks, shared, generation, config):
     return engine
 
 
+def _span_dump(tracer: Tracer | None, worker_id: int) -> dict | None:
+    """Drain this worker's finished spans for shipping (None when off)."""
+    if tracer is None or not tracer.enabled:
+        return None
+    return dump_process_spans(
+        tracer, label=f"worker-{worker_id}", drain=True
+    )
+
+
 def worker_main(
     worker_id: int,
     generation: int,
@@ -89,6 +120,13 @@ def worker_main(
     config: WorkerConfig,
 ) -> None:
     """Entry point of one worker process (runs until ``stop``)."""
+    tracer: Tracer | None = None
+    if config.trace:
+        # A fresh worker-local tracer, installed process-wide so the
+        # engine's own spans (serve.query_group, query phases) collect
+        # into it without threading a handle through every call.
+        tracer = Tracer(enabled=True)
+        set_tracer(tracer)
     engine = build_worker_engine(
         graph, index, landmarks, shared, generation, config
     )
@@ -98,11 +136,33 @@ def worker_main(
             message = task_queue.get()
             kind = message[0]
             if kind == MSG_TASK:
-                _task_id, source, targets, mode, budget = message[1:]
-                try:
-                    responses = engine.query_group(
-                        source, list(targets), mode=mode, time_budget=budget
+                _task_id, source, targets, mode, budget = message[1:6]
+                ctx: TraceContext | None = (
+                    message[6] if len(message) > 6 else None
+                )
+                arrived_wall = time.time()
+                if tracer is not None and ctx is not None:
+                    _record_queue_wait(tracer, ctx, arrived_wall, worker_id)
+                task_span = (
+                    tracer.span(
+                        "mp.worker.task",
+                        worker=worker_id,
+                        task=_task_id,
+                        source=source,
+                        n_targets=len(targets),
+                        mode=mode,
+                        generation=generation,
+                        **_link_attrs(ctx),
                     )
+                    if tracer is not None
+                    else nullcontext()
+                )
+                try:
+                    with task_span:
+                        responses = engine.query_group(
+                            source, list(targets), mode=mode,
+                            time_budget=budget,
+                        )
                 except Exception as error:  # ship, never crash the loop
                     engine.metrics.increment("mp.worker.task_errors")
                     result_queue.put((
@@ -110,14 +170,25 @@ def worker_main(
                         worker_id,
                         _task_id,
                         f"{type(error).__name__}: {error}",
+                        _span_dump(tracer, worker_id),
                     ))
                 else:
                     engine.metrics.increment("mp.worker.tasks")
+                    trace_id = ctx.trace_id if ctx is not None else None
                     result_queue.put((
                         MSG_RESULT,
                         worker_id,
                         _task_id,
-                        [replace(r, stats=None) for r in responses],
+                        [
+                            replace(
+                                r,
+                                stats=None,
+                                worker_pid=os.getpid(),
+                                trace_id=trace_id,
+                            )
+                            for r in responses
+                        ],
+                        _span_dump(tracer, worker_id),
                     ))
             elif kind == MSG_FLUSH:
                 result_queue.put((
@@ -125,6 +196,7 @@ def worker_main(
                     worker_id,
                     message[1],
                     engine.metrics.dump_state(),
+                    _span_dump(tracer, worker_id),
                 ))
             elif kind == MSG_STOP:
                 result_queue.put((
@@ -132,6 +204,7 @@ def worker_main(
                     worker_id,
                     MSG_STOP,
                     engine.metrics.dump_state(),
+                    _span_dump(tracer, worker_id),
                 ))
                 return
             # Unknown kinds are ignored; a newer dispatcher talking to
@@ -139,3 +212,35 @@ def worker_main(
     finally:
         if shared is not None:
             shared.close()
+
+
+def _link_attrs(ctx: TraceContext | None) -> dict:
+    """Span attributes that tie worker spans back to the dispatcher."""
+    if ctx is None:
+        return {}
+    attrs = {"trace_id": ctx.trace_id}
+    if ctx.parent_span_id is not None:
+        attrs[PARENT_SPAN_ATTR] = ctx.parent_span_id
+    return attrs
+
+
+def _record_queue_wait(
+    tracer: Tracer, ctx: TraceContext, arrived_wall: float, worker_id: int
+) -> None:
+    """One span covering send-to-pickup time on the task queue.
+
+    Anchored on the *wall clock* (the only clock the dispatcher and the
+    worker share), spanning the dispatcher's send instant to this
+    worker's pickup; merged traces render it in the gap between the
+    dispatch span opening and the task span starting.
+    """
+    if ctx.sent_at_wall is None or arrived_wall < ctx.sent_at_wall:
+        return  # no send stamp, or clock skew made the wait negative
+    span = tracer.span(
+        "mp.worker.queue_wait",
+        worker=worker_id,
+        wait_seconds=arrived_wall - ctx.sent_at_wall,
+        **_link_attrs(ctx),
+    )
+    span.begin(at=tracer.at_wall(ctx.sent_at_wall))
+    span.finish(at=tracer.at_wall(arrived_wall))

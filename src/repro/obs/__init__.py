@@ -10,7 +10,15 @@ checks.  This package makes those quantities first-class:
   (:mod:`repro.obs.tracer`);
 * exporters — Chrome ``trace_event`` JSON, flat span dumps, and
   aggregation into a :class:`~repro.service.metrics.MetricsRegistry`
-  (:mod:`repro.obs.export`).
+  (:mod:`repro.obs.export`);
+* cross-process propagation — :class:`TraceContext` rides on mp task
+  messages, workers ship span dumps back, and
+  :func:`merge_process_traces` renders everything on one multi-``pid``
+  timeline (:mod:`repro.obs.context`);
+* the operational event log — :class:`EventLog` ring buffer of
+  structured serving-stack events (:mod:`repro.obs.events`);
+* live telemetry — :class:`LiveStatus` status file / HTTP endpoints
+  with rolling-window percentiles (:mod:`repro.obs.live`).
 
 Instrumented call sites across :mod:`repro.core`, :mod:`repro.search`,
 and :mod:`repro.service` accept ``tracer=None`` and resolve it through
@@ -26,14 +34,34 @@ threading a handle through every call::
     write_chrome_trace(tracer, "trace.json")
 """
 
+from repro.obs.context import (
+    SPAN_DUMP_VERSION,
+    TraceContext,
+    dump_process_spans,
+    merge_dump_into,
+    span_doc,
+    walk_span_docs,
+)
+from repro.obs.events import (
+    Event,
+    EventLog,
+    get_event_log,
+    resolve_event_log,
+    set_event_log,
+    use_event_log,
+)
 from repro.obs.export import (
     CHROME_REQUIRED_KEYS,
+    PARENT_SPAN_ATTR,
     aggregate_spans,
     chrome_trace,
     flat_spans,
+    merge_process_traces,
     summarize_roots,
     write_chrome_trace,
+    write_merged_trace,
 )
+from repro.obs.live import LiveStatus, RollingWindow, StatusServer
 from repro.obs.tracer import (
     NULL_SPAN,
     Span,
@@ -46,16 +74,34 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CHROME_REQUIRED_KEYS",
+    "Event",
+    "EventLog",
+    "LiveStatus",
     "NULL_SPAN",
+    "PARENT_SPAN_ATTR",
+    "RollingWindow",
+    "SPAN_DUMP_VERSION",
     "Span",
+    "StatusServer",
+    "TraceContext",
     "Tracer",
     "aggregate_spans",
     "chrome_trace",
+    "dump_process_spans",
     "flat_spans",
+    "get_event_log",
     "get_tracer",
+    "merge_dump_into",
+    "merge_process_traces",
+    "resolve_event_log",
     "resolve_tracer",
+    "set_event_log",
     "set_tracer",
+    "span_doc",
     "summarize_roots",
+    "use_event_log",
     "use_tracer",
+    "walk_span_docs",
     "write_chrome_trace",
+    "write_merged_trace",
 ]

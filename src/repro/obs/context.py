@@ -1,0 +1,123 @@
+"""Cross-process trace propagation for the mp serving stack.
+
+Tracing inside one process rides on thread-local span stacks
+(:mod:`repro.obs.tracer`); across a process boundary the linkage has
+to travel explicitly.  Two pieces make that work:
+
+* :class:`TraceContext` — the portable identity of an in-flight
+  operation: the batch's ``trace_id``, the id of the span that caused
+  the hop (the dispatch span), and the wall-clock send instant.  The
+  dispatcher pickles one onto every task message; the worker stamps it
+  onto its local spans and responses.
+* :func:`dump_process_spans` / span documents — a finished span tree
+  as plain picklable dicts, bundled with the producing process's pid
+  and wall-clock epoch.  Workers ship these back with task replies;
+  :func:`repro.obs.export.merge_process_traces` aligns the dumps from
+  every pid onto one timeline using the ``epoch_wall`` stamps.
+
+Span documents are self-contained: ``start``/``end`` stay relative to
+the *producing* tracer's epoch, and the dump's ``epoch_wall`` says
+where that epoch sits on the shared wall clock.  Merging therefore
+never needs the worker processes to agree on perf_counter origins —
+only on ``time.time()``, which forked processes on one host share.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.obs.tracer import Span, Tracer
+
+# Bump when the span-document shape changes incompatibly.
+SPAN_DUMP_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a dispatched task needs to stay attached to its trace.
+
+    ``parent_span_id`` is the dispatch span the receiving process
+    should parent its work under (None for an unparented hop), and
+    ``sent_at_wall`` is the wall-clock send instant — the receiver
+    derives queue wait from it.
+    """
+
+    trace_id: str
+    parent_span_id: str | None = None
+    sent_at_wall: float | None = None
+
+    @classmethod
+    def for_span(cls, tracer: Tracer, span) -> "TraceContext":
+        """The context a message carrying ``span``'s work should ship."""
+        return cls(
+            trace_id=tracer.trace_id,
+            parent_span_id=getattr(span, "span_id", None),
+            sent_at_wall=time.time(),
+        )
+
+
+def span_doc(span: Span) -> dict:
+    """One finished span (and its subtree) as a plain dict."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "start": span.start,
+        "end": span.end,
+        "thread_id": span.thread_id,
+        "thread_name": span.thread_name,
+        "attrs": dict(span.attrs),
+        "counters": dict(span.counters),
+        "children": [span_doc(child) for child in span.children],
+    }
+
+
+def walk_span_docs(doc: dict, depth: int = 0):
+    """Yield ``(doc, depth)`` pairs, the given document first."""
+    stack = [(doc, depth)]
+    while stack:
+        current, level = stack.pop()
+        yield current, level
+        for child in reversed(current.get("children", ())):
+            stack.append((child, level + 1))
+
+
+def dump_process_spans(
+    tracer: Tracer,
+    *,
+    label: str | None = None,
+    drain: bool = False,
+) -> dict:
+    """This process's finished root spans as one portable dump.
+
+    With ``drain=True`` the dumped roots are atomically removed from
+    the tracer (the per-task shipping mode); otherwise the tracer keeps
+    them (the dispatcher's read-at-the-end mode).  Open spans are
+    excluded — they are not representable until finished.
+    """
+    roots = tracer.drain() if drain else tracer.roots()
+    return {
+        "version": SPAN_DUMP_VERSION,
+        "pid": os.getpid(),
+        "label": label if label is not None else f"pid-{os.getpid()}",
+        "trace_id": tracer.trace_id,
+        "epoch_wall": tracer.epoch_wall,
+        "spans": [span_doc(root) for root in roots if root.end is not None],
+    }
+
+
+def merge_dump_into(collected: dict, dump: dict) -> None:
+    """Accumulate ``dump`` into ``collected`` (keyed by pid + epoch).
+
+    Workers ship one small dump per task; the dispatcher folds them so
+    each process contributes a single entry to the merged trace.  The
+    key includes ``epoch_wall`` so a recycled pid (new cohort, new
+    process, same number) never mixes timelines.
+    """
+    key = (dump["pid"], dump["epoch_wall"])
+    existing = collected.get(key)
+    if existing is None:
+        collected[key] = {**dump, "spans": list(dump["spans"])}
+    else:
+        existing["spans"].extend(dump["spans"])

@@ -1,0 +1,242 @@
+"""The operational event log: bounded, structured, exportable.
+
+Metrics say *how much* and traces say *where the time went*; neither
+answers "what happened to the serving stack and when".  An
+:class:`EventLog` records discrete operational facts — a generation
+swap began, a worker died, an admission window stalled, a cache
+generation was invalidated, a snapshot landed on disk — as structured
+:class:`Event` records in a bounded ring buffer, with:
+
+* **monotonic timestamps** (``time.monotonic``) for ordering and
+  intervals, plus a wall-clock stamp for humans and log correlation;
+* an optional **JSONL sink**: every event appended as one JSON line to
+  a file, surviving the ring buffer's bound (I/O failures are
+  swallowed — observability must never take serving down);
+* optional **registry counters**: each ``emit("worker.death", ...)``
+  also increments ``events.worker.death`` in a
+  :class:`~repro.service.metrics.MetricsRegistry`, so scrape-based
+  alerting sees event rates without parsing the log.
+
+Like the tracer, the process-wide default is **disabled**: ``emit`` on
+a disabled log costs one attribute check.  Call sites accept
+``events=None`` and resolve through :func:`resolve_event_log`;
+installing an enabled log with :func:`set_event_log` /
+:func:`use_event_log` turns the whole stack's event stream on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """One operational fact: what, when, and its structured details."""
+
+    seq: int
+    kind: str
+    monotonic: float
+    wall: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        """The event as one plain JSON-able dict (the JSONL row)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "monotonic_seconds": self.monotonic,
+            "wall_unix": self.wall,
+            "attrs": self.attrs,
+        }
+
+
+class EventLog:
+    """A thread-safe bounded ring buffer of structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer bound; older events fall off (the JSONL sink, when
+        configured, keeps the full stream).
+    enabled:
+        When False, :meth:`emit` is a no-op after one attribute check —
+        the zero-cost off switch mirroring the disabled tracer.
+    sink:
+        Path of a JSONL file events are appended to as they happen.
+    registry:
+        A :class:`~repro.service.metrics.MetricsRegistry` whose
+        ``events.<kind>`` counters track event rates.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        enabled: bool = True,
+        sink: Path | str | None = None,
+        registry=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("event log capacity must be at least 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.registry = registry
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._sink_path = Path(sink) if sink is not None else None
+        self._sink_handle = None
+        self._sink_broken = False
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, **attrs) -> Event | None:
+        """Record one event; returns it (None when the log is off)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                seq=self._seq,
+                kind=kind,
+                monotonic=time.monotonic(),
+                wall=time.time(),
+                attrs=attrs,
+            )
+            self._events.append(event)
+            self._write_sink(event)
+        if self.registry is not None:
+            self.registry.increment(f"events.{kind}")
+        for subscriber in self._subscribers:
+            try:
+                subscriber(event)
+            except Exception:
+                continue  # a broken listener must not break serving
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Call ``callback`` with every future event (errors ignored)."""
+        self._subscribers.append(callback)
+
+    def _write_sink(self, event: Event) -> None:
+        # Called under the lock.  First failure disables the sink for
+        # the rest of the process — a full disk must not turn every
+        # emit into a raised OSError.
+        if self._sink_path is None or self._sink_broken:
+            return
+        try:
+            if self._sink_handle is None:
+                self._sink_handle = self._sink_path.open(
+                    "a", encoding="utf-8"
+                )
+            self._sink_handle.write(
+                json.dumps(event.to_doc(), sort_keys=True) + "\n"
+            )
+            self._sink_handle.flush()
+        except OSError:
+            self._sink_broken = True
+            self._sink_handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def tail(self, count: int = 50) -> list[Event]:
+        """The newest ``count`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return events[-count:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the log's lifetime (ring bound ignored)."""
+        with self._lock:
+            return self._seq
+
+    def snapshot(self, *, tail: int = 50) -> dict:
+        """Recent events plus lifetime accounting, as one plain dict."""
+        with self._lock:
+            events = list(self._events)[-tail:]
+            total = self._seq
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "total_emitted": total,
+            "buffered": len(events),
+            "events": [event.to_doc() for event in events],
+        }
+
+    def clear(self) -> None:
+        """Drop buffered events (the sequence counter keeps counting)."""
+        with self._lock:
+            self._events.clear()
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink, if one is open."""
+        with self._lock:
+            if self._sink_handle is not None:
+                try:
+                    self._sink_handle.close()
+                except OSError:
+                    pass
+                self._sink_handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EventLog {'on' if self.enabled else 'off'} "
+            f"{len(self)}/{self.capacity} buffered, seq={self.total_emitted}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide default (mirrors the tracer's)
+# ----------------------------------------------------------------------
+
+_default_event_log = EventLog(enabled=False)
+_default_lock = threading.Lock()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide event log (a disabled no-op unless replaced)."""
+    return _default_event_log
+
+
+def set_event_log(log: EventLog | None) -> EventLog:
+    """Install ``log`` process-wide; None restores the disabled
+    default.  Returns the log now in effect."""
+    global _default_event_log
+    with _default_lock:
+        _default_event_log = (
+            log if log is not None else EventLog(enabled=False)
+        )
+        return _default_event_log
+
+
+@contextmanager
+def use_event_log(log: EventLog) -> Iterator[EventLog]:
+    """Temporarily install ``log`` process-wide."""
+    previous = get_event_log()
+    set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)
+
+
+def resolve_event_log(log: EventLog | None) -> EventLog:
+    """The log an instrumented call site should use (None → default)."""
+    return log if log is not None else _default_event_log

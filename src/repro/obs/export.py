@@ -13,6 +13,11 @@ Three consumers cover the ways the collected spans get read:
   counter totals folded into a
   :class:`~repro.service.metrics.MetricsRegistry`, e.g. every
   ``query.phase.grow_s`` span observes the histogram of the same name.
+* :func:`merge_process_traces` — span dumps from many processes (see
+  :func:`repro.obs.context.dump_process_spans`) merged into a single
+  multi-``pid`` Chrome trace with every process's lane aligned on the
+  wall clock and flow arrows linking dispatch spans to the worker
+  spans they caused.
 """
 
 from __future__ import annotations
@@ -21,10 +26,15 @@ import json
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.obs.context import walk_span_docs
 from repro.obs.tracer import Span, Tracer
 
 # Keys the trace_event format requires on every complete event.
 CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+# The attribute a remote-parented root span carries: the span id (in
+# another process) under which this subtree logically belongs.
+PARENT_SPAN_ATTR = "parent_span"
 
 
 def _spans_of(source: Tracer | Iterable[Span]) -> list[Span]:
@@ -80,6 +90,141 @@ def write_chrome_trace(
     """Serialize :func:`chrome_trace` to ``path``; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(chrome_trace(source, pid=pid), indent=1))
+    return path
+
+
+def merge_process_traces(dumps: Iterable[dict]) -> dict:
+    """Span dumps from many processes as one Chrome trace document.
+
+    Each dump is the output of
+    :func:`repro.obs.context.dump_process_spans`: a pid, a display
+    label, the producing tracer's ``epoch_wall``, and a list of span
+    documents with tracer-relative timestamps.  The merged document
+    puts every process on its own ``pid`` lane, shifted so all lanes
+    share the earliest dump's epoch as time zero — overlapping
+    dispatcher/worker activity therefore renders truly overlapped.
+
+    Cross-process parenting: a root span document whose attrs carry
+    ``parent_span`` (the dispatch span's id, propagated via
+    :class:`~repro.obs.context.TraceContext`) gets a flow arrow from
+    that parent event to itself, so Perfetto draws the dispatch →
+    worker causality even though the spans live on different lanes.
+
+    Every emitted event — complete ("X"), metadata ("M"), and flow
+    ("s"/"f") — carries all of :data:`CHROME_REQUIRED_KEYS`.
+    """
+    dumps = list(dumps)
+    epochs = [d["epoch_wall"] for d in dumps]
+    base_epoch = min(epochs) if epochs else 0.0
+
+    events: list[dict] = []
+    flow_targets: list[dict] = []  # events awaiting a parent lookup
+    span_locations: dict[str, dict] = {}  # span_id -> its "X" event
+    process_meta: list[dict] = []
+    seen_pids: set[int] = set()
+
+    for dump in dumps:
+        pid = dump["pid"]
+        offset_us = (dump["epoch_wall"] - base_epoch) * 1e6
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            process_meta.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "dur": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": dump.get("label", f"pid-{pid}")},
+                }
+            )
+        thread_names: dict[int, str] = {}
+        for root in dump.get("spans", ()):
+            for doc, _depth in walk_span_docs(root):
+                if doc.get("end") is None:
+                    continue
+                args: dict = dict(doc.get("attrs", {}))
+                args.update(doc.get("counters", {}))
+                args["span_id"] = doc.get("span_id")
+                event = {
+                    "name": doc["name"],
+                    "ph": "X",
+                    "ts": round(doc["start"] * 1e6 + offset_us, 3),
+                    "dur": round((doc["end"] - doc["start"]) * 1e6, 3),
+                    "pid": pid,
+                    "tid": doc.get("thread_id", 0),
+                    "args": args,
+                }
+                events.append(event)
+                span_id = doc.get("span_id")
+                if span_id is not None:
+                    span_locations[span_id] = event
+                thread_names.setdefault(
+                    doc.get("thread_id", 0), doc.get("thread_name", "")
+                )
+            parent_id = root.get("attrs", {}).get(PARENT_SPAN_ATTR)
+            if parent_id is not None and root.get("end") is not None:
+                flow_targets.append(
+                    {
+                        "parent": parent_id,
+                        "pid": pid,
+                        "tid": root.get("thread_id", 0),
+                        "ts": round(root["start"] * 1e6 + offset_us, 3),
+                        "trace_id": root.get("attrs", {}).get("trace_id"),
+                    }
+                )
+        for tid, name in sorted(thread_names.items()):
+            process_meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "dur": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    flows: list[dict] = []
+    for number, target in enumerate(flow_targets):
+        parent_event = span_locations.get(target["parent"])
+        if parent_event is None:
+            continue  # the parent's dump was not collected; no arrow
+        flow_id = f"0x{number + 1:x}"
+        common = {"cat": "dispatch", "name": "mp.dispatch", "dur": 0}
+        flows.append(
+            {
+                **common,
+                "ph": "s",
+                "id": flow_id,
+                "ts": parent_event["ts"],
+                "pid": parent_event["pid"],
+                "tid": parent_event["tid"],
+            }
+        )
+        flows.append(
+            {
+                **common,
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": target["ts"],
+                "pid": target["pid"],
+                "tid": target["tid"],
+            }
+        )
+    return {
+        "traceEvents": process_meta + events + flows,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_merged_trace(dumps: Iterable[dict], path: Path | str) -> Path:
+    """Serialize :func:`merge_process_traces` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(merge_process_traces(dumps), indent=1))
     return path
 
 

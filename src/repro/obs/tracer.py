@@ -16,15 +16,39 @@ process-wide with :func:`set_tracer` / :func:`use_tracer`.
 
 Span timestamps come from ``time.perf_counter`` and are stored relative
 to the tracer's epoch (its construction instant), which is what the
-Chrome ``trace_event`` exporter needs.
+Chrome ``trace_event`` exporter needs.  The tracer also records the
+wall-clock time of that instant (``epoch_wall``), so span dumps from
+*different processes* — each with its own perf_counter origin — can be
+aligned onto one timeline by
+:func:`repro.obs.export.merge_process_traces`.
+
+Processes that ``fork()`` (the :mod:`repro.mp` worker cohorts) would
+otherwise inherit the parent's thread-local span stacks and collected
+roots, corrupting nesting and double-reporting spans; every tracer
+therefore registers itself in a weak set and an ``os.register_at_fork``
+hook resets them all in the child (fresh stacks, empty roots, new
+epoch).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
+import uuid
+import weakref
 from contextlib import contextmanager
 from typing import Iterator
+
+# Process-unique span ids: "<pid hex>.<seq hex>".  The pid component
+# keeps ids unique across the processes whose dumps merge into one
+# trace; the counter restarts per process but the pid disambiguates.
+_span_counter = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}.{next(_span_counter):x}"
 
 
 class _NullSpan:
@@ -50,6 +74,16 @@ class _NullSpan:
 
     def count(self, name: str, amount: int = 1) -> None:
         pass
+
+    def begin(self, parent=None, *, at: float | None = None) -> "_NullSpan":
+        return self
+
+    def finish(self, *, at: float | None = None) -> None:
+        pass
+
+    @property
+    def span_id(self) -> None:
+        return None
 
     @property
     def duration(self) -> float:
@@ -80,6 +114,7 @@ class Span:
         "thread_id",
         "thread_name",
         "parent",
+        "span_id",
         "_tracer",
     )
 
@@ -95,6 +130,7 @@ class Span:
         self.thread_id = 0
         self.thread_name = ""
         self.parent: Span | None = None
+        self.span_id = _new_span_id()
         self._tracer = tracer
 
     def __enter__(self) -> "Span":
@@ -111,6 +147,47 @@ class Span:
             self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._pop(self)
         return False
+
+    # ------------------------------------------------------------------
+    # manual lifecycle (spans that outlive one stack frame)
+    # ------------------------------------------------------------------
+
+    def begin(self, parent: "Span | None" = None, *, at: float | None = None) -> "Span":
+        """Start the span without touching the thread-local stack.
+
+        For spans whose extent does not match a ``with`` block — e.g.
+        a dispatch span opened when a task is queued to a worker and
+        finished when its reply arrives, while other dispatch spans
+        open and close in between.  ``parent`` attaches the span to an
+        already open span's subtree; ``at`` overrides the start time
+        (tracer-relative seconds, see :meth:`Tracer.at_wall`).  Spans
+        begun this way never become implicit parents of ``with`` spans.
+        """
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        if parent is not None and parent.enabled:
+            self.parent = parent
+            parent.children.append(self)
+        self.start = (
+            at if at is not None
+            else time.perf_counter() - self._tracer.epoch
+        )
+        return self
+
+    def finish(self, *, at: float | None = None) -> None:
+        """Close a span started with :meth:`begin`.
+
+        Parentless spans are published as roots; children are already
+        reachable through their parent.
+        """
+        self.end = (
+            at if at is not None
+            else time.perf_counter() - self._tracer.epoch
+        )
+        if self.parent is None:
+            with self._tracer._lock:
+                self._tracer._roots.append(self)
 
     @property
     def duration(self) -> float:
@@ -156,9 +233,23 @@ class Tracer:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.epoch = time.perf_counter()
+        # The wall-clock instant of the epoch, letting dumps from
+        # different processes (each with its own perf_counter origin)
+        # align on one timeline.
+        self.epoch_wall = time.time()
+        self.trace_id = uuid.uuid4().hex[:16]
         self._local = threading.local()
         self._roots: list[Span] = []
         self._lock = threading.Lock()
+        _live_tracers.add(self)
+
+    def at_wall(self, wall_timestamp: float) -> float:
+        """A wall-clock instant as tracer-relative seconds.
+
+        Lets a span be anchored at a moment another process observed
+        (e.g. the dispatcher's queue-send time) via ``begin(at=...)``.
+        """
+        return wall_timestamp - self.epoch_wall
 
     # ------------------------------------------------------------------
     # recording
@@ -213,10 +304,39 @@ class Tracer:
         with self._lock:
             return list(self._roots)
 
+    def drain(self) -> list[Span]:
+        """Atomically take (and clear) the finished root spans.
+
+        The worker-process serving loop drains after every task so each
+        reply ships exactly the spans that task produced.
+        """
+        with self._lock:
+            roots = list(self._roots)
+            self._roots.clear()
+        return roots
+
     def reset(self) -> None:
         """Drop every collected root span (open spans are unaffected)."""
         with self._lock:
             self._roots.clear()
+
+    def reset_after_fork(self) -> None:
+        """Discard state inherited across ``fork()``.
+
+        A forked child inherits the parent's thread-local span stacks
+        (with spans that belong to parent threads that do not exist in
+        the child), its collected roots (already reported there), and
+        an epoch measured in the parent.  Everything restarts: fresh
+        stacks, empty roots, a new epoch/epoch_wall pair, a new
+        trace_id, and a fresh lock (the inherited one may have been
+        held by a non-forking thread at fork time).
+        """
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots = []
+        self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.trace_id = uuid.uuid4().hex[:16]
 
     def aggregate_into(self, registry, *, prefix: str = "") -> None:
         """Fold collected spans into a metrics registry.
@@ -227,6 +347,24 @@ class Tracer:
         from repro.obs.export import aggregate_spans
 
         aggregate_spans(self.roots(), registry, prefix=prefix)
+
+
+# ----------------------------------------------------------------------
+# fork safety
+# ----------------------------------------------------------------------
+
+# Every live tracer, weakly held, so the at-fork hook can reset them
+# all in the child without keeping dead tracers alive.
+_live_tracers: "weakref.WeakSet[Tracer]" = weakref.WeakSet()
+
+
+def _reset_tracers_in_child() -> None:
+    for tracer in list(_live_tracers):
+        tracer.reset_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_tracers_in_child)
 
 
 # ----------------------------------------------------------------------

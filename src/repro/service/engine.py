@@ -42,6 +42,7 @@ from repro.core.query import (
 )
 from repro.errors import NodeNotFoundError, QueryError
 from repro.graph.mcrn import MultiCostGraph
+from repro.obs.events import EventLog, resolve_event_log
 from repro.obs.export import aggregate_spans
 from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.path import Path
@@ -96,6 +97,11 @@ class QueryResponse:
     elapsed_seconds: float = 0.0
     generation: int = 0
     stats: object | None = None
+    # Provenance stamps for multi-process serving: which worker process
+    # computed the answer and under which dispatcher trace (both None
+    # for in-process serving / tracing off).
+    worker_pid: int | None = None
+    trace_id: str | None = None
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -152,6 +158,7 @@ class SkylineQueryEngine:
         exact_node_threshold: int = DEFAULT_EXACT_NODE_THRESHOLD,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
         snapshotter=None,
         engine: str = "auto",
     ) -> None:
@@ -173,8 +180,10 @@ class SkylineQueryEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # None defers to the process-wide tracer at each call, so
         # installing one with repro.obs.use_tracer() traces the engine
-        # without reconstructing it.
+        # without reconstructing it.  Same for the event log.
         self.tracer = tracer
+        self.events = events
+        self._live = None
         self.default_time_budget = default_time_budget
         self.exact_node_threshold = exact_node_threshold
         self.engine = engine
@@ -586,6 +595,12 @@ class SkylineQueryEngine:
         self.metrics.observe(
             f"engine.query_seconds.{response.mode}", response.elapsed_seconds
         )
+        live = self._live
+        if live is not None:
+            live.observe("engine.query_seconds", response.elapsed_seconds)
+            live.observe(
+                "engine.cache_hit", 1.0 if response.cache_hit else 0.0
+            )
 
     # ------------------------------------------------------------------
     # invalidation
@@ -597,8 +612,14 @@ class SkylineQueryEngine:
         self._generation += 1
         self._original_landmarks = None
         self._csr_original = None
-        self.cache.invalidate_generations_below(self._generation)
+        removed = self.cache.invalidate_generations_below(self._generation)
         self.metrics.increment("engine.generation_bumps")
+        resolve_event_log(self.events).emit(
+            "engine.cache_invalidation",
+            generation=self._generation,
+            removed=removed,
+            reason="manual bump",
+        )
         return self._generation
 
     def _on_maintenance(self, generation: int) -> None:
@@ -610,8 +631,14 @@ class SkylineQueryEngine:
         self._generation = generation
         self._original_landmarks = None  # distances may have changed
         self._csr_original = None  # topology/costs may have changed
-        self.cache.invalidate_generations_below(generation)
+        removed = self.cache.invalidate_generations_below(generation)
         self.metrics.increment("engine.generation_bumps")
+        resolve_event_log(self.events).emit(
+            "engine.cache_invalidation",
+            generation=generation,
+            removed=removed,
+            reason="maintenance",
+        )
         if self._snapshotter is not None:
             started = time.perf_counter()
             try:
@@ -641,3 +668,33 @@ class SkylineQueryEngine:
         doc["csr_ready"] = self._csr_original is not None
         doc["graph_nodes"] = self._graph.num_nodes
         return doc
+
+    def runtime_status(self) -> dict:
+        """Live serving state for :class:`repro.obs.live.LiveStatus`.
+
+        Plain attribute reads (no locks beyond the cache snapshot's),
+        so a status thread can call it at any moment without blocking a
+        query in flight.
+        """
+        return {
+            "generation": self._generation,
+            "index_ready": self._index is not None,
+            "landmarks_ready": self._original_landmarks is not None,
+            "csr_ready": self._csr_original is not None,
+            "engine": self.engine,
+            "graph_nodes": self._graph.num_nodes,
+            "queries_total": self.metrics.counter("engine.queries").value,
+            "cache": self.cache.snapshot(),
+        }
+
+    def attach_live(self, live) -> "SkylineQueryEngine":
+        """Publish this engine into a :class:`LiveStatus` document.
+
+        Registers :meth:`runtime_status` as the ``"engine"`` source and
+        starts feeding per-query rolling windows
+        (``engine.query_seconds``, ``engine.cache_hit`` — the window
+        mean of the latter is the live hit rate).
+        """
+        self._live = live
+        live.register("engine", self.runtime_status)
+        return self

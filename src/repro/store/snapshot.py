@@ -22,6 +22,7 @@ from pathlib import Path as FilePath
 from typing import TYPE_CHECKING
 
 from repro.errors import BuildError, ReproError
+from repro.obs.events import EventLog, resolve_event_log
 from repro.obs.tracer import Tracer, resolve_tracer
 from repro.store.reader import load_index
 from repro.store.writer import save_index
@@ -59,6 +60,7 @@ class Snapshotter:
         retain: int = 3,
         compress: bool = True,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if retain < 1:
             raise BuildError(f"snapshot retention must be >= 1, got {retain}")
@@ -66,6 +68,7 @@ class Snapshotter:
         self.retain = retain
         self.compress = compress
         self.tracer = tracer
+        self.events = events
 
     # ------------------------------------------------------------------
     # writing
@@ -83,6 +86,13 @@ class Snapshotter:
             pruned = self.prune()
             if span.enabled:
                 span.set(bytes=info["bytes"], pruned=len(pruned))
+        resolve_event_log(self.events).emit(
+            "store.snapshot",
+            generation=generation,
+            path=str(path),
+            bytes=info["bytes"],
+            pruned=len(pruned),
+        )
         return path
 
     def prune(self) -> list[FilePath]:
@@ -138,9 +148,21 @@ class Snapshotter:
                     continue
                 if span.enabled:
                     span.set(generation=generation, skipped=skipped)
+                resolve_event_log(self.events).emit(
+                    "store.recovery",
+                    generation=generation,
+                    path=str(path),
+                    skipped=skipped,
+                )
                 return index, generation
             if span.enabled:
                 span.set(generation=None, skipped=skipped)
+        resolve_event_log(self.events).emit(
+            "store.recovery",
+            generation=None,
+            skipped=skipped,
+            directory=str(self.directory),
+        )
         return None
 
     # ------------------------------------------------------------------

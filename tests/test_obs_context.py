@@ -1,0 +1,258 @@
+"""Cross-process trace propagation: contexts, span docs, dumps, fork.
+
+The contract under test: a :class:`~repro.obs.context.TraceContext`
+carries exactly what a hop needs (trace id, parent span id, send
+stamp); span documents round-trip a finished span tree into plain
+dicts; :func:`dump_process_spans` bundles a process's finished roots
+with its pid and wall-clock epoch (optionally draining them); and a
+forked child starts from a *clean* tracer — no inherited roots, no
+inherited open-span stacks, a new epoch and trace id.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs import (
+    SPAN_DUMP_VERSION,
+    TraceContext,
+    Tracer,
+    dump_process_spans,
+    merge_dump_into,
+    span_doc,
+    walk_span_docs,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestTraceContext:
+    def test_for_span_carries_identity_and_send_stamp(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as span:
+            before = time.time()
+            ctx = TraceContext.for_span(tracer, span)
+            after = time.time()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.parent_span_id == span.span_id
+        assert before <= ctx.sent_at_wall <= after
+
+    def test_for_null_span_has_no_parent(self):
+        tracer = Tracer(enabled=False)
+        ctx = TraceContext.for_span(tracer, NULL_SPAN)
+        assert ctx.parent_span_id is None
+        assert ctx.trace_id == tracer.trace_id
+
+    def test_context_is_frozen_and_picklable(self):
+        import pickle
+
+        ctx = TraceContext(trace_id="abc", parent_span_id="1.2",
+                           sent_at_wall=12.5)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"
+
+
+class TestSpanDocs:
+    def test_doc_round_trips_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="batch") as outer:
+            outer.count("queries", 3)
+            with tracer.span("inner"):
+                pass
+        doc = span_doc(tracer.roots()[0])
+        assert doc["name"] == "outer"
+        assert doc["attrs"] == {"kind": "batch"}
+        assert doc["counters"] == {"queries": 3}
+        assert [child["name"] for child in doc["children"]] == ["inner"]
+        assert doc["span_id"] is not None
+        assert doc["end"] >= doc["start"]
+
+    def test_walk_yields_depth_first_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        doc = span_doc(tracer.roots()[0])
+        walked = [(d["name"], depth) for d, depth in walk_span_docs(doc)]
+        assert walked == [("a", 0), ("b", 1), ("c", 2), ("d", 1)]
+
+
+class TestDumpProcessSpans:
+    def test_dump_shape_and_version(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        dump = dump_process_spans(tracer, label="me")
+        assert dump["version"] == SPAN_DUMP_VERSION
+        assert dump["label"] == "me"
+        assert dump["trace_id"] == tracer.trace_id
+        assert dump["epoch_wall"] == tracer.epoch_wall
+        assert [s["name"] for s in dump["spans"]] == ["work"]
+
+    def test_open_spans_are_excluded(self):
+        tracer = Tracer()
+        open_span = tracer.span("open").begin()
+        with tracer.span("closed"):
+            pass
+        dump = dump_process_spans(tracer)
+        assert [s["name"] for s in dump["spans"]] == ["closed"]
+        open_span.finish()
+
+    def test_drain_empties_the_tracer(self):
+        tracer = Tracer()
+        with tracer.span("once"):
+            pass
+        first = dump_process_spans(tracer, drain=True)
+        second = dump_process_spans(tracer, drain=True)
+        assert len(first["spans"]) == 1
+        assert second["spans"] == []
+        assert tracer.roots() == []
+
+    def test_without_drain_the_tracer_keeps_roots(self):
+        tracer = Tracer()
+        with tracer.span("kept"):
+            pass
+        dump_process_spans(tracer)
+        assert [s.name for s in tracer.roots()] == ["kept"]
+
+
+class TestMergeDumpInto:
+    def test_same_process_dumps_accumulate(self):
+        tracer = Tracer()
+        collected: dict = {}
+        for _ in range(3):
+            with tracer.span("task"):
+                pass
+            merge_dump_into(
+                collected, dump_process_spans(tracer, drain=True)
+            )
+        assert len(collected) == 1
+        (entry,) = collected.values()
+        assert len(entry["spans"]) == 3
+
+    def test_recycled_pid_with_new_epoch_stays_separate(self):
+        # Two cohort lifetimes can reuse a pid; the epoch_wall in the
+        # key must keep their timelines apart.
+        tracer = Tracer()
+        with tracer.span("gen0"):
+            pass
+        first = dump_process_spans(tracer, drain=True)
+        tracer.reset_after_fork()  # new epoch_wall, same pid
+        with tracer.span("gen1"):
+            pass
+        second = dump_process_spans(tracer, drain=True)
+        collected: dict = {}
+        merge_dump_into(collected, first)
+        merge_dump_into(collected, second)
+        assert len(collected) == 2
+
+    def test_merge_does_not_mutate_the_source_dump(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        dump = dump_process_spans(tracer, drain=True)
+        collected: dict = {}
+        merge_dump_into(collected, dump)
+        with tracer.span("b"):
+            pass
+        merge_dump_into(
+            collected, dump_process_spans(tracer, drain=True)
+        )
+        assert len(dump["spans"]) == 1  # first dump untouched
+
+
+class TestManualLifecycle:
+    def test_begin_finish_interleaved_spans(self):
+        tracer = Tracer()
+        first = tracer.span("dispatch", task=0).begin()
+        second = tracer.span("dispatch", task=1).begin()
+        second.finish()
+        first.finish()
+        names = {(s.name, s.attrs["task"]) for s in tracer.roots()}
+        assert names == {("dispatch", 0), ("dispatch", 1)}
+
+    def test_begin_with_parent_joins_the_subtree(self):
+        tracer = Tracer()
+        with tracer.span("batch") as batch:
+            child = tracer.span("dispatch").begin(parent=batch)
+            child.finish()
+        (root,) = tracer.roots()
+        assert [c.name for c in root.children] == ["dispatch"]
+        # Children are reachable through the parent, not double-rooted.
+        assert len(tracer.roots()) == 1
+
+    def test_begin_with_null_parent_becomes_root(self):
+        tracer = Tracer()
+        span = tracer.span("solo").begin(parent=NULL_SPAN)
+        span.finish()
+        assert [s.name for s in tracer.roots()] == ["solo"]
+
+    def test_at_wall_anchors_remote_instants(self):
+        tracer = Tracer()
+        sent = tracer.epoch_wall + 0.25
+        arrived = tracer.epoch_wall + 0.75
+        span = tracer.span("queue_wait").begin(at=tracer.at_wall(sent))
+        span.finish(at=tracer.at_wall(arrived))
+        (root,) = tracer.roots()
+        assert root.start == pytest.approx(0.25)
+        assert root.duration == pytest.approx(0.5)
+
+    def test_null_span_manual_lifecycle_is_a_noop(self):
+        assert NULL_SPAN.begin() is NULL_SPAN
+        NULL_SPAN.finish()
+        assert NULL_SPAN.span_id is None
+
+
+class TestForkSafety:
+    def test_reset_after_fork_clears_everything(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        old_trace_id = tracer.trace_id
+        old_epoch_wall = tracer.epoch_wall
+        with tracer.span("outer"):
+            tracer.reset_after_fork()
+            # Inherited roots and the open-span stack are gone.
+            assert tracer.roots() == []
+            assert tracer.current() is None
+        assert tracer.trace_id != old_trace_id
+        assert tracer.epoch_wall >= old_epoch_wall
+
+    def test_forked_child_starts_clean(self):
+        # The regression this guards: a worker forked while the parent
+        # had finished (and open) spans used to re-report the parent's
+        # roots and corrupt nesting.  The os.register_at_fork hook must
+        # leave the child with an empty, re-identified tracer.
+        tracer = Tracer()
+        with tracer.span("parent-finished"):
+            pass
+        parent_trace_id = tracer.trace_id
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+
+        def child(q):
+            q.put(
+                {
+                    "roots": [s.name for s in tracer.roots()],
+                    "open": tracer.current() is not None,
+                    "trace_id": tracer.trace_id,
+                }
+            )
+
+        with tracer.span("parent-open"):
+            process = ctx.Process(target=child, args=(queue,))
+            process.start()
+            report = queue.get(timeout=30)
+            process.join(timeout=30)
+        assert report["roots"] == []
+        assert report["open"] is False
+        assert report["trace_id"] != parent_trace_id
+        # The parent keeps its own state untouched by the child's reset.
+        assert tracer.trace_id == parent_trace_id
+        assert "parent-finished" in [s.name for s in tracer.roots()]

@@ -1,0 +1,147 @@
+"""The operational event log: ring bound, sink, counters, defaults.
+
+The contract under test: an :class:`~repro.obs.events.EventLog` keeps
+the newest ``capacity`` events with monotonically increasing sequence
+numbers, appends every event to its JSONL sink as it happens (and
+latches the sink off on the first I/O failure instead of raising into
+serving), mirrors event rates into ``events.<kind>`` registry
+counters, and costs nothing when disabled.  The process-wide default
+mirrors the tracer's: disabled until installed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import EventLog, get_event_log, resolve_event_log, use_event_log
+from repro.service.metrics import MetricsRegistry
+
+
+class TestRingBuffer:
+    def test_emit_records_kind_attrs_and_stamps(self):
+        log = EventLog()
+        event = log.emit("worker.death", worker=3, reason="killed")
+        assert event.kind == "worker.death"
+        assert event.attrs == {"worker": 3, "reason": "killed"}
+        assert event.seq == 1
+        assert event.wall > 0 and event.monotonic > 0
+
+    def test_capacity_bounds_the_buffer_not_the_sequence(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 4
+        assert log.total_emitted == 10
+        tail = log.tail()
+        assert [e.attrs["i"] for e in tail] == [6, 7, 8, 9]
+        assert [e.seq for e in tail] == [7, 8, 9, 10]
+
+    def test_tail_returns_newest_oldest_first(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e.attrs["i"] for e in log.tail(2)] == [3, 4]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_clear_keeps_counting(self):
+        log = EventLog()
+        log.emit("a")
+        log.clear()
+        assert len(log) == 0
+        assert log.emit("b").seq == 2
+
+    def test_snapshot_shape(self):
+        log = EventLog(capacity=8)
+        for i in range(3):
+            log.emit("tick", i=i)
+        doc = log.snapshot(tail=2)
+        assert doc["total_emitted"] == 3
+        assert doc["buffered"] == 2
+        assert [e["attrs"]["i"] for e in doc["events"]] == [1, 2]
+        json.dumps(doc)  # the whole snapshot must be JSON-able
+
+
+class TestDisabled:
+    def test_disabled_emit_is_a_noop(self):
+        log = EventLog(enabled=False)
+        assert log.emit("anything", x=1) is None
+        assert len(log) == 0
+        assert log.total_emitted == 0
+
+    def test_process_default_is_disabled(self):
+        assert get_event_log().enabled is False
+        assert resolve_event_log(None).emit("ignored") is None
+
+    def test_use_event_log_installs_and_restores(self):
+        log = EventLog()
+        with use_event_log(log):
+            assert resolve_event_log(None) is log
+            resolve_event_log(None).emit("inside")
+        assert resolve_event_log(None).enabled is False
+        assert [e.kind for e in log.tail()] == ["inside"]
+
+    def test_resolve_prefers_the_explicit_log(self):
+        log = EventLog()
+        assert resolve_event_log(log) is log
+
+
+class TestSink:
+    def test_events_append_as_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path)
+        log.emit("generation_swap.begin", from_generation=0, to_generation=1)
+        log.emit("worker.spawn", worker=0, pid=1234)
+        log.close()
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert [r["kind"] for r in rows] == [
+            "generation_swap.begin", "worker.spawn",
+        ]
+        assert rows[0]["attrs"] == {"from_generation": 0, "to_generation": 1}
+        assert rows[0]["seq"] == 1
+
+    def test_sink_failure_latches_off_without_raising(self, tmp_path):
+        # A directory path cannot be opened for append: the first emit
+        # must swallow the failure and every later emit must still land
+        # in the ring.
+        log = EventLog(sink=tmp_path)
+        assert log.emit("first") is not None
+        assert log.emit("second") is not None
+        assert log._sink_broken is True
+        assert [e.kind for e in log.tail()] == ["first", "second"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(sink=tmp_path / "e.jsonl")
+        log.emit("one")
+        log.close()
+        log.close()
+
+
+class TestIntegrations:
+    def test_registry_counts_per_kind(self):
+        registry = MetricsRegistry()
+        log = EventLog(registry=registry)
+        log.emit("worker.death", worker=1)
+        log.emit("worker.death", worker=2)
+        log.emit("cohort.spawn")
+        assert registry.counter("events.worker.death").value == 2
+        assert registry.counter("events.cohort.spawn").value == 1
+
+    def test_subscribers_see_events_and_errors_are_swallowed(self):
+        log = EventLog()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("listener bug")
+
+        log.subscribe(broken)
+        log.subscribe(seen.append)
+        event = log.emit("tick", n=1)
+        assert seen == [event]

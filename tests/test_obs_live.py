@@ -1,0 +1,171 @@
+"""Live telemetry: rolling windows, the status document, HTTP serving.
+
+The contract under test: a :class:`~repro.obs.live.RollingWindow`
+summarizes only observations inside its sliding time window (nearest-
+rank percentiles); a :class:`~repro.obs.live.LiveStatus` renders named
+windows plus registered providers into one JSON document, captures
+provider exceptions instead of propagating them, and publishes the
+document atomically so a polling reader never sees a torn file; and
+the :class:`~repro.obs.live.StatusServer` answers ``/health``,
+``/status``, ``/metrics`` and ``/events`` over plain HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import EventLog, LiveStatus, RollingWindow
+from repro.service.metrics import MetricsRegistry
+
+
+class TestRollingWindow:
+    def test_summary_over_known_values(self):
+        window = RollingWindow(60.0)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            window.observe(value, now=100.0)
+        doc = window.summary(now=100.0)
+        assert doc["count"] == 4
+        assert doc["mean"] == pytest.approx(2.5)
+        assert doc["min"] == 1.0 and doc["max"] == 4.0
+        assert doc["p50"] == 2.0  # nearest rank: ceil(0.5 * 4) = 2nd
+        assert doc["p95"] == 4.0
+        assert doc["p99"] == 4.0
+
+    def test_old_samples_fall_out_of_the_window(self):
+        window = RollingWindow(10.0)
+        window.observe(1.0, now=0.0)
+        window.observe(2.0, now=9.0)
+        assert window.values(now=9.5) == [1.0, 2.0]
+        assert window.values(now=11.0) == [2.0]
+        assert window.values(now=30.0) == []
+
+    def test_empty_window_summarizes_to_zeros(self):
+        doc = RollingWindow(5.0).summary(now=1.0)
+        assert doc["count"] == 0
+        assert doc["mean"] == doc["p50"] == doc["p99"] == 0.0
+
+    def test_max_samples_bounds_memory(self):
+        window = RollingWindow(1e9, max_samples=8)
+        for i in range(100):
+            window.observe(float(i), now=float(i))
+        values = window.values(now=100.0)
+        assert len(values) == 8
+        assert values == [float(i) for i in range(92, 100)]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            RollingWindow(0.0)
+
+
+class TestLiveStatus:
+    def test_snapshot_carries_windows_and_sources(self):
+        live = LiveStatus()
+        live.observe("batch_seconds", 0.5)
+        live.observe("batch_seconds", 1.5)
+        live.register("mp", lambda: {"workers": 2, "generation": 7})
+        doc = live.snapshot()
+        assert doc["format"] == "repro-live-status"
+        assert doc["version"] == 1
+        assert doc["windows"]["batch_seconds"]["count"] == 2
+        assert doc["sources"]["mp"] == {"workers": 2, "generation": 7}
+        json.dumps(doc)  # the whole document must be JSON-able
+
+    def test_provider_errors_are_captured_not_raised(self):
+        live = LiveStatus()
+
+        def broken():
+            raise RuntimeError("snapshot race")
+
+        live.register("bad", broken)
+        live.register("good", lambda: {"ok": True})
+        doc = live.snapshot()
+        assert doc["sources"]["bad"] == {"error": "RuntimeError: snapshot race"}
+        assert doc["sources"]["good"] == {"ok": True}
+
+    def test_unregister_removes_the_source(self):
+        live = LiveStatus()
+        live.register("gone", lambda: {})
+        live.unregister("gone")
+        assert "gone" not in live.snapshot()["sources"]
+
+    def test_write_status_is_atomic_and_valid_json(self, tmp_path):
+        path = tmp_path / "status.json"
+        live = LiveStatus(status_file=path)
+        assert live.write_status() == path
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-live-status"
+        assert not (tmp_path / "status.json.tmp").exists()
+
+    def test_write_failures_are_counted_not_raised(self, tmp_path):
+        live = LiveStatus(status_file=tmp_path / "missing" / "status.json")
+        assert live.write_status() is None
+        assert live.snapshot()["status_write_failures"] == 1
+
+    def test_background_thread_publishes_and_stops(self, tmp_path):
+        path = tmp_path / "status.json"
+        with LiveStatus(interval_seconds=0.05, status_file=path):
+            pass  # __exit__ stops the thread and flushes a final write
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-live-status"
+
+    def test_events_ride_in_the_document(self):
+        events = EventLog()
+        events.emit("worker.spawn", worker=0)
+        live = LiveStatus(events=events)
+        doc = live.snapshot()
+        assert doc["events"]["total_emitted"] == 1
+        assert doc["events"]["events"][0]["kind"] == "worker.spawn"
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+class TestStatusServer:
+    @pytest.fixture()
+    def served(self):
+        registry = MetricsRegistry()
+        registry.increment("engine.queries", 3)
+        events = EventLog()
+        events.emit("cohort.spawn", workers=2)
+        live = LiveStatus(registry=registry, events=events)
+        live.observe("q_seconds", 0.25)
+        with live.serve_http() as server:
+            yield live, server
+
+    def test_health_and_status_endpoints(self, served):
+        _live, server = served
+        health = json.loads(http_get(server.url + "/health"))
+        assert health["status"] == "ok"
+        status = json.loads(http_get(server.url + "/status"))
+        assert status["format"] == "repro-live-status"
+        assert status["windows"]["q_seconds"]["count"] == 1
+
+    def test_metrics_endpoint_serves_prometheus_text(self, served):
+        _live, server = served
+        body = http_get(server.url + "/metrics")
+        assert "# TYPE engine.queries counter" in body
+        assert "engine.queries 3" in body
+
+    def test_events_endpoint_serves_the_ring(self, served):
+        _live, server = served
+        doc = json.loads(http_get(server.url + "/events"))
+        assert doc["events"][0]["kind"] == "cohort.spawn"
+
+    def test_unknown_path_is_404(self, served):
+        _live, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            http_get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_metrics_404_without_registry(self):
+        live = LiveStatus()
+        with live.serve_http() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                http_get(server.url + "/metrics")
+            assert excinfo.value.code == 404

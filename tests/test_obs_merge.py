@@ -1,0 +1,222 @@
+"""Merging per-process span dumps into one multi-pid Chrome trace.
+
+The contract under test: :func:`~repro.obs.export.merge_process_traces`
+puts each dump on its own ``pid`` lane, aligns lanes on the wall clock
+(the earliest ``epoch_wall`` becomes time zero), names every lane,
+carries every required ``trace_event`` key on every emitted event, and
+draws dispatch → worker flow arrows only when both ends of the arrow
+are present in the collected dumps.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import merge_process_traces, write_merged_trace
+from repro.obs.export import CHROME_REQUIRED_KEYS, PARENT_SPAN_ATTR
+
+
+def make_dump(
+    pid,
+    epoch_wall,
+    spans,
+    *,
+    label=None,
+    trace_id="trace",
+):
+    """A hand-built span dump in the dump_process_spans shape."""
+    return {
+        "version": 1,
+        "pid": pid,
+        "label": label if label is not None else f"pid-{pid}",
+        "trace_id": trace_id,
+        "epoch_wall": epoch_wall,
+        "spans": spans,
+    }
+
+
+def make_span(
+    name,
+    span_id,
+    start,
+    end,
+    *,
+    attrs=None,
+    children=(),
+    thread_id=1,
+):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "start": start,
+        "end": end,
+        "thread_id": thread_id,
+        "thread_name": "MainThread",
+        "attrs": dict(attrs or {}),
+        "counters": {},
+        "children": list(children),
+    }
+
+
+def events_of(doc, ph=None):
+    events = doc["traceEvents"]
+    if ph is None:
+        return events
+    return [e for e in events if e["ph"] == ph]
+
+
+class TestLaneAlignment:
+    def test_overlapping_epochs_share_one_timeline(self):
+        # The dispatcher's tracer started at wall 1000.0; the worker
+        # forked 0.5s later.  A worker span at local t=0.1 must land at
+        # merged ts 0.6s, *after* a dispatcher span at local t=0.2.
+        dispatcher = make_dump(
+            100, 1000.0, [make_span("mp.dispatch", "64.1", 0.2, 0.3)]
+        )
+        worker = make_dump(
+            200, 1000.5, [make_span("mp.worker.task", "c8.1", 0.1, 0.4)]
+        )
+        doc = merge_process_traces([dispatcher, worker])
+        by_name = {e["name"]: e for e in events_of(doc, "X")}
+        assert by_name["mp.dispatch"]["ts"] == 0.2e6
+        assert by_name["mp.worker.task"]["ts"] == (0.5 + 0.1) * 1e6
+        assert by_name["mp.worker.task"]["dur"] == 0.3e6
+
+    def test_each_process_gets_its_own_named_lane(self):
+        doc = merge_process_traces(
+            [
+                make_dump(
+                    1, 0.0, [make_span("a", "1.1", 0.0, 1.0)],
+                    label="dispatcher",
+                ),
+                make_dump(
+                    2, 0.0, [make_span("b", "2.1", 0.0, 1.0)],
+                    label="worker-0",
+                ),
+                make_dump(
+                    3, 0.0, [make_span("c", "3.1", 0.0, 1.0)],
+                    label="worker-1",
+                ),
+            ]
+        )
+        lanes = {
+            e["pid"]: e["args"]["name"]
+            for e in events_of(doc, "M")
+            if e["name"] == "process_name"
+        }
+        assert lanes == {1: "dispatcher", 2: "worker-0", 3: "worker-1"}
+        assert {e["pid"] for e in events_of(doc, "X")} == {1, 2, 3}
+
+    def test_empty_input_merges_to_empty_trace(self):
+        doc = merge_process_traces([])
+        assert doc["traceEvents"] == []
+
+
+class TestRequiredKeys:
+    def test_every_event_carries_the_required_keys(self):
+        parent = make_span("mp.dispatch", "64.2", 0.0, 1.0)
+        child_root = make_span(
+            "mp.worker.task",
+            "c8.2",
+            0.2,
+            0.8,
+            attrs={PARENT_SPAN_ATTR: "64.2", "trace_id": "trace"},
+            children=[make_span("search.bbs", "c8.3", 0.3, 0.7)],
+        )
+        doc = merge_process_traces(
+            [
+                make_dump(100, 10.0, [parent]),
+                make_dump(200, 10.1, [child_root]),
+            ]
+        )
+        assert len(events_of(doc)) > 0
+        for event in events_of(doc):
+            for key in CHROME_REQUIRED_KEYS:
+                assert key in event, (event["ph"], event.get("name"), key)
+
+    def test_merged_document_is_json_serializable(self, tmp_path):
+        path = write_merged_trace(
+            [make_dump(1, 0.0, [make_span("a", "1.9", 0.0, 1.0)])],
+            tmp_path / "trace.json",
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert any(e["name"] == "a" for e in loaded["traceEvents"])
+
+
+class TestFlowArrows:
+    def test_remote_parent_draws_one_arrow_pair(self):
+        dispatcher = make_dump(
+            100, 0.0, [make_span("mp.dispatch", "64.5", 0.0, 1.0)]
+        )
+        worker = make_dump(
+            200,
+            0.0,
+            [
+                make_span(
+                    "mp.worker.task",
+                    "c8.5",
+                    0.2,
+                    0.9,
+                    attrs={PARENT_SPAN_ATTR: "64.5"},
+                )
+            ],
+        )
+        doc = merge_process_traces([dispatcher, worker])
+        starts = events_of(doc, "s")
+        finishes = events_of(doc, "f")
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["pid"] == 100  # arrow leaves the dispatcher…
+        assert finishes[0]["pid"] == 200  # …and lands on the worker
+        assert finishes[0]["bp"] == "e"
+
+    def test_missing_parent_dump_draws_no_arrow(self):
+        # The worker references a dispatch span whose dump never made
+        # it back (e.g. the dispatcher crashed); the span still renders
+        # but no dangling arrow is emitted.
+        worker = make_dump(
+            200,
+            0.0,
+            [
+                make_span(
+                    "mp.worker.task",
+                    "c8.6",
+                    0.0,
+                    1.0,
+                    attrs={PARENT_SPAN_ATTR: "dead.1"},
+                )
+            ],
+        )
+        doc = merge_process_traces([worker])
+        assert events_of(doc, "s") == []
+        assert events_of(doc, "f") == []
+        assert len(events_of(doc, "X")) == 1
+
+    def test_worker_with_no_spans_contributes_only_its_lane(self):
+        doc = merge_process_traces(
+            [
+                make_dump(1, 0.0, [make_span("a", "1.7", 0.0, 1.0)]),
+                make_dump(2, 0.0, [], label="idle-worker"),
+            ]
+        )
+        lanes = {
+            e["pid"]
+            for e in events_of(doc, "M")
+            if e["name"] == "process_name"
+        }
+        assert lanes == {1, 2}
+        assert {e["pid"] for e in events_of(doc, "X")} == {1}
+
+    def test_open_remote_root_is_skipped_entirely(self):
+        unfinished = make_span("mp.worker.task", "c8.8", 0.0, None,
+                               attrs={PARENT_SPAN_ATTR: "64.8"})
+        doc = merge_process_traces(
+            [
+                make_dump(100, 0.0,
+                          [make_span("mp.dispatch", "64.8", 0.0, 1.0)]),
+                make_dump(200, 0.0, [unfinished]),
+            ]
+        )
+        assert len(events_of(doc, "X")) == 1
+        assert events_of(doc, "s") == []

@@ -1,0 +1,283 @@
+"""Observability across the mp serving stack, end to end.
+
+The contract under test: serving a batch through
+:class:`~repro.mp.dispatcher.MPBatchServer` with tracing on yields one
+merged Chrome trace with spans from the dispatcher *and* every worker
+pid, worker task spans linked back to the dispatch spans that caused
+them; every response is stamped with the worker pid and trace id that
+produced it; the event log records cohort/worker lifecycle and
+generation-swap facts as they happen; and
+:meth:`~repro.mp.dispatcher.MPBatchServer.runtime_status` reports
+per-worker liveness and generation lag for the live status document.
+
+Everything runs on the small module-scope network (same scale as
+``test_mp.py``) so tier-1 stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.builder import build_backbone_index
+from repro.core.maintenance import MaintainableIndex
+from repro.core.params import BackboneParams
+from repro.graph.generators import road_network
+from repro.mp import MPBatchServer
+from repro.obs import (
+    EventLog,
+    LiveStatus,
+    Tracer,
+    merge_process_traces,
+    walk_span_docs,
+)
+from repro.obs.export import CHROME_REQUIRED_KEYS, PARENT_SPAN_ATTR
+
+PARAMS = BackboneParams(m_max=25, m_min=5, p=0.1)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return road_network(180, dim=2, seed=23)
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return build_backbone_index(network, PARAMS)
+
+
+@pytest.fixture(scope="module")
+def pairs(network):
+    nodes = sorted(network.nodes())
+    return [
+        (nodes[0], nodes[-1]),
+        (nodes[3], nodes[100]),
+        (nodes[7], nodes[-5]),
+        (nodes[11], nodes[60]),
+    ]
+
+
+@pytest.fixture(scope="module")
+def traced_run(network, index, pairs):
+    """One traced 2-worker batch; dumps, events, and result shared."""
+    tracer = Tracer()
+    events = EventLog()
+    with MPBatchServer(
+        network,
+        index=index,
+        params=PARAMS,
+        workers=2,
+        tracer=tracer,
+        events=events,
+    ) as server:
+        result = server.submit(pairs)
+        dumps = server.trace_dumps()
+        status = server.runtime_status()
+    return {
+        "tracer": tracer,
+        "events": events,
+        "result": result,
+        "dumps": dumps,
+        "status": status,
+        # Post-stop dumps include the spans drained at retirement.
+        "final_dumps": server.trace_dumps(),
+    }
+
+
+class TestMergedTrace:
+    def test_spans_come_from_three_distinct_pids(self, traced_run):
+        by_pid = {d["pid"]: d for d in traced_run["dumps"]}
+        assert len(by_pid) >= 3  # dispatcher + 2 workers
+        assert os.getpid() in by_pid
+        labels = {d["label"] for d in traced_run["dumps"]}
+        assert "dispatcher" in labels
+        assert {"worker-0", "worker-1"} <= labels
+        for dump in traced_run["dumps"]:
+            if dump["label"].startswith("worker-"):
+                assert dump["pid"] != os.getpid()
+                assert dump["spans"], dump["label"]
+
+    def test_worker_spans_link_to_dispatch_spans(self, traced_run):
+        dispatch_ids = set()
+        for dump in traced_run["dumps"]:
+            if dump["label"] != "dispatcher":
+                continue
+            for root in dump["spans"]:
+                for doc, _depth in walk_span_docs(root):
+                    if doc["name"] == "mp.dispatch":
+                        dispatch_ids.add(doc["span_id"])
+        linked = [
+            root
+            for dump in traced_run["dumps"]
+            if dump["label"] != "dispatcher"
+            for root in dump["spans"]
+            if root["name"] == "mp.worker.task"
+        ]
+        assert dispatch_ids and linked
+        for root in linked:
+            assert root["attrs"][PARENT_SPAN_ATTR] in dispatch_ids
+            assert root["attrs"]["trace_id"] == traced_run["tracer"].trace_id
+
+    def test_merge_produces_linked_multi_lane_chrome_trace(self, traced_run):
+        doc = merge_process_traces(traced_run["dumps"])
+        events = doc["traceEvents"]
+        for event in events:
+            for key in CHROME_REQUIRED_KEYS:
+                assert key in event
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len({e["pid"] for e in complete}) >= 3
+        # One flow arrow pair per linked worker task, dispatcher → worker.
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert starts and len(starts) == len(finishes)
+        assert {e["pid"] for e in starts} == {os.getpid()}
+        assert os.getpid() not in {e["pid"] for e in finishes}
+
+    def test_worker_timelines_land_inside_the_batch_span(self, traced_run):
+        doc = merge_process_traces(traced_run["dumps"])
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        batch = next(e for e in complete if e["name"] == "mp.batch")
+        tasks = [e for e in complete if e["name"] == "mp.worker.task"]
+        assert tasks
+        slack_us = 2e6  # generous: only ordering sanity, not precision
+        for task in tasks:
+            assert task["ts"] >= batch["ts"] - slack_us
+            assert (
+                task["ts"] + task["dur"]
+                <= batch["ts"] + batch["dur"] + slack_us
+            )
+
+
+class TestResponseProvenance:
+    def test_responses_stamp_worker_pid_and_trace_id(self, traced_run):
+        worker_pids = {
+            d["pid"]
+            for d in traced_run["dumps"]
+            if d["label"].startswith("worker-")
+        }
+        for response in traced_run["result"].responses:
+            assert response.worker_pid in worker_pids
+            assert response.trace_id == traced_run["tracer"].trace_id
+            assert response.generation == 0
+
+    def test_untraced_responses_still_carry_worker_pid(
+        self, network, index, pairs
+    ):
+        with MPBatchServer(
+            network, index=index, params=PARAMS, workers=2
+        ) as server:
+            result = server.submit(pairs[:2])
+            dumps = server.trace_dumps()
+        assert dumps == []  # tracing off → nothing collected
+        for response in result.responses:
+            assert response.worker_pid is not None
+            assert response.worker_pid != os.getpid()
+            assert response.trace_id is None
+
+
+class TestEventLog:
+    def test_cohort_lifecycle_events_recorded(self, traced_run):
+        kinds = [e.kind for e in traced_run["events"].tail(100)]
+        assert "mp.cohort.spawn" in kinds
+        assert kinds.count("mp.worker.spawn") >= 2
+        assert "mp.cohort.retire" in kinds
+        assert kinds.count("mp.worker.exit") >= 2  # graceful retirement
+
+    def test_spawn_events_carry_worker_identity(self, traced_run):
+        spawns = [
+            e
+            for e in traced_run["events"].tail(100)
+            if e.kind == "mp.worker.spawn"
+        ]
+        assert {e.attrs["worker"] for e in spawns} == {0, 1}
+        for event in spawns:
+            assert event.attrs["pid"] != os.getpid()
+            assert event.attrs["generation"] == 0
+
+    def test_generation_swap_emits_swap_and_lifecycle_events(
+        self, network
+    ):
+        maintainer = MaintainableIndex(network, PARAMS)
+        events = EventLog()
+        nodes = sorted(network.nodes())
+        pairs = [(nodes[0], nodes[-1])]
+        with MPBatchServer(
+            maintainer.graph,
+            maintainer=maintainer,
+            params=PARAMS,
+            workers=2,
+            events=events,
+        ) as server:
+            assert server.submit(pairs).generation == 0
+            u, v, _cost = next(iter(maintainer.graph.edges()))
+            old = maintainer.graph.edge_costs(u, v)[0]
+            maintainer.update_edge_cost(
+                u, v, old, tuple(c * 1.5 for c in old)
+            )
+            assert server.submit(pairs).generation == 1
+        kinds = [e.kind for e in events.tail(200)]
+        begin = kinds.index("mp.generation_swap.begin")
+        end = kinds.index("mp.generation_swap.end")
+        assert begin < end
+        # The swap retires the old cohort and spawns a new one, so
+        # worker lifecycle events must appear between begin and end.
+        between = kinds[begin:end]
+        assert "mp.worker.exit" in between
+        assert "mp.worker.spawn" in between
+        swap_end = next(
+            e
+            for e in events.tail(200)
+            if e.kind == "mp.generation_swap.end"
+        )
+        assert swap_end.attrs["from_generation"] == 0
+        assert swap_end.attrs["generation"] == 1
+
+
+class TestRuntimeStatus:
+    def test_status_reports_liveness_and_lag(self, traced_run):
+        status = traced_run["status"]
+        assert status["workers"] == 2
+        assert status["live_workers"] == 2
+        assert status["generation"] == 0
+        assert status["generation_lag"] == 0
+        assert status["inflight"] == 0
+        assert status["stopped"] is False
+        assert status["segment_bytes"] > 0
+        workers = status["worker_processes"]
+        assert [w["worker"] for w in workers] == [0, 1]
+        for worker in workers:
+            assert worker["alive"] is True
+            assert worker["pid"] != os.getpid()
+
+    def test_stopped_server_keeps_the_last_worker_table(
+        self, network, index
+    ):
+        server = MPBatchServer(
+            network, index=index, params=PARAMS, workers=2
+        )
+        server.start()
+        server.stop()
+        status = server.runtime_status()
+        assert status["stopped"] is True
+        assert status["live_workers"] == 0
+        # The retired cohort's table survives for post-run status
+        # documents, with every worker stamped no-longer-alive.
+        workers = status["worker_processes"]
+        assert [w["worker"] for w in workers] == [0, 1]
+        assert all(w["alive"] is False for w in workers)
+        assert all(w["pid"] is not None for w in workers)
+
+    def test_attach_live_feeds_windows_and_sources(
+        self, network, index, pairs
+    ):
+        live = LiveStatus()
+        with MPBatchServer(
+            network, index=index, params=PARAMS, workers=2
+        ) as server:
+            server.attach_live(live)
+            server.submit(pairs[:2])
+            doc = live.snapshot()
+        assert doc["sources"]["mp"]["live_workers"] == 2
+        assert doc["windows"]["mp.batch_seconds"]["count"] == 1
+        assert doc["windows"]["mp.batch_queries"]["max"] == 2.0
