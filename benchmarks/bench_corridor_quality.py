@@ -1,0 +1,190 @@
+"""Corridor tier — latency vs hypervolume retention across radii.
+
+Sweeps the corridor radius on a fig10-style workload (NY subgraph,
+long-hop random queries) and measures, per radius, the corridor tier's
+speedup over warmed exact serving next to the quality it retains:
+
+* **cold** — first query per pair: pays the backbone sketch, path
+  unpacking, and BFS expansion on top of the restricted search;
+* **warm** — repeat query: the corridor structure is cached, so the
+  restricted search dominates (the steady state under repeats, which
+  is exactly when the planner reaches for the corridor tier);
+* **retention** — degenerate-safe hypervolume ratio against the exact
+  answer for the same pair (:func:`repro.eval.quality_ratio`).
+
+Shape claim: some operating point must give at least a 1.5x median
+warm speedup while retaining at least 0.95 median hypervolume — the
+trade the auto planner's escalation-before-truncation step is built
+on.  Results land in ``BENCH_corridor.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.core import BackboneParams, build_backbone_index
+from repro.eval import format_table, random_queries
+from repro.eval.hypervolume import quality_ratio
+from repro.service import SkylineQueryEngine
+
+from benchmarks.conftest import (
+    SCALED_M_MIN,
+    SCALED_P,
+    record_telemetry,
+    report,
+    scaled_m,
+)
+
+RADII = (1, 2, 3)
+N_QUERIES = 6
+
+
+@pytest.fixture(scope="module")
+def corridor_setup(ny_small, workload_seed):
+    params = BackboneParams(
+        m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    index = build_backbone_index(ny_small, params)
+    queries = [
+        q.as_tuple()
+        for q in random_queries(
+            ny_small, N_QUERIES, seed=workload_seed, min_hops=10
+        )
+    ]
+    return ny_small, index, params, queries
+
+
+def _fresh_engine(graph, index, params, **kwargs) -> SkylineQueryEngine:
+    engine = SkylineQueryEngine(
+        graph, index=index, params=params, exact_node_threshold=0, **kwargs
+    )
+    engine.warm()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def corridor_sweep(corridor_setup):
+    graph, index, params, queries = corridor_setup
+
+    # Exact baseline: warmed engine, cache off, best of a few runs so
+    # speedups measure steady-state search work rather than jitter.
+    engine = _fresh_engine(graph, index, params)
+    exact_seconds: dict[tuple[int, int], float] = {}
+    exact_paths: dict[tuple[int, int], list] = {}
+    for pair in queries:
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            served = engine.query(*pair, mode="exact", use_cache=False)
+            best = min(best, time.perf_counter() - started)
+        exact_seconds[pair] = best
+        exact_paths[pair] = served.paths
+
+    sweep = []
+    for radius in RADII:
+        # A fresh engine per radius: the corridor-structure cache
+        # starts empty, so cold/warm split cleanly.
+        engine = _fresh_engine(
+            graph, index, params, corridor_radius=radius
+        )
+        rows = []
+        for pair in queries:
+            started = time.perf_counter()
+            cold = engine.query(*pair, mode="corridor", use_cache=False)
+            cold_seconds = time.perf_counter() - started
+            warm_seconds = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                warm = engine.query(*pair, mode="corridor", use_cache=False)
+                warm_seconds = min(
+                    warm_seconds, time.perf_counter() - started
+                )
+            retention = quality_ratio(warm.paths, exact_paths[pair])
+            rows.append({
+                "query": list(pair),
+                "exact_seconds": exact_seconds[pair],
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "paths": len(warm.paths),
+                "exact_paths": len(exact_paths[pair]),
+                "hv_retention": retention,
+                "truncated": cold.truncated,
+            })
+        warm_speedups = [
+            r["exact_seconds"] / r["warm_seconds"] for r in rows
+        ]
+        cold_speedups = [
+            r["exact_seconds"] / r["cold_seconds"] for r in rows
+        ]
+        retentions = [r["hv_retention"] for r in rows]
+        sweep.append({
+            "radius": radius,
+            "queries": rows,
+            "median_warm_speedup": statistics.median(warm_speedups),
+            "median_cold_speedup": statistics.median(cold_speedups),
+            "median_hv_retention": statistics.median(retentions),
+            "min_hv_retention": min(retentions),
+        })
+
+    record_telemetry(
+        "corridor",
+        exact_median_seconds=statistics.median(exact_seconds.values()),
+        sweep=sweep,
+    )
+    table_rows = [
+        [
+            point["radius"],
+            f"{point['median_cold_speedup']:.2f}x",
+            f"{point['median_warm_speedup']:.2f}x",
+            f"{point['median_hv_retention']:.4f}",
+            f"{point['min_hv_retention']:.4f}",
+        ]
+        for point in sweep
+    ]
+    report(
+        "corridor_quality",
+        format_table(
+            [
+                "radius",
+                "cold speedup",
+                "warm speedup",
+                "median HV retention",
+                "min HV retention",
+            ],
+            table_rows,
+            title="Corridor tier: speedup vs hypervolume retention",
+        ),
+    )
+    return sweep
+
+
+def test_some_radius_meets_the_planner_trade(corridor_sweep):
+    """Shape claim: >=1.5x median warm speedup at >=0.95 retention."""
+    assert any(
+        point["median_warm_speedup"] >= 1.5
+        and point["median_hv_retention"] >= 0.95
+        for point in corridor_sweep
+    ), [
+        (
+            p["radius"],
+            p["median_warm_speedup"],
+            p["median_hv_retention"],
+        )
+        for p in corridor_sweep
+    ]
+
+
+def test_retention_grows_with_radius(corridor_sweep):
+    """Shape claim: widening the corridor never loses quality (median)."""
+    medians = [p["median_hv_retention"] for p in corridor_sweep]
+    assert all(b >= a - 1e-9 for a, b in zip(medians, medians[1:])), medians
+
+
+def test_retention_never_exceeds_exact(corridor_sweep):
+    """Corridor paths are real paths: retention caps at 1."""
+    for point in corridor_sweep:
+        for row in point["queries"]:
+            assert 0.0 <= row["hv_retention"] <= 1.0

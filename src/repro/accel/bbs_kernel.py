@@ -78,12 +78,18 @@ def flat_skyline_paths(
     seed_with_shortest_paths: bool = True,
     time_budget: float | None = None,
     max_expansions: int | None = None,
+    node_mask: Sequence[bool] | None = None,
+    seed_paths=None,
 ):
     """Exact BBS over the snapshot; mirrors ``_skyline_paths_impl``.
 
     The caller (:func:`repro.search.bbs.skyline_paths`) has already
     validated the endpoints and handled the trivial ``source == target``
-    case; ``graph`` is only consulted for result seeding.
+    case; ``graph`` is only consulted for result seeding.  ``node_mask``
+    is a dense boolean restriction over the snapshot's node space
+    (corridor search); masked-out neighbors are skipped before any cost
+    arithmetic — the same point the python engine applies its
+    membership check — so restricted runs stay bit-identical.
     """
     from repro.search.bbs import SearchStats, SkylineResult
 
@@ -105,6 +111,8 @@ def flat_skyline_paths(
     results = PathSet()
     if seed_with_shortest_paths:
         results.add_all(per_dimension_shortest_paths(graph, source, target))
+    if seed_paths is not None:
+        results.add_all(seed_paths)
     res_costs = results.costs()
     two_d = dim == 2
     three_d = dim == 3
@@ -192,8 +200,11 @@ def flat_skyline_paths(
             continue
 
         for slot in range(indptr[node], indptr[node + 1]):
-            w = cost_tuples[slot]
             neighbor = indices_list[slot]
+            if node_mask is not None and not node_mask[neighbor]:
+                stats.pruned_by_corridor += 1
+                continue
+            w = cost_tuples[slot]
             brow = bound_rows[neighbor]
             # Same association order as the python engine: extend first,
             # then add the bound — (c + w) + b, bit for bit.
@@ -249,8 +260,13 @@ def flat_many_to_many(
     bounds: LowerBoundProvider | None = None,
     time_budget: float | None = None,
     max_expansions: int | None = None,
+    node_mask: Sequence[bool] | None = None,
 ):
-    """m_BBS over the snapshot; mirrors ``_many_to_many_impl``."""
+    """m_BBS over the snapshot; mirrors ``_many_to_many_impl``.
+
+    ``node_mask`` restricts expansion exactly as in
+    :func:`flat_skyline_paths`.
+    """
     from repro.search.bbs import SearchStats
     from repro.search.mbbs import ManyToManyResult, Seed
 
@@ -348,8 +364,11 @@ def flat_many_to_many(
 
         lcost = label.cost
         for slot in range(indptr[node], indptr[node + 1]):
-            w = cost_tuples[slot]
             neighbor = indices_list[slot]
+            if node_mask is not None and not node_mask[neighbor]:
+                stats.pruned_by_corridor += 1
+                continue
+            w = cost_tuples[slot]
             brow = bound_rows[neighbor]
             if brow is None:
                 brow = bound_rows[neighbor] = tuple(

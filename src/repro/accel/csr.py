@@ -174,6 +174,26 @@ class CSRSnapshot:
         """The original node id of a dense id."""
         return int(self.node_ids[dense])
 
+    def node_mask(self, nodes, *, strict: bool = False) -> list[bool]:
+        """A dense boolean mask over this snapshot's node space.
+
+        ``mask[dense_id]`` is True iff the node's *original* id is in
+        ``nodes``.  The restricted flat kernels probe the mask once per
+        CSR slot, so it is a plain python list — scalar list indexing
+        beats any array access at that grain.  Unknown nodes are
+        skipped (they are unreachable in this snapshot anyway) unless
+        ``strict`` is set, in which case they raise
+        :class:`~repro.errors.NodeNotFoundError`.
+        """
+        mask = [False] * self.num_nodes
+        for node in nodes:
+            try:
+                mask[self.dense_of(node)] = True
+            except NodeNotFoundError:
+                if strict:
+                    raise
+        return mask
+
     def adjacency_lists(self, *, reverse: bool = False) -> tuple[list[int], list[int]]:
         """``(indptr, indices)`` as plain python lists (memoized)."""
         cached = self._adj_lists.get(reverse)

@@ -1,0 +1,43 @@
+"""repro.approx — the corridor-restricted approximate serving tier.
+
+The paper's backbone index trades exactness for speed by summarizing
+the network; its serving counterpart so far offered only two tiers:
+``exact`` (BBS over the full graph) and ``approx`` (the backbone
+algorithm, whose quality is fixed by construction parameters).  This
+package adds the middle tier the ROADMAP names — *corridor search with
+quality SLOs*:
+
+* :mod:`repro.approx.corridor` — build a k-hop corridor around the
+  backbone answer's unpacked node sets and run exact BBS restricted to
+  it (ParetoPrep's idea of tightening the explored region a priori,
+  applied on top of the backbone's path sketch).  Corridor results are
+  real original-graph paths, so they can never beat the exact skyline
+  — only under-cover it.
+* :mod:`repro.approx.quality` — score a corridor (or any approximate)
+  result online against the exact tier's contract using the
+  :mod:`repro.eval` hypervolume/RAC/goodness metrics, decide whether a
+  per-query ``quality_target`` is met, and hand the serving layer the
+  evidence it needs to escalate to exact within the remaining budget.
+
+The serving integration lives in :mod:`repro.service.engine`
+(``mode="corridor"``, auto-planner escalation) and is documented in
+``docs/approximation.md``.
+"""
+
+from repro.approx.corridor import Corridor, CorridorKey, build_corridor
+from repro.approx.quality import (
+    QualityReport,
+    quality_ratio,
+    score_paths,
+    structural_report,
+)
+
+__all__ = [
+    "Corridor",
+    "CorridorKey",
+    "QualityReport",
+    "build_corridor",
+    "quality_ratio",
+    "score_paths",
+    "structural_report",
+]

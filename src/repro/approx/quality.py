@@ -1,0 +1,123 @@
+"""Online quality scoring for approximate skyline answers.
+
+The serving layer's exact tier defines the contract an approximation is
+measured against; this module turns the offline evaluation metrics of
+:mod:`repro.eval` (hypervolume, RAC, goodness) into a per-query
+:class:`QualityReport` cheap enough to compute on the serving path:
+
+* With an **exact reference** (the engine finds one in its result cache
+  under the same generation), the report carries the degenerate-safe
+  hypervolume retention (:func:`quality_ratio`), the worst per-dimension
+  RAC, and the paper's goodness score — and ``meets_target`` compares
+  retention against the caller's ``quality_target``.
+* Without one, only **structural** facts are checkable: a non-empty,
+  non-truncated answer passes optimistically (``checked=False`` records
+  that no reference backed the verdict), while an empty or truncated
+  answer fails the target and triggers escalation.
+
+``meets_target`` is what the engine's escalation path consumes: a
+failing report re-runs the exact tier within the remaining time budget
+(see ``docs/approximation.md`` for the full semantics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.eval.hypervolume import quality_ratio
+from repro.eval.metrics import goodness, rac
+from repro.paths.path import Path
+
+# Reports are frozen plain-float dataclasses on purpose: they ride on
+# QueryResponse objects that multi-process workers pickle back to the
+# dispatcher with stats stripped but quality kept.
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """How one approximate answer measures against the exact contract."""
+
+    # HV(approx) / HV(exact) on a shared reference box, in [0, 1];
+    # None when no reference was available.
+    hypervolume_ratio: float | None = None
+    # Worst per-dimension ratio-of-average-cost; None without reference
+    # or when either set is empty.
+    rac_max: float | None = None
+    # The paper's goodness score; None under the same conditions.
+    goodness: float | None = None
+    # The SLO this answer was held to (None = no SLO).
+    target: float | None = None
+    # Verdict the escalation path consumes.
+    meets_target: bool = True
+    # "exact_cached" when a cached exact answer backed the scoring,
+    # "none" for structural-only reports.
+    reference: str = "none"
+    # True iff a real reference backed the verdict.
+    checked: bool = False
+
+    def as_dict(self) -> dict:
+        """Plain-data rendering for JSON response lines and logs."""
+        return {
+            "hypervolume_ratio": self.hypervolume_ratio,
+            "rac_max": self.rac_max,
+            "goodness": self.goodness,
+            "target": self.target,
+            "meets_target": self.meets_target,
+            "reference": self.reference,
+            "checked": self.checked,
+        }
+
+
+def score_paths(
+    approximate: Sequence[Path],
+    exact: Sequence[Path],
+    *,
+    target: float | None = None,
+) -> QualityReport:
+    """Score an approximate answer against an exact reference answer.
+
+    All three metrics are degenerate-safe here: empty sets and
+    zero-volume reference boxes produce defined values (see
+    :func:`repro.eval.hypervolume.quality_ratio`) or None instead of
+    raising, because online scoring must never take the serving path
+    down.
+    """
+    ratio = quality_ratio(approximate, exact)
+    rac_max: float | None = None
+    goodness_score: float | None = None
+    if approximate and exact:
+        rac_max = max(rac(approximate, exact))
+        goodness_score = goodness(approximate, exact)
+    return QualityReport(
+        hypervolume_ratio=ratio,
+        rac_max=rac_max,
+        goodness=goodness_score,
+        target=target,
+        meets_target=target is None or ratio >= target,
+        reference="exact_cached",
+        checked=True,
+    )
+
+
+def structural_report(
+    approximate: Sequence[Path],
+    *,
+    target: float | None = None,
+    truncated: bool = False,
+) -> QualityReport:
+    """The report when no exact reference is available.
+
+    Only structural failure is detectable: an empty answer, or one a
+    budget truncated, cannot meet any SLO and must escalate.  A
+    non-empty complete answer passes *optimistically* — ``checked``
+    stays False so consumers can tell an unverified pass from a scored
+    one.
+    """
+    structurally_sound = bool(approximate) and not truncated
+    return QualityReport(
+        target=target,
+        meets_target=target is None or structurally_sound,
+        reference="none",
+        checked=False,
+    )

@@ -259,6 +259,10 @@ def _print_response_lines(responses) -> None:
             doc["worker_pid"] = response.worker_pid
         if response.trace_id is not None:
             doc["trace_id"] = response.trace_id
+        if response.escalated:
+            doc["escalated"] = True
+        if response.quality is not None:
+            doc["quality"] = response.quality.as_dict()
         print(json.dumps(doc))
 
 
@@ -322,6 +326,8 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs,
         workers=args.workers,
         cache_size=args.cache_size,
         default_time_budget=args.budget,
+        corridor_radius=args.corridor_radius,
+        quality_target=args.quality_target,
         tracer=tracer,
         events=events,
     )
@@ -456,6 +462,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         params=_params_from(args),
         cache_size=args.cache_size,
         default_time_budget=args.budget,
+        corridor_radius=args.corridor_radius,
+        quality_target=args.quality_target,
         tracer=tracer,
         events=events,
     )
@@ -796,6 +804,7 @@ def _qa_config(args: argparse.Namespace):
         check_engine=not args.no_engine,
         check_updates=not args.no_updates,
         check_metamorphic=not args.no_metamorphic,
+        check_corridor=getattr(args, "corridor", False),
     )
 
 
@@ -979,6 +988,27 @@ def cmd_qa_fuzz(args: argparse.Namespace) -> int:
     return 1 if total else 0
 
 
+def cmd_qa_quality(args: argparse.Namespace) -> int:
+    from repro.qa import run_quality_tripwire
+
+    started = time.perf_counter()
+    report = run_quality_tripwire(
+        range(args.start, args.start + args.seeds),
+        radius=args.radius,
+        n_nodes=args.nodes,
+        n_queries=args.queries,
+        on_case=lambda case: _print_case_report(case, verbose=args.verbose),
+    )
+    elapsed = time.perf_counter() - started
+    total = len(report.discrepancies)
+    print(
+        f"{len(report.cases)} cases, "
+        f"{sum(c.queries_checked for c in report.cases)} queries, "
+        f"{total} discrepancies in {fmt_seconds(elapsed)}"
+    )
+    return 1 if total else 0
+
+
 def cmd_qa_replay(args: argparse.Namespace) -> int:
     from repro.qa import CaseSpec, run_case
 
@@ -1048,6 +1078,8 @@ def _add_qa_case_options(parser: argparse.ArgumentParser) -> None:
                         help="skip the maintenance-update variants")
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip swap/permutation/scaling relations")
+    parser.add_argument("--corridor", action="store_true",
+                        help="also run the corridor-tier engine variant")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1164,12 +1196,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --engine mp: re-serve the batch "
                             "single-process and require bit-identical "
                             "answers (exit code 4 on mismatch)")
-    serve.add_argument("--mode", choices=["auto", "exact", "approx"],
+    serve.add_argument("--mode",
+                       choices=["auto", "exact", "approx", "corridor"],
                        default="auto",
                        help="planner mode (default auto)")
     serve.add_argument("--budget", type=float, default=None,
                        help="per-query time budget in seconds "
                             "(partial results are flagged truncated)")
+    serve.add_argument("--corridor-radius", type=int, default=2,
+                       dest="corridor_radius",
+                       help="k-hop corridor width around the backbone "
+                            "answer for mode=corridor (default 2)")
+    serve.add_argument("--quality-target", type=float, default=None,
+                       dest="quality_target",
+                       help="minimum hypervolume retention for corridor "
+                            "answers; a provably-missed target escalates "
+                            "to exact within the remaining budget")
     serve.add_argument("--cache-size", type=int, default=1024,
                        dest="cache_size",
                        help="LRU result-cache capacity (default 1024)")
@@ -1363,6 +1405,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print every discrepancy as cases finish")
     _add_qa_case_options(qa_mpload)
     qa_mpload.set_defaults(handler=cmd_qa_mpload)
+
+    qa_quality = qa_sub.add_parser(
+        "quality",
+        help="corridor quality tripwire: answers valid, non-dominated, "
+        "dominance-consistent with exact, never reported better than "
+        "exact",
+    )
+    qa_quality.add_argument("--seeds", type=int, default=20,
+                            help="number of seeded cases (default 20)")
+    qa_quality.add_argument("--start", type=int, default=0,
+                            help="first seed (default 0)")
+    qa_quality.add_argument("--radius", type=int, default=2,
+                            help="corridor k-hop radius (default 2)")
+    qa_quality.add_argument("--nodes", type=int, default=70,
+                            help="nodes per random network (default 70)")
+    qa_quality.add_argument("--queries", type=int, default=5,
+                            help="queries per case (default 5)")
+    qa_quality.add_argument("--verbose", action="store_true",
+                            help="print every discrepancy as cases finish")
+    qa_quality.set_defaults(handler=cmd_qa_quality)
 
     qa_replay = qa_sub.add_parser(
         "replay", help="re-run one seeded case with full detail"

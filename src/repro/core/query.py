@@ -71,13 +71,19 @@ class QueryResult:
     search finished: the paths are the best partial skyline found so
     far rather than the full approximate answer.  ``planner_mode``
     records which strategy produced the result ("approx" for the
-    backbone algorithm; the service layer also sets "exact").
+    backbone algorithm; the service layer also sets "exact" and
+    "corridor").  ``quality`` carries the corridor tier's online
+    :class:`~repro.approx.quality.QualityReport` (None elsewhere) and
+    ``escalated`` marks an answer re-served by the exact tier after a
+    missed quality target.
     """
 
     paths: list[Path] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     truncated: bool = False
     planner_mode: str = "approx"
+    quality: object | None = None
+    escalated: bool = False
 
     def __len__(self) -> int:
         return len(self.paths)

@@ -2,7 +2,12 @@
 
 from repro.eval.analysis import query_stretch, stretch_vs_height
 from repro.eval.ascii_map import path_overlap, render_network
-from repro.eval.hypervolume import hypervolume, hypervolume_ratio, reference_point
+from repro.eval.hypervolume import (
+    hypervolume,
+    hypervolume_ratio,
+    quality_ratio,
+    reference_point,
+)
 from repro.eval.metrics import cosine_similarity, goodness, rac, set_reduction
 from repro.eval.queries import Query, hop_stratified_queries, random_queries
 from repro.eval.reporting import (
@@ -32,6 +37,7 @@ __all__ = [
     "hypervolume_ratio",
     "hop_stratified_queries",
     "path_overlap",
+    "quality_ratio",
     "query_stretch",
     "rac",
     "reference_point",

@@ -121,3 +121,41 @@ def hypervolume_ratio(
         return 1.0
     approx_volume = hypervolume([p.cost for p in approximate], reference)
     return approx_volume / exact_volume
+
+
+def quality_ratio(
+    approximate: Sequence[Path], exact: Sequence[Path]
+) -> float:
+    """Degenerate-safe hypervolume retention for *online* scoring.
+
+    :func:`hypervolume_ratio` raises on empty inputs because an offline
+    evaluation comparing empty sets is a bug worth surfacing.  The
+    serving layer's per-query quality checks cannot afford that: every
+    degenerate shape must map to a defined retention in [0, 1]:
+
+    * both sets empty — the approximation reproduced the (empty) exact
+      answer exactly: 1.0;
+    * approximate empty, exact not — total coverage loss: 0.0;
+    * exact empty, approximate not — nothing to fall short of: 1.0
+      (dominance consistency is the QA tripwire's job, not this
+      ratio's);
+    * zero-volume reference box (single point, or every point on the
+      box boundary) — the box cannot discriminate: 1.0.
+
+    The result is clamped to [0, 1]: approximate paths are real paths,
+    so any excess over 1 is float noise, and online consumers compare
+    the value against SLO targets where noise above 1 would mask a
+    miss of a ``>= 1.0`` target.
+    """
+    if not approximate and not exact:
+        return 1.0
+    if not approximate:
+        return 0.0
+    if not exact:
+        return 1.0
+    reference = reference_point(approximate, exact)
+    exact_volume = hypervolume([p.cost for p in exact], reference)
+    if exact_volume <= 0:
+        return 1.0
+    approx_volume = hypervolume([p.cost for p in approximate], reference)
+    return max(0.0, min(1.0, approx_volume / exact_volume))

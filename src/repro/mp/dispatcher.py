@@ -207,6 +207,10 @@ class MPBatchServer:
         at once.  Defaults to ``4 * workers``.
     cache_size / exact_node_threshold / default_time_budget:
         Forwarded to every worker engine (and the parent engine).
+    corridor_radius / quality_target:
+        Corridor-tier knobs (see :class:`SkylineQueryEngine`),
+        forwarded to every worker engine so ``mode="corridor"`` and
+        planner escalation behave identically in- and out-of-process.
     metrics:
         The parent registry worker metrics roll up into; created on
         demand.
@@ -224,6 +228,8 @@ class MPBatchServer:
         cache_size: int = 1024,
         exact_node_threshold: int = 400,
         default_time_budget: float | None = None,
+        corridor_radius: int = 2,
+        quality_target: float | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         events: EventLog | None = None,
@@ -245,6 +251,8 @@ class MPBatchServer:
             cache_size=cache_size,
             exact_node_threshold=exact_node_threshold,
             default_time_budget=default_time_budget,
+            corridor_radius=corridor_radius,
+            quality_target=quality_target,
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._engine = SkylineQueryEngine(
@@ -255,6 +263,8 @@ class MPBatchServer:
             cache_size=0,  # the parent engine only plans; workers serve
             exact_node_threshold=exact_node_threshold,
             default_time_budget=default_time_budget,
+            corridor_radius=corridor_radius,
+            quality_target=quality_target,
             engine="flat",
         )
         self._maintainer = maintainer
@@ -503,7 +513,10 @@ class MPBatchServer:
             by_source: dict[int, list[int]] = {}
             singles: list[QueryPair] = []
             for source, target in positions:
-                if self._engine.plan(source, target, mode) == "approx":
+                plan = self._engine.plan(
+                    source, target, mode, time_budget=time_budget
+                )
+                if plan == "approx":
                     by_source.setdefault(source, []).append(target)
                 else:
                     singles.append((source, target))

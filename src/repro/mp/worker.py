@@ -68,6 +68,8 @@ class WorkerConfig:
     cache_size: int = 1024
     exact_node_threshold: int = 400
     default_time_budget: float | None = None
+    corridor_radius: int = 2
+    quality_target: float | None = None
     # When True each worker runs a local enabled tracer and ships span
     # dumps back with every reply (set per cohort at spawn time).
     trace: bool = False
@@ -87,6 +89,8 @@ def build_worker_engine(graph, index, landmarks, shared, generation, config):
         cache_size=config.cache_size,
         exact_node_threshold=config.exact_node_threshold,
         default_time_budget=config.default_time_budget,
+        corridor_radius=config.corridor_radius,
+        quality_target=config.quality_target,
         engine="flat",
     )
     # Install the shared state instead of letting the engine rebuild

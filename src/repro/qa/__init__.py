@@ -19,7 +19,10 @@ package makes that a running check rather than a hope:
   ready-to-paste regression fixtures;
 * :mod:`repro.qa.mp_load` — concurrent-maintenance-under-load checking
   for multi-process serving: every worker response bit-matched against
-  the expected answers of the generation it is stamped with.
+  the expected answers of the generation it is stamped with;
+* :mod:`repro.qa.quality` — the corridor quality tripwire: corridor
+  answers valid, non-dominated, dominance-consistent with exact, and
+  never *reported* as better than exact.
 
 Exposed on the command line as ``repro qa fuzz`` / ``qa replay`` /
 ``qa shrink``; CI runs a fixed-seed fuzz smoke on every change.
@@ -41,6 +44,11 @@ from repro.qa.invariants import (
     path_errors,
 )
 from repro.qa.mp_load import MPLoadConfig, fuzz_mp, run_mp_case
+from repro.qa.quality import (
+    check_corridor_quality,
+    run_quality_case,
+    run_quality_tripwire,
+)
 from repro.qa.shrink import (
     ShrunkCase,
     emit_fixture,
@@ -61,6 +69,7 @@ __all__ = [
     "apply_updates",
     "approximation_errors",
     "build_case",
+    "check_corridor_quality",
     "cost_skyline_errors",
     "emit_fixture",
     "fuzz",
@@ -70,6 +79,8 @@ __all__ = [
     "path_errors",
     "run_case",
     "run_mp_case",
+    "run_quality_case",
+    "run_quality_tripwire",
     "shrink_case",
     "static_differential_problems",
 ]

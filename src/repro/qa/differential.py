@@ -82,6 +82,10 @@ class QAConfig:
     check_updates: bool = True
     check_metamorphic: bool = True
     check_flat: bool = True
+    # Corridor-tier differential (off by default: the dedicated
+    # quality tripwire in repro.qa.quality is the deep check; this
+    # variant just keeps the serving path honest inside the battery).
+    check_corridor: bool = False
     metamorphic_queries: int = 2
     cache_size: int = 64
 
@@ -326,6 +330,16 @@ def run_case(
                             spec.seed, "cache_identity", "engine_cached",
                             query, "repeat query was not served from cache",
                         )
+                    )
+                if config.check_corridor:
+                    # Corridor answers are real original-graph paths
+                    # (no expansion) and must stay dominance-consistent
+                    # with the exact oracle like any approximation.
+                    corridor = engine.query(source, target, mode="corridor")
+                    _check_answer_set(
+                        report, variant="engine_corridor", graph=graph,
+                        query=query, paths=corridor.paths, exact=exact,
+                        rac_bound=config.rac_bound,
                     )
 
         if config.check_updates and case.updates:

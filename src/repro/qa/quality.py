@@ -1,0 +1,184 @@
+"""The corridor quality tripwire: approximate answers, hard-checked.
+
+The corridor tier (:mod:`repro.approx`) trades exactness for latency,
+so its correctness contract is weaker than the bit-identity checks the
+differential battery enforces elsewhere — but it is still a contract,
+and this module makes every clause executable:
+
+* every corridor path is a valid, correctly-priced original-graph walk
+  between the query endpoints (no shortcut expansion involved — the
+  corridor search runs on the original graph);
+* the corridor answer is mutually non-dominated;
+* it is dominance-consistent with the exact skyline: no corridor path
+  may dominate an exact skyline path beyond float tolerance (corridor
+  paths are real paths, so that would mean the "exact" answer missed
+  a path — a search bug, not approximation loss);
+* measured hypervolume never exceeds the exact answer's under a shared
+  reference point (same reasoning, stated volumetrically);
+* the engine's *reported* online score
+  (:class:`~repro.approx.quality.QualityReport`) stays within [0, 1]
+  and claims the exact reference when one is cached — a reported
+  retention above 1 would mean the serving layer advertises an
+  approximation as better than exact.
+
+Violations are reported through the same
+:class:`~repro.qa.differential.Discrepancy` / ``CaseReport`` /
+``FuzzReport`` shapes as the differential runner, so the CLI
+(``repro qa quality``) and CI consume them identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.eval.hypervolume import hypervolume, reference_point
+from repro.obs.tracer import Tracer, resolve_tracer
+from repro.qa.differential import CaseReport, Discrepancy, FuzzReport
+from repro.qa.invariants import (
+    approximation_errors,
+    non_dominance_errors,
+    path_errors,
+)
+from repro.qa.workload import CaseSpec, build_case, qa_params
+from repro.service.engine import SkylineQueryEngine
+
+# Relative float tolerance for the HV(corridor) <= HV(exact)
+# comparison: both volumes come from the same sweep under the same
+# reference point but sum their slabs in different orders, so the two
+# values can differ by a few ulps on large volumes.  Anything beyond
+# relative rounding is a genuine violation.
+HV_EPS = 1e-9
+
+
+def check_corridor_quality(
+    engine: SkylineQueryEngine,
+    report: CaseReport,
+    queries: Iterable[tuple[int, int]],
+) -> None:
+    """Run the corridor contract over ``queries`` on a warm engine.
+
+    Each query runs exact first (``mode="exact"``, filling the result
+    cache so the corridor answer is scored against a true reference),
+    then corridor.  Violations append to ``report.discrepancies``.
+    """
+    seed = report.spec.seed
+    graph = engine.graph
+    for query in queries:
+        source, target = query
+        exact = engine.query(source, target, mode="exact").paths
+        served = engine.query(source, target, mode="corridor")
+        corridor = served.paths
+        report.queries_checked += 1
+        report.variants_checked += 1
+
+        problems: list[tuple[str, str]] = []
+        for path in corridor:
+            for detail in path_errors(
+                graph, path, source=source, target=target
+            ):
+                problems.append(("validity", detail))
+        for detail in non_dominance_errors(corridor):
+            problems.append(("non_dominance", detail))
+        for detail in approximation_errors(corridor, exact, rac_bound=None):
+            problems.append(("dominance_consistency", detail))
+
+        if corridor and exact:
+            reference = reference_point(corridor, exact)
+            hv_corridor = hypervolume([p.cost for p in corridor], reference)
+            hv_exact = hypervolume([p.cost for p in exact], reference)
+            if hv_corridor > hv_exact + HV_EPS * max(1.0, hv_exact):
+                problems.append((
+                    "hypervolume",
+                    f"HV(corridor)={hv_corridor!r} exceeds "
+                    f"HV(exact)={hv_exact!r}",
+                ))
+        elif corridor and not exact:
+            problems.append((
+                "hypervolume",
+                f"corridor found {len(corridor)} paths where exact found "
+                "none",
+            ))
+
+        quality = served.quality
+        if quality is None:
+            problems.append(
+                ("reported_quality", "corridor response carries no report")
+            )
+        else:
+            ratio = quality.hypervolume_ratio
+            if ratio is not None and not 0.0 <= ratio <= 1.0:
+                problems.append((
+                    "reported_quality",
+                    f"reported hypervolume_ratio {ratio!r} outside [0, 1]",
+                ))
+            if quality.reference != "exact_cached":
+                problems.append((
+                    "reported_quality",
+                    f"scored against {quality.reference!r} although the "
+                    "exact answer was cached",
+                ))
+
+        for check, detail in problems:
+            report.discrepancies.append(
+                Discrepancy(seed, check, "corridor", query, detail)
+            )
+
+
+def run_quality_case(
+    spec: CaseSpec,
+    *,
+    radius: int = 2,
+    tracer: Tracer | None = None,
+) -> CaseReport:
+    """Build one seeded case and run the corridor contract on it."""
+    tracer = resolve_tracer(tracer)
+    report = CaseReport(spec=spec)
+    with tracer.span(
+        "qa.quality.case", seed=spec.seed, style=spec.style, dim=spec.dim
+    ) as span:
+        case = build_case(spec)
+        engine = SkylineQueryEngine(
+            case.graph, params=qa_params(spec), corridor_radius=radius
+        )
+        engine.warm()
+        check_corridor_quality(engine, report, case.queries)
+        if span.enabled:
+            span.set(
+                discrepancies=len(report.discrepancies),
+                queries=report.queries_checked,
+            )
+        span.count("discrepancies", len(report.discrepancies))
+    return report
+
+
+def run_quality_tripwire(
+    seeds: Iterable[int],
+    *,
+    radius: int = 2,
+    n_nodes: int = 70,
+    n_queries: int = 5,
+    tracer: Tracer | None = None,
+    on_case=None,
+) -> FuzzReport:
+    """The corridor quality tripwire over a seed range.
+
+    ``on_case`` is an optional callback invoked with each finished
+    :class:`CaseReport` (the CLI uses it for progress output).
+    """
+    tracer = resolve_tracer(tracer)
+    fuzz_report = FuzzReport()
+    with tracer.span("qa.quality") as span:
+        for seed in seeds:
+            spec = CaseSpec.from_seed(
+                seed, n_nodes=n_nodes, n_queries=n_queries
+            )
+            case_report = run_quality_case(spec, radius=radius, tracer=tracer)
+            fuzz_report.cases.append(case_report)
+            if on_case is not None:
+                on_case(case_report)
+        if span.enabled:
+            span.set(
+                cases=len(fuzz_report.cases),
+                discrepancies=len(fuzz_report.discrepancies),
+            )
+    return fuzz_report

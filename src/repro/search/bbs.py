@@ -42,6 +42,7 @@ class SearchStats:
     pushes: int = 0
     pruned_by_frontier: int = 0
     pruned_by_bound: int = 0
+    pruned_by_corridor: int = 0
     dominance_checks: int = 0
     max_heap_size: int = 0
     frontier_nodes: int = 0
@@ -55,6 +56,7 @@ class SearchStats:
             "pushes": self.pushes,
             "pruned_by_frontier": self.pruned_by_frontier,
             "pruned_by_bound": self.pruned_by_bound,
+            "pruned_by_corridor": self.pruned_by_corridor,
             "dominance_checks": self.dominance_checks,
             "max_heap_size": self.max_heap_size,
             "frontier_nodes": self.frontier_nodes,
@@ -100,6 +102,21 @@ def resolve_search_engine(
     raise QueryError(f"unknown search engine {engine!r}")
 
 
+def restriction_mask(restrict_to, snapshot) -> list[bool]:
+    """A dense boolean node mask over ``snapshot`` for a restriction.
+
+    Objects exposing ``mask_for`` (e.g.
+    :class:`repro.approx.corridor.Corridor`) supply their own memoized
+    mask; any other node collection is materialized here.  Restriction
+    members absent from the snapshot are ignored — they cannot be
+    reached anyway.
+    """
+    mask_for = getattr(restrict_to, "mask_for", None)
+    if mask_for is not None:
+        return mask_for(snapshot)
+    return snapshot.node_mask(restrict_to)
+
+
 def skyline_paths(
     graph: MultiCostGraph,
     source: int,
@@ -112,6 +129,8 @@ def skyline_paths(
     tracer: Tracer | None = None,
     engine: str = "auto",
     snapshot=None,
+    restrict_to=None,
+    seed_paths=None,
 ) -> SkylineResult:
     """Exact skyline paths from ``source`` to ``target`` (Definition 3.2).
 
@@ -123,6 +142,19 @@ def skyline_paths(
     seed_with_shortest_paths:
         Initialize the result set with each dimension's shortest path —
         the cold-start fix of [45] adopted by the paper's BBS.
+    restrict_to:
+        Optional node-set restriction: expansion never pushes a
+        neighbor outside it (anything supporting ``in``, e.g. a set of
+        node ids or a :class:`repro.approx.corridor.Corridor`).  The
+        restriction must contain ``target`` (and normally ``source``)
+        to produce any result; within the restricted subgraph the
+        search stays exact.  Full-graph lower bounds remain admissible
+        under restriction, only looser.
+    seed_paths:
+        Extra paths pre-loaded into the result skyline (e.g. a
+        corridor's unpacked backbone answer).  Each must be a real
+        source-to-target path with an achievable cost; dominated seeds
+        are absorbed by the Pareto frontier.
     time_budget:
         Optional wall-clock limit in seconds.  On expiry the search
         stops and returns the results found so far with
@@ -154,11 +186,20 @@ def skyline_paths(
         engine, snapshot, graph, tracer=tracer
     )
     with tracer.span(
-        "search.bbs", source=source, target=target, engine=resolved
+        "search.bbs",
+        source=source,
+        target=target,
+        engine=resolved,
+        restricted=restrict_to is not None,
     ) as span:
         if resolved == "flat":
             from repro.accel.bbs_kernel import flat_skyline_paths
 
+            node_mask = (
+                restriction_mask(restrict_to, snapshot)
+                if restrict_to is not None
+                else None
+            )
             result = flat_skyline_paths(
                 graph,
                 snapshot,
@@ -168,6 +209,8 @@ def skyline_paths(
                 seed_with_shortest_paths=seed_with_shortest_paths,
                 time_budget=time_budget,
                 max_expansions=max_expansions,
+                node_mask=node_mask,
+                seed_paths=seed_paths,
             )
         else:
             result = _skyline_paths_impl(
@@ -178,6 +221,8 @@ def skyline_paths(
                 seed_with_shortest_paths=seed_with_shortest_paths,
                 time_budget=time_budget,
                 max_expansions=max_expansions,
+                restrict_to=restrict_to,
+                seed_paths=seed_paths,
             )
         if span.enabled:
             span.counters.update(result.stats.as_span_counters())
@@ -196,6 +241,8 @@ def _skyline_paths_impl(
     seed_with_shortest_paths: bool,
     time_budget: float | None,
     max_expansions: int | None,
+    restrict_to=None,
+    seed_paths=None,
 ) -> SkylineResult:
     start_time = time.perf_counter()
     stats = SearchStats()
@@ -211,6 +258,8 @@ def _skyline_paths_impl(
     results = PathSet()
     if seed_with_shortest_paths:
         results.add_all(per_dimension_shortest_paths(graph, source, target))
+    if seed_paths is not None:
+        results.add_all(seed_paths)
 
     frontiers: dict[int, NodeFrontier] = {}
     tie_breaker = itertools.count()
@@ -269,8 +318,16 @@ def _skyline_paths_impl(
 
         # Ascending-id neighbor order keeps the push sequence — and with
         # it equal-cost tie resolution — identical to the flat kernel's
-        # CSR slot order.
+        # CSR slot order.  The restriction check runs before any cost
+        # arithmetic on both engines, so restricted runs stay
+        # bit-identical too; the prune count matches the flat kernel's
+        # per-slot count by charging one prune per parallel edge.
         for neighbor in graph.sorted_neighbors(label.node):
+            if restrict_to is not None and neighbor not in restrict_to:
+                stats.pruned_by_corridor += len(
+                    graph.edge_costs(label.node, neighbor)
+                )
+                continue
             for edge_cost in graph.edge_costs(label.node, neighbor):
                 extended = tuple(
                     c + w for c, w in zip(label.cost, edge_cost)

@@ -68,6 +68,7 @@ def many_to_many_skyline(
     tracer: Tracer | None = None,
     engine: str = "auto",
     snapshot=None,
+    restrict_to=None,
 ) -> ManyToManyResult:
     """Run one best-first skyline search from many seeds to many targets.
 
@@ -78,9 +79,11 @@ def many_to_many_skyline(
     ``tracer`` wraps the search in one ``search.mbbs`` span carrying
     the :class:`~repro.search.bbs.SearchStats` counters.  ``engine``
     and ``snapshot`` select the CSR kernel exactly as in
-    :func:`repro.search.bbs.skyline_paths`.
+    :func:`repro.search.bbs.skyline_paths`; ``restrict_to`` limits
+    expansion to a node set exactly as there (it must contain the
+    targets a caller wants reached).
     """
-    from repro.search.bbs import resolve_search_engine
+    from repro.search.bbs import resolve_search_engine, restriction_mask
 
     seed_list = list(seeds)
     tracer = resolve_tracer(tracer)
@@ -92,10 +95,16 @@ def many_to_many_skyline(
         seeds=len(seed_list),
         targets=len(targets),
         engine=resolved,
+        restricted=restrict_to is not None,
     ) as span:
         if resolved == "flat":
             from repro.accel.bbs_kernel import flat_many_to_many
 
+            node_mask = (
+                restriction_mask(restrict_to, snapshot)
+                if restrict_to is not None
+                else None
+            )
             result = flat_many_to_many(
                 graph,
                 snapshot,
@@ -104,6 +113,7 @@ def many_to_many_skyline(
                 bounds=bounds,
                 time_budget=time_budget,
                 max_expansions=max_expansions,
+                node_mask=node_mask,
             )
         else:
             result = _many_to_many_impl(
@@ -113,6 +123,7 @@ def many_to_many_skyline(
                 bounds=bounds,
                 time_budget=time_budget,
                 max_expansions=max_expansions,
+                restrict_to=restrict_to,
             )
         if span.enabled:
             span.counters.update(result.stats.as_span_counters())
@@ -131,6 +142,7 @@ def _many_to_many_impl(
     bounds: LowerBoundProvider | None,
     time_budget: float | None,
     max_expansions: int | None,
+    restrict_to=None,
 ) -> ManyToManyResult:
     target_set = set(targets)
     for node in target_set:
@@ -196,8 +208,16 @@ def _many_to_many_impl(
             # them — a skyline path may pass one target to reach another.
 
         # Ascending-id order: keeps push order identical to the flat
-        # kernel's CSR slot order (see repro.accel.bbs_kernel).
+        # kernel's CSR slot order (see repro.accel.bbs_kernel).  The
+        # restriction check precedes any cost arithmetic on both
+        # engines; one prune is charged per parallel edge to match the
+        # flat kernel's per-slot count.
         for neighbor in graph.sorted_neighbors(label.node):
+            if restrict_to is not None and neighbor not in restrict_to:
+                stats.pruned_by_corridor += len(
+                    graph.edge_costs(label.node, neighbor)
+                )
+                continue
             for edge_cost in graph.edge_costs(label.node, neighbor):
                 extended = tuple(c + w for c, w in zip(label.cost, edge_cost))
                 push(Label(neighbor, extended, parent=label))

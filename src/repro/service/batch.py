@@ -124,7 +124,8 @@ def execute_batch(
     if group_by_source:
         by_source: dict[int, list[int]] = {}
         for source, target in unique:
-            if engine.plan(source, target, mode) == "approx":
+            plan = engine.plan(source, target, mode, time_budget=time_budget)
+            if plan == "approx":
                 by_source.setdefault(source, []).append(target)
             else:
                 singles.append((source, target))

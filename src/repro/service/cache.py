@@ -1,12 +1,21 @@
 """Thread-safe LRU result cache for the query engine.
 
 Entries are keyed by ``(source, target, mode, generation)``.  The
-generation component is the engine's index generation, bumped whenever
-:mod:`repro.core.maintenance` applies a structural update — a cached
-skyline computed against an old network can therefore never be served
-again, because post-update lookups carry the new generation and simply
-miss.  Stale generations are also purged eagerly on invalidation so
-capacity is not wasted on unreachable entries.
+``mode`` component keeps answer tiers apart: an exact, approximate,
+and corridor answer for the same pair are three distinct entries, so
+warming one tier can never serve its (differently-accurate) answer to
+a caller asking for another.  The generation component is the engine's
+index generation, bumped whenever :mod:`repro.core.maintenance`
+applies a structural update — a cached skyline computed against an old
+network can therefore never be served again, because post-update
+lookups carry the new generation and simply miss.  Stale generations
+are also purged eagerly on invalidation so capacity is not wasted on
+unreachable entries.
+
+The same class backs the engine's corridor-structure cache, whose
+:class:`~repro.approx.corridor.CorridorKey` carries the same named
+``generation`` field, so maintenance invalidation retires stale
+corridors with no special-casing here.
 """
 
 from __future__ import annotations

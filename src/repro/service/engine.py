@@ -7,11 +7,19 @@ over the original graph shared by every exact query, an LRU result
 cache, and a metrics registry.  A small planner picks the execution
 strategy per query:
 
-* ``mode="exact"`` / ``mode="approx"`` — caller-forced strategy.
+* ``mode="exact"`` / ``mode="approx"`` / ``mode="corridor"`` —
+  caller-forced strategy.
 * ``mode="auto"`` — exact BBS when the graph is small enough that
   exactness is cheap, or when source and target share a level-0
-  backbone cluster (the search stays local); the backbone
-  approximation otherwise.
+  backbone cluster (the search stays local); corridor-restricted
+  search when a time budget is set and the per-mode latency history
+  says the backbone tier cannot meet it; the backbone approximation
+  otherwise.
+
+The corridor tier (:mod:`repro.approx`) runs exact BBS restricted to a
+k-hop neighborhood of the backbone answer, scores the result online
+against the exact contract, and — when a ``quality_target`` is set and
+missed — escalates to a full exact run within the remaining budget.
 
 Every query honours a wall-clock budget with graceful degradation: on
 expiry the engine returns the best partial skyline found so far with
@@ -31,6 +39,12 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path as FilePath
 from typing import NamedTuple
 
+from repro.approx.corridor import Corridor, CorridorKey, build_corridor
+from repro.approx.quality import (
+    QualityReport,
+    score_paths,
+    structural_report,
+)
 from repro.core.builder import build_backbone_index
 from repro.core.index import BackboneIndex
 from repro.core.maintenance import MaintainableIndex
@@ -52,7 +66,7 @@ from repro.search.landmark import LandmarkIndex
 from repro.service.cache import ResultCache
 from repro.service.metrics import MetricsRegistry
 
-MODES = ("auto", "exact", "approx")
+MODES = ("auto", "exact", "approx", "corridor")
 
 
 class EngineCacheKey(NamedTuple):
@@ -83,6 +97,16 @@ def engine_cache_key(
 # so "auto" does not pay the approximation error.
 DEFAULT_EXACT_NODE_THRESHOLD = 400
 
+# The auto planner only trusts the per-mode latency history once this
+# many observations back it; before that "auto" never picks corridor.
+PLANNER_MIN_SAMPLES = 3
+
+# Corridors are derived structures, not results: their cache is small,
+# fixed, and independent of the (disableable) result cache so repeated
+# queries between the same endpoints reuse the corridor even when the
+# caller opts out of result caching.
+CORRIDOR_CACHE_SIZE = 128
+
 
 @dataclass
 class QueryResponse:
@@ -102,6 +126,11 @@ class QueryResponse:
     # for in-process serving / tracing off).
     worker_pid: int | None = None
     trace_id: str | None = None
+    # Corridor-tier fields: the online QualityReport the answer was
+    # scored with (None for exact/approx responses) and whether a
+    # missed quality target escalated this answer to the exact tier.
+    quality: QualityReport | None = None
+    escalated: bool = False
 
     def __len__(self) -> int:
         return len(self.paths)
@@ -144,6 +173,15 @@ class SkylineQueryEngine:
         for the original graph and once per index for G_L, amortized
         across every query — while ``"python"`` keeps the dict-based
         loops.  Answers are bit-identical either way.
+    corridor_radius:
+        k-hop expansion around the backbone answer when serving
+        ``mode="corridor"`` (see :mod:`repro.approx.corridor`).
+    quality_target:
+        Per-query SLO for the corridor tier: minimum hypervolume
+        retention against the exact reference.  A corridor answer that
+        provably misses it (or is structurally unsound when no
+        reference exists) escalates to exact within the remaining time
+        budget.  None disables escalation (answers are still scored).
     """
 
     def __init__(
@@ -161,11 +199,17 @@ class SkylineQueryEngine:
         events: EventLog | None = None,
         snapshotter=None,
         engine: str = "auto",
+        corridor_radius: int = 2,
+        quality_target: float | None = None,
     ) -> None:
         if engine not in ("auto", "flat", "python"):
             raise QueryError(
                 f"unknown engine {engine!r} (use 'auto', 'flat' or 'python')"
             )
+        if corridor_radius < 0:
+            raise QueryError("corridor_radius cannot be negative")
+        if quality_target is not None and not 0.0 <= quality_target <= 1.0:
+            raise QueryError("quality_target must be within [0, 1]")
         if maintainer is not None:
             graph = maintainer.graph
             index = maintainer.index
@@ -187,6 +231,9 @@ class SkylineQueryEngine:
         self.default_time_budget = default_time_budget
         self.exact_node_threshold = exact_node_threshold
         self.engine = engine
+        self.corridor_radius = corridor_radius
+        self.quality_target = quality_target
+        self._corridors = ResultCache(CORRIDOR_CACHE_SIZE)
         self._original_landmarks: LandmarkIndex | None = None
         self._csr_original = None  # CSRSnapshot of the served graph
         self._build_lock = threading.Lock()
@@ -355,12 +402,26 @@ class SkylineQueryEngine:
     # planning
     # ------------------------------------------------------------------
 
-    def plan(self, source: int, target: int, mode: str = "auto") -> str:
+    def plan(
+        self,
+        source: int,
+        target: int,
+        mode: str = "auto",
+        *,
+        time_budget: float | None = None,
+    ) -> str:
         """Resolve the execution strategy for one query.
 
         Forced modes pass through.  ``auto`` picks exact BBS for small
         graphs and same-cluster pairs (where the exact search is cheap
-        anyway), otherwise the backbone approximation.
+        anyway).  Otherwise, with an effective time budget (the call's
+        or the engine default) and enough latency history, it compares
+        the budget against the observed p95 of the backbone tier
+        (``engine.query_seconds.approx``): when even the approximation
+        is unlikely to fit, the corridor tier — whose cached corridors
+        amortize the backbone sketch across repeats — is the planner's
+        degradation step before hard truncation.  The backbone
+        approximation remains the default.
         """
         if mode not in MODES:
             raise QueryError(f"unknown query mode {mode!r} (use {MODES})")
@@ -370,6 +431,16 @@ class SkylineQueryEngine:
             return "exact"
         if self._same_cluster(source, target):
             return "exact"
+        budget = (
+            time_budget if time_budget is not None else self.default_time_budget
+        )
+        if budget is not None:
+            history = self.metrics.histogram("engine.query_seconds.approx")
+            if (
+                history.count >= PLANNER_MIN_SAMPLES
+                and history.percentile(0.95) > budget
+            ):
+                return "corridor"
         return "approx"
 
     def _same_cluster(self, source: int, target: int) -> bool:
@@ -447,7 +518,7 @@ class SkylineQueryEngine:
             for target in targets:
                 if target in answers or target in approx_targets:
                     continue
-                resolved = self.plan(source, target, mode)
+                resolved = self.plan(source, target, mode, time_budget=budget)
                 if resolved == "approx":
                     cached = self._cache_lookup(
                         source, target, "approx", use_cache
@@ -457,6 +528,10 @@ class SkylineQueryEngine:
                         answers[target] = cached
                     else:
                         approx_targets.append(target)
+                elif resolved == "corridor":
+                    answers[target] = self._serve_corridor(
+                        source, target, budget, use_cache, tracer
+                    )
                 else:
                     answers[target] = self._serve_exact(
                         source, target, budget, use_cache, tracer
@@ -530,6 +605,164 @@ class SkylineQueryEngine:
             stats=outcome.stats,
         )
         return self._record(response, use_cache)
+
+    def _serve_corridor(
+        self,
+        source: int,
+        target: int,
+        budget: float | None,
+        use_cache: bool,
+        tracer: Tracer | None = None,
+    ) -> QueryResponse:
+        """The corridor tier: restricted exact BBS, scored, escalating.
+
+        The corridor (backbone sketch + k-hop expansion) is built once
+        per (source, target, radius, generation) and reused across
+        calls; the restricted search then spends whatever the budget
+        has left.  The answer is scored against the cached exact
+        reference when one exists; with a ``quality_target`` set, a
+        provably-missed target re-runs the exact tier in the remaining
+        budget and serves its answer instead (``escalated=True``).
+        """
+        cached = self._cache_lookup(source, target, "corridor", use_cache)
+        if cached is not None:
+            return cached
+        generation = self._generation
+        started = time.perf_counter()
+        deadline = started + budget if budget is not None else None
+        corridor = self._corridor_for(source, target, budget, tracer)
+        remaining = (
+            deadline - time.perf_counter() if deadline is not None else None
+        )
+        landmarks = self._original_landmarks
+        bounds = (
+            LandmarkLowerBounds(landmarks, [target])
+            if landmarks is not None
+            else ExactBounds(self._graph, [target])
+        )
+        snapshot = self._original_snapshot()
+        outcome = skyline_paths(
+            self._graph,
+            source,
+            target,
+            bounds=bounds,
+            time_budget=remaining,
+            tracer=tracer,
+            engine="flat" if snapshot is not None else "python",
+            snapshot=snapshot,
+            restrict_to=corridor,
+            # The corridor's unpacked backbone paths replace the
+            # per-dimension shortest-path seeding: they stay inside the
+            # corridor, cost nothing to compute here, and guarantee the
+            # answer dominates-or-equals the backbone tier's.
+            seed_with_shortest_paths=False,
+            seed_paths=corridor.seed_paths,
+        )
+        truncated = outcome.stats.timed_out or corridor.backbone_truncated
+        quality = self._score_corridor(
+            source, target, outcome.paths, generation, truncated, use_cache
+        )
+        response = QueryResponse(
+            source=source,
+            target=target,
+            mode="corridor",
+            paths=outcome.paths,
+            truncated=truncated,
+            elapsed_seconds=time.perf_counter() - started,
+            generation=generation,
+            stats=outcome.stats,
+            quality=quality,
+        )
+        if self.quality_target is not None and not quality.meets_target:
+            remaining = (
+                deadline - time.perf_counter() if deadline is not None else None
+            )
+            if remaining is None or remaining > 0:
+                self.metrics.increment("engine.escalations")
+                exact = self._serve_exact(
+                    source, target, remaining, use_cache, tracer
+                )
+                # The escalated answer is served (and cached) under the
+                # corridor mode key, carrying the failed report as the
+                # audit trail for why the exact tier ran.
+                response = replace(
+                    exact,
+                    mode="corridor",
+                    quality=quality,
+                    escalated=True,
+                    cache_hit=False,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+        return self._record(response, use_cache)
+
+    def _corridor_for(
+        self,
+        source: int,
+        target: int,
+        budget: float | None,
+        tracer: Tracer | None,
+    ) -> Corridor:
+        """The (source, target) corridor, built at most once per
+        generation and radius.
+
+        A corridor whose backbone sketch was budget-truncated is *not*
+        cached: it may under-cover the skyline arbitrarily badly, and a
+        later call with a larger budget deserves a full sketch.
+        """
+        key = CorridorKey(
+            source, target, self.corridor_radius, self._generation
+        )
+        corridor = self._corridors.get(key)
+        if corridor is not None:
+            self.metrics.increment("engine.corridor_cache_hits")
+            return corridor
+        index = self.ensure_index()
+        corridor = build_corridor(
+            index,
+            source,
+            target,
+            radius=self.corridor_radius,
+            generation=self._generation,
+            time_budget=budget,
+            tracer=tracer,
+            engine="python" if self.engine == "python" else "flat",
+        )
+        self.metrics.increment("engine.corridor_builds")
+        self.metrics.observe(
+            "engine.corridor_build_seconds", corridor.build_seconds
+        )
+        if not corridor.backbone_truncated:
+            self._corridors.put(key, corridor)
+        return corridor
+
+    def _score_corridor(
+        self,
+        source: int,
+        target: int,
+        paths: list[Path],
+        generation: int,
+        truncated: bool,
+        use_cache: bool,
+    ) -> QualityReport:
+        """Score a corridor answer against the exact-tier contract.
+
+        The reference is the cached exact answer for the same pair and
+        generation, when the cache holds one; otherwise only structural
+        soundness is checkable (see
+        :func:`repro.approx.quality.structural_report`).
+        """
+        reference = None
+        if use_cache:
+            reference = self.cache.get(
+                engine_cache_key(source, target, "exact", generation)
+            )
+        if reference is not None:
+            return score_paths(
+                paths, reference.paths, target=self.quality_target
+            )
+        return structural_report(
+            paths, target=self.quality_target, truncated=truncated
+        )
 
     def _wrap_approx(
         self,
@@ -613,6 +846,7 @@ class SkylineQueryEngine:
         self._original_landmarks = None
         self._csr_original = None
         removed = self.cache.invalidate_generations_below(self._generation)
+        self._corridors.invalidate_generations_below(self._generation)
         self.metrics.increment("engine.generation_bumps")
         resolve_event_log(self.events).emit(
             "engine.cache_invalidation",
@@ -632,6 +866,7 @@ class SkylineQueryEngine:
         self._original_landmarks = None  # distances may have changed
         self._csr_original = None  # topology/costs may have changed
         removed = self.cache.invalidate_generations_below(generation)
+        self._corridors.invalidate_generations_below(generation)
         self.metrics.increment("engine.generation_bumps")
         resolve_event_log(self.events).emit(
             "engine.cache_invalidation",
@@ -684,6 +919,11 @@ class SkylineQueryEngine:
             "engine": self.engine,
             "graph_nodes": self._graph.num_nodes,
             "queries_total": self.metrics.counter("engine.queries").value,
+            "queries_by_mode": {
+                mode: self.metrics.counter(f"engine.queries.{mode}").value
+                for mode in ("exact", "approx", "corridor")
+            },
+            "escalations": self.metrics.counter("engine.escalations").value,
             "cache": self.cache.snapshot(),
         }
 

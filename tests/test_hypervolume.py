@@ -10,6 +10,7 @@ from repro.errors import QueryError
 from repro.eval.hypervolume import (
     hypervolume,
     hypervolume_ratio,
+    quality_ratio,
     reference_point,
 )
 from repro.paths.path import Path
@@ -91,6 +92,48 @@ class TestHypervolumeRatio:
         paths = [Path((0, 1), (1.0, 1.0))]
         with pytest.raises(QueryError):
             hypervolume_ratio([], paths)
+
+
+class TestQualityRatio:
+    """The degenerate-safe variant used on the serving path."""
+
+    def test_matches_strict_ratio_on_regular_inputs(self):
+        exact = [Path((0, 1), (1.0, 3.0)), Path((0, 2), (3.0, 1.0))]
+        approx = [exact[0]]
+        assert quality_ratio(approx, exact) == pytest.approx(
+            hypervolume_ratio(approx, exact)
+        )
+
+    def test_both_empty_is_perfect(self):
+        assert quality_ratio([], []) == 1.0
+
+    def test_empty_approximation_is_zero(self):
+        exact = [Path((0, 1), (1.0, 1.0))]
+        assert quality_ratio([], exact) == 0.0
+
+    def test_empty_exact_is_one(self):
+        approx = [Path((0, 1), (1.0, 1.0))]
+        assert quality_ratio(approx, []) == 1.0
+
+    def test_single_identical_point_is_one(self):
+        # One shared point sits exactly on the reference box corner:
+        # both volumes degenerate to the same margin sliver.
+        paths = [Path((0, 1), (2.0, 2.0))]
+        assert quality_ratio(paths, list(paths)) == pytest.approx(1.0)
+
+    def test_boundary_points_clamp_into_unit_interval(self):
+        # A zero-cost exact path makes the reference box degenerate in
+        # every dimension the exact frontier touches; the ratio must
+        # stay defined and within [0, 1].
+        exact = [Path((0, 1), (0.0, 0.0))]
+        approx = [Path((0, 2), (0.0, 0.0))]
+        ratio = quality_ratio(approx, exact)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_never_exceeds_one(self):
+        exact = [Path((0, 1), (1.0, 3.0)), Path((0, 2), (3.0, 1.0))]
+        approx = exact + [Path((0, 3), (2.0, 2.0))]
+        assert quality_ratio(approx, exact) <= 1.0
 
 
 coords = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)

@@ -268,3 +268,38 @@ class TestQALoad:
             n_updates=2,
         )
         assert report.ok, report.discrepancies
+
+
+class TestCorridorMode:
+    def test_corridor_batch_matches_single_process(
+        self, network, index, workload
+    ):
+        expected = single_process_answers(
+            network, index, workload, mode="corridor"
+        )
+        with MPBatchServer(
+            network, index=index, params=PARAMS, workers=2,
+            quality_target=0.5,
+        ) as server:
+            result = server.submit(workload, mode="corridor")
+        assert result.ok
+        assert answer_sets(result.responses) == expected
+        for response in result.responses:
+            assert response.mode == "corridor"
+            # The quality report survives the IPC round trip even
+            # though stats are stripped.
+            assert response.quality is not None
+            assert response.stats is None
+
+    def test_corridor_knobs_reach_workers(self, network, index):
+        from repro.mp.worker import build_worker_engine
+
+        with MPBatchServer(
+            network, index=index, params=PARAMS, workers=1,
+            corridor_radius=4, quality_target=0.8,
+        ) as server:
+            engine = build_worker_engine(
+                network, index, None, None, 0, server._config
+            )
+            assert engine.corridor_radius == 4
+            assert engine.quality_target == 0.8

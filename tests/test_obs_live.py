@@ -60,6 +60,24 @@ class TestRollingWindow:
         with pytest.raises(ValueError):
             RollingWindow(0.0)
 
+    def test_single_sample_percentiles_are_that_sample(self):
+        window = RollingWindow(60.0)
+        window.observe(7.0, now=1.0)
+        doc = window.summary(now=1.0)
+        assert doc["count"] == 1
+        assert doc["p50"] == doc["p95"] == doc["p99"] == 7.0
+        assert doc["min"] == doc["max"] == doc["mean"] == 7.0
+
+    def test_two_sample_percentiles_use_nearest_rank(self):
+        window = RollingWindow(60.0)
+        window.observe(1.0, now=1.0)
+        window.observe(9.0, now=1.0)
+        doc = window.summary(now=1.0)
+        assert doc["count"] == 2
+        assert doc["p50"] == 1.0  # ceil(0.5 * 2) = 1st of [1, 9]
+        assert doc["p95"] == 9.0
+        assert doc["p99"] == 9.0
+
 
 class TestLiveStatus:
     def test_snapshot_carries_windows_and_sources(self):

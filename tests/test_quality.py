@@ -1,0 +1,88 @@
+"""Tests for online quality reports and the corridor quality tripwire."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.approx.quality import QualityReport, score_paths, structural_report
+from repro.paths.path import Path
+from repro.qa.quality import run_quality_case, run_quality_tripwire
+from repro.qa.workload import CaseSpec
+
+EXACT = [Path((0, 1, 3), (1.0, 3.0)), Path((0, 2, 3), (3.0, 1.0))]
+
+
+class TestScorePaths:
+    def test_identical_answer_scores_perfect(self):
+        report = score_paths(EXACT, EXACT, target=0.95)
+        assert report.hypervolume_ratio == pytest.approx(1.0)
+        assert report.rac_max == pytest.approx(1.0)
+        assert report.meets_target
+        assert report.reference == "exact_cached"
+        assert report.checked
+
+    def test_partial_answer_can_miss_target(self):
+        report = score_paths(EXACT[:1], EXACT, target=0.99)
+        assert report.hypervolume_ratio < 0.99
+        assert not report.meets_target
+
+    def test_no_target_always_meets(self):
+        report = score_paths([], EXACT, target=None)
+        assert report.hypervolume_ratio == 0.0
+        assert report.meets_target
+
+    def test_empty_sets_do_not_raise(self):
+        report = score_paths([], [], target=0.5)
+        assert report.hypervolume_ratio == 1.0
+        assert report.rac_max is None and report.goodness is None
+
+    def test_report_is_picklable(self):
+        # Reports ride on QueryResponse objects shipped from mp workers.
+        report = score_paths(EXACT, EXACT, target=0.9)
+        clone = pickle.loads(pickle.dumps(report))
+        assert clone == report
+
+    def test_as_dict_round_trips_fields(self):
+        report = score_paths(EXACT[:1], EXACT, target=0.9)
+        doc = report.as_dict()
+        assert doc["target"] == 0.9
+        assert doc["reference"] == "exact_cached"
+        assert doc["meets_target"] == report.meets_target
+
+
+class TestStructuralReport:
+    def test_nonempty_passes_optimistically(self):
+        report = structural_report(EXACT, target=0.95)
+        assert report.meets_target
+        assert not report.checked
+        assert report.reference == "none"
+        assert report.hypervolume_ratio is None
+
+    def test_empty_answer_fails_target(self):
+        assert not structural_report([], target=0.95).meets_target
+
+    def test_truncated_answer_fails_target(self):
+        report = structural_report(EXACT, target=0.95, truncated=True)
+        assert not report.meets_target
+
+    def test_no_target_never_fails(self):
+        assert structural_report([], target=None).meets_target
+
+
+class TestQualityTripwire:
+    def test_seeded_case_is_clean(self):
+        report = run_quality_case(CaseSpec.from_seed(0, n_queries=3))
+        assert report.ok, [str(d) for d in report.discrepancies]
+        assert report.queries_checked == 3
+
+    def test_tripwire_aggregates_cases(self):
+        report = run_quality_tripwire(range(2), n_queries=2)
+        assert len(report.cases) == 2
+        assert report.ok, [str(d) for d in report.discrepancies]
+
+    def test_callback_sees_every_case(self):
+        seen = []
+        run_quality_tripwire(range(2), n_queries=1, on_case=seen.append)
+        assert [c.spec.seed for c in seen] == [0, 1]

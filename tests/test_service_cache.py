@@ -291,3 +291,44 @@ class TestConcurrency:
             thread.join()
         assert not errors
         assert engine.cache.stats.hits > 0
+
+
+class TestModeDistinctKeys:
+    """Warming one serving tier must never answer for another.
+
+    This is the regression the ``mode`` key component exists for: a
+    corridor answer is approximate, so serving it from cache to an
+    ``exact`` caller (or vice versa) would silently change the
+    accuracy contract of the response.
+    """
+
+    @pytest.fixture()
+    def engine(self):
+        graph = road_network(200, dim=2, seed=31)
+        params = BackboneParams(m_max=25, m_min=5, p=0.1)
+        return SkylineQueryEngine(
+            graph, params=params, exact_node_threshold=0
+        )
+
+    def test_warm_corridor_then_exact_misses_cache(self, engine):
+        nodes = sorted(engine.graph.nodes())
+        s, t = nodes[0], nodes[-1]
+        corridor = engine.query(s, t, mode="corridor")
+        assert not corridor.cache_hit
+        exact = engine.query(s, t, mode="exact")
+        assert not exact.cache_hit
+        assert exact.mode == "exact"
+        # And the reverse: the exact warm-up does not satisfy corridor.
+        corridor_again = engine.query(s, t, mode="corridor")
+        assert corridor_again.cache_hit
+        assert corridor_again.mode == "corridor"
+
+    def test_all_modes_coexist_in_cache(self, engine):
+        nodes = sorted(engine.graph.nodes())
+        s, t = nodes[0], nodes[-1]
+        for mode in ("exact", "approx", "corridor"):
+            engine.query(s, t, mode=mode)
+        for mode in ("exact", "approx", "corridor"):
+            served = engine.query(s, t, mode=mode)
+            assert served.cache_hit, mode
+            assert served.mode == mode

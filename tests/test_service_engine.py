@@ -247,3 +247,151 @@ class TestMetrics:
         text = engine.metrics.to_text()
         assert "engine.queries 1" in text
         assert 'quantile="0.95"' in text
+
+
+class TestCorridorServing:
+    def test_corridor_answers_are_valid_and_scored(self, engine, network):
+        from repro.qa.invariants import (
+            approximation_errors,
+            non_dominance_errors,
+            path_errors,
+        )
+
+        s, t = pair(network)
+        exact = engine.query(s, t, mode="exact")
+        served = engine.query(s, t, mode="corridor")
+        assert served.mode == "corridor"
+        assert served.paths
+        for path in served.paths:
+            assert not path_errors(network, path, source=s, target=t)
+        assert not non_dominance_errors(served.paths)
+        assert not approximation_errors(
+            served.paths, exact.paths, rac_bound=None
+        )
+        # Scored against the cached exact answer from the query above.
+        assert served.quality is not None
+        assert served.quality.reference == "exact_cached"
+        assert served.quality.checked
+        assert 0.0 <= served.quality.hypervolume_ratio <= 1.0
+
+    def test_without_reference_report_is_structural(self, engine, network):
+        s, t = pair(network)
+        served = engine.query(s, t, mode="corridor")
+        assert served.quality is not None
+        assert served.quality.reference == "none"
+        assert not served.quality.checked
+
+    def test_corridor_responses_are_cached_per_mode(self, engine, network):
+        s, t = pair(network)
+        first = engine.query(s, t, mode="corridor")
+        again = engine.query(s, t, mode="corridor")
+        assert not first.cache_hit and again.cache_hit
+        assert [p.cost for p in again.paths] == [
+            p.cost for p in first.paths
+        ]
+
+    def test_corridor_structure_cache_reused(self, engine, network):
+        s, t = pair(network)
+        engine.query(s, t, mode="corridor", use_cache=False)
+        engine.query(s, t, mode="corridor", use_cache=False)
+        assert engine.metrics.counter("engine.corridor_builds").value == 1
+        assert engine.metrics.counter("engine.corridor_cache_hits").value == 1
+
+    def test_generation_bump_retires_corridors(self, engine, network):
+        s, t = pair(network)
+        engine.query(s, t, mode="corridor", use_cache=False)
+        engine.bump_generation()
+        engine.query(s, t, mode="corridor", use_cache=False)
+        assert engine.metrics.counter("engine.corridor_builds").value == 2
+
+    def test_missed_target_escalates_to_exact(self, network, index):
+        from repro.paths.path import Path
+        from repro.service.engine import (
+            QueryResponse,
+            engine_cache_key,
+        )
+
+        engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=0, quality_target=0.99,
+        )
+        s, t = pair(network)
+        # Plant an unbeatable exact reference: the corridor answer's
+        # retention against it is provably below any target, forcing
+        # the escalation path (which then serves this same cached
+        # "exact" answer).
+        planted = QueryResponse(
+            source=s, target=t, mode="exact",
+            paths=[Path((s, t), (1e-9, 1e-9))],
+        )
+        engine.cache.put(engine_cache_key(s, t, "exact", 0), planted)
+        served = engine.query(s, t, mode="corridor")
+        assert served.escalated
+        assert served.mode == "corridor"
+        assert not served.quality.meets_target
+        assert [p.cost for p in served.paths] == [(1e-9, 1e-9)]
+        assert engine.metrics.counter("engine.escalations").value == 1
+
+    def test_met_target_does_not_escalate(self, network, index):
+        engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=0, quality_target=0.0,
+        )
+        s, t = pair(network)
+        served = engine.query(s, t, mode="corridor")
+        assert not served.escalated
+        assert engine.metrics.counter("engine.escalations").value == 0
+
+    def test_invalid_corridor_knobs_rejected(self, network, index):
+        with pytest.raises(QueryError):
+            SkylineQueryEngine(network, index=index, corridor_radius=-1)
+        with pytest.raises(QueryError):
+            SkylineQueryEngine(network, index=index, quality_target=1.5)
+
+    def test_runtime_status_counts_modes_and_escalations(
+        self, engine, network
+    ):
+        s, t = pair(network)
+        engine.query(s, t, mode="exact")
+        engine.query(s, t, mode="approx")
+        engine.query(s, t, mode="corridor")
+        status = engine.runtime_status()
+        assert status["queries_by_mode"] == {
+            "exact": 1, "approx": 1, "corridor": 1,
+        }
+        assert status["escalations"] == 0
+
+
+class TestCorridorPlanner:
+    def test_auto_prefers_corridor_when_approx_misses_budget(
+        self, engine, network
+    ):
+        s, t = pair(network)
+        assert engine.plan(s, t, "auto", time_budget=0.001) == "approx"
+        for _ in range(3):
+            engine.metrics.observe("engine.query_seconds.approx", 10.0)
+        assert engine.plan(s, t, "auto", time_budget=0.001) == "corridor"
+        # A budget the history comfortably fits keeps the default tier.
+        assert engine.plan(s, t, "auto", time_budget=100.0) == "approx"
+
+    def test_no_budget_never_plans_corridor(self, engine, network):
+        s, t = pair(network)
+        for _ in range(5):
+            engine.metrics.observe("engine.query_seconds.approx", 10.0)
+        assert engine.plan(s, t, "auto") == "approx"
+
+    def test_planner_needs_minimum_history(self, engine, network):
+        s, t = pair(network)
+        for _ in range(2):
+            engine.metrics.observe("engine.query_seconds.approx", 10.0)
+        assert engine.plan(s, t, "auto", time_budget=0.001) == "approx"
+
+    def test_auto_query_serves_corridor_under_tight_budget(
+        self, engine, network
+    ):
+        s, t = pair(network)
+        for _ in range(3):
+            engine.metrics.observe("engine.query_seconds.approx", 10.0)
+        served = engine.query(s, t, time_budget=1.0)
+        assert served.mode == "corridor"
+        assert served.paths
