@@ -158,6 +158,143 @@ def test_fig10_flat_vs_python(ny_small, workload_seed):
     )
 
 
+def test_fig10_batch_vs_python(ny_large, workload_seed):
+    """Engine A/B: the fused serving-batch kernel vs per-query serving.
+
+    Independent of the quality grid (selectable with ``-k
+    batch_vs_python``) so CI's perf-smoke job can run it alone.  Four
+    engines answer the same NY_15K-stand-in workload: the python loop,
+    the per-query flat and batch kernels, and one
+    :func:`~repro.accel.batch_kernel.fused_skyline_batch` call serving
+    the whole workload as a serving batch.  Rounds interleave the
+    engines so machine drift hits all of them equally.  Fused answers
+    must be answer-set-equal to flat (the batch tier's contract — the
+    workload's continuous costs make that plain equality of sorted
+    (cost, nodes) lists), and the fused mean must beat python — the
+    parity floor; the measured series in ``BENCH_batch.json`` is the
+    reference (fused ~3.5x, flat and per-query batch ~2.2x).
+    """
+    import statistics
+    import time
+
+    from repro.accel.batch_kernel import fused_skyline_batch
+    from repro.accel.csr import CSRSnapshot
+    from repro.eval import fmt_seconds, format_table, random_queries
+    from repro.search import skyline_paths
+
+    queries = random_queries(ny_large, 6, seed=workload_seed, min_hops=10)
+    base_pairs = [(q.source, q.target) for q in queries]
+    snapshot = CSRSnapshot.from_graph(ny_large)
+
+    def answers(results):
+        return [sorted((p.cost, p.nodes) for p in r.paths) for r in results]
+
+    def measure(pairs, rounds):
+        def run_per_query(engine):
+            started = time.perf_counter()
+            results = [
+                skyline_paths(
+                    ny_large,
+                    source,
+                    target,
+                    engine=engine,
+                    snapshot=None if engine == "python" else snapshot,
+                )
+                for source, target in pairs
+            ]
+            return time.perf_counter() - started, results
+
+        def run_fused():
+            started = time.perf_counter()
+            results = fused_skyline_batch(ny_large, snapshot, pairs)
+            return time.perf_counter() - started, results
+
+        # Warm-up (memoized CSR views, imports) doubles as the
+        # equality check: every engine must return the same answers.
+        _, python_results = run_per_query("python")
+        _, flat_results = run_per_query("flat")
+        _, batch_results = run_per_query("batch")
+        _, fused_results = run_fused()
+        assert answers(flat_results) == answers(python_results)
+        assert answers(batch_results) == answers(flat_results)
+        assert answers(fused_results) == answers(flat_results)
+
+        times: dict[str, list[float]] = {
+            "python": [], "flat": [], "batch": [], "fused": [],
+        }
+        for _ in range(rounds):
+            for engine in ("python", "flat", "batch"):
+                elapsed, _ = run_per_query(engine)
+                times[engine].append(elapsed)
+            elapsed, _ = run_fused()
+            times["fused"].append(elapsed)
+        means = {
+            name: statistics.mean(series) for name, series in times.items()
+        }
+        fused_expansions = sum(r.stats.expansions for r in fused_results)
+        telemetry = {
+            "graph": "C9_NY~1200",
+            "queries": len(pairs),
+            "rounds": rounds,
+            "fused_expansions": fused_expansions,
+            "fused_expansions_per_second": fused_expansions / means["fused"],
+            "python_mean_seconds": means["python"],
+            "flat_mean_seconds": means["flat"],
+            "batch_mean_seconds": means["batch"],
+            "fused_mean_seconds": means["fused"],
+            "fused_best_seconds": min(times["fused"]),
+            "flat_speedup": means["python"] / means["flat"],
+            "batch_speedup": means["python"] / means["batch"],
+            "fused_speedup": means["python"] / means["fused"],
+            "fused_best_speedup": min(times["python"]) / min(times["fused"]),
+            "answer_set_equal": True,
+        }
+        return means, times, telemetry
+
+    # Q=6: the fig10 workload itself.  Q=24: the same pairs served as
+    # one (repeating) serving batch — the shape execute_batch fuses —
+    # where the shared traversal amortizes further.
+    means6, times6, tel6 = measure(base_pairs, rounds=5)
+    means24, times24, tel24 = measure(base_pairs * 4, rounds=3)
+
+    rows = []
+    for scale, means, times in (
+        ("Q=6", means6, times6),
+        ("Q=24", means24, times24),
+    ):
+        for name in ("python", "flat", "batch", "fused"):
+            rows.append(
+                [
+                    scale,
+                    name,
+                    fmt_seconds(means[name]),
+                    fmt_seconds(min(times[name])),
+                    f"{means['python'] / means[name]:.2f}x",
+                ]
+            )
+    report(
+        "fig10_batch_vs_python",
+        format_table(
+            ["workload", "engine", "mean", "best", "speed-up"],
+            rows,
+            title=(
+                "Figure 10 extension: fused serving-batch kernel vs "
+                "per-query engines"
+            ),
+        ),
+    )
+    record_telemetry(
+        "batch",
+        fused_vs_python=tel6,
+        fused_vs_python_q24=tel24,
+    )
+    assert means6["fused"] < means6["python"], (
+        f"fused batch kernel must beat python: "
+        f"{means6['fused']:.4f}s >= {means6['python']:.4f}s"
+    )
+    assert means24["fused"] < means24["python"]
+
+
 def test_fig10_bbs_benchmark(benchmark, fig10_report, ny_small):
     """Times the exact BBS baseline on one mid-length query."""
     from repro.eval import random_queries

@@ -1,13 +1,25 @@
-"""Flat array kernels for skyline search.
+"""Flat and batch array kernels for skyline search.
 
 The package freezes a :class:`~repro.graph.mcrn.MultiCostGraph` into an
 immutable CSR snapshot (:mod:`repro.accel.csr`), materializes lower
 bounds into dense matrices (:mod:`repro.accel.bounds`), and runs the
-BBS/m_BBS hot loops over those arrays (:mod:`repro.accel.bbs_kernel`).
-Results are bit-identical to the python engines; only the constant
-factors change.  See ``docs/acceleration.md``.
+BBS/m_BBS hot loops over those arrays.  Two kernel tiers exist:
+
+* :mod:`repro.accel.bbs_kernel` — scalar flat loops, bit-identical to
+  the python engines (only the constant factors change);
+* :mod:`repro.accel.batch_kernel` — bucket-mode numpy vectorization,
+  answer-set-equal to the other engines but with divergent counters
+  and expansion order.
+
+See ``docs/acceleration.md``.
 """
 
+from repro.accel.batch_kernel import (
+    DEFAULT_BUCKET_SIZE,
+    batch_many_to_many,
+    batch_skyline_paths,
+    fused_skyline_batch,
+)
 from repro.accel.bbs_kernel import flat_many_to_many, flat_skyline_paths
 from repro.accel.blob import pack_bytes, pack_nbytes, read_pack, write_pack
 from repro.accel.bounds import (
@@ -19,9 +31,13 @@ from repro.accel.csr import CSRSnapshot
 
 __all__ = [
     "CSRSnapshot",
+    "DEFAULT_BUCKET_SIZE",
+    "batch_many_to_many",
+    "batch_skyline_paths",
     "exact_bound_matrix",
     "flat_many_to_many",
     "flat_skyline_paths",
+    "fused_skyline_batch",
     "landmark_bound_matrix",
     "materialize_bound_matrix",
     "pack_bytes",

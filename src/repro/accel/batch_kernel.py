@@ -1,0 +1,1357 @@
+"""Bucket-mode BBS / m_BBS: numpy-vectorized batch kernels.
+
+The flat kernels of :mod:`repro.accel.bbs_kernel` expand one label at a
+time and deliberately keep numpy out of the per-expansion path — at
+road-network degrees (2–3 out-slots per node) array dispatch on a
+single label loses to plain python.  These kernels change the unit of
+work instead: the heap is popped in *buckets* of the ``bucket_size``
+smallest-key labels, and everything per-label the flat kernel does in
+python runs as a handful of numpy operations over the whole bucket:
+
+* bound projection and result-skyline dominance pruning (one
+  broadcasted ``<=`` against the :class:`VectorParetoSet` mirror);
+* candidate generation over every out-slot of every popped label
+  (the CSR repeat/cumsum gather) plus corridor masking;
+* **per-node frontier admission**, the hottest scalar loop of the flat
+  kernel: each touched node's Pareto frontier is mirrored as a small
+  cost matrix, the matrices of all nodes a bucket touches are
+  concatenated once, and one segment-aligned comparison decides every
+  candidate's dominated-or-equal rejection in a single pass — followed
+  by one deferred, equally vectorized eviction sweep for the rows the
+  admitted candidates strictly dominate.
+
+The result skyline lives in two synchronized containers: the
+authoritative :class:`~repro.paths.frontier.PathSet` (which keeps
+equal-cost alternate paths, as the sequential engines do) and a
+:class:`~repro.paths.vector_frontier.VectorParetoSet` mirror holding
+only the cost front as a contiguous matrix.  The mirror is what the
+bucket prune compares against — one broadcasted ``<=`` per bucket
+instead of one python dominance scan per candidate.  Equal-cost
+duplicates add no pruning power, so the two containers always agree on
+``dominates_candidate``.
+
+Correctness tier — answers equal, counters may differ
+-----------------------------------------------------
+
+Unlike the flat kernels, bucket mode is **not** bit-identical to the
+python engines and does not try to be: popping B labels before any of
+their children can enter the heap reorders expansions, so every counter
+in :class:`~repro.search.bbs.SearchStats` (and the heap tie-breaker
+sequence) diverges.  What is preserved is the *answer set*: the final
+skyline is the Pareto filter of all target-reaching paths found, and
+
+* candidate costs are produced by the same IEEE float64 additions in
+  the same association order (``(c + w) + b``, element-wise — numpy and
+  python scalar float64 addition are the same operation), so every path
+  the two tiers both find has a bit-identical cost vector;
+* pruning differs only in *when* a frontier or the result skyline is
+  consulted, never in what it may prune: every rejection criterion is
+  the sequential one (dominated-or-equal by a node frontier, or an
+  admissible optimistic projection dominated-or-equal by an
+  already-found real path), which can never remove the last witness of
+  a skyline cost;
+* within a bucket, labels are processed in ascending key order and
+  checked against results discovered earlier in the same bucket, so a
+  bucket never expands a label the sequential engine would have pruned
+  by a result found at a smaller key.
+
+Equal-cost alternate paths are the one visible divergence: which of
+several equal-cost witnesses survives depends on expansion order.  The
+qa harness therefore checks batch answers for *path-set equality* on
+tie-free workloads and cost-front equality always
+(:func:`repro.qa.invariants.answer_set_errors`,
+:func:`repro.qa.invariants.cost_skyline_errors`).
+
+The wall-clock budget is checked once per bucket (≤ ``bucket_size``
+pops), a tighter gate than the 512-pop interval of the scalar loops.
+``max_expansions`` is likewise enforced at bucket granularity, so a run
+may overshoot it by at most one bucket.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.accel.bounds import exact_bound_matrix, materialize_bound_matrix
+from repro.accel.csr import CSRSnapshot
+from repro.errors import NodeNotFoundError
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.dominance import dominates, dominates_or_equal
+from repro.paths.frontier import ParetoSet, PathSet
+from repro.paths.path import Path
+from repro.paths.vector_frontier import VectorParetoSet
+from repro.search.bounds import LowerBoundProvider
+from repro.search.dijkstra import per_dimension_shortest_paths
+from repro.search.labels import Label
+
+DEFAULT_BUCKET_SIZE = 64
+
+# The fused many-query kernel amortizes each bucket's numpy passes
+# across every query in the batch, so it wants buckets several times
+# larger than the per-query kernels: on the fig10 serving workload
+# (ny~1200, 6 queries) 256 beats both 128 and 512 by 10-20%.
+FUSED_BUCKET_SIZE = 256
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _BatchFrontier:
+    """Per-node Pareto frontier with a numpy mirror for bulk admission.
+
+    Same semantics as :class:`repro.search.labels.NodeFrontier` — a
+    cost dominated-or-equalled by the frontier is rejected, anything a
+    new cost strictly dominates is evicted, one label per distinct
+    cost — but organized for the bucket pipeline:
+
+    * ``matrix()`` exposes the frontier as a ``k×d`` float64 view of an
+      append-only buffer (amortized doubling), so a whole bucket's
+      rejection test runs as one concatenated comparison with *no*
+      per-bucket rebuild;
+    * ``append`` is scan-free: the vectorized passes
+      (:meth:`_FrontierBatch.reject_mask` against the bucket-start
+      rows, :func:`_intra_bucket_reject` among the bucket's own
+      candidates) have already decided admission, so the scalar loop
+      only records the cost and pushes the heap entry;
+    * eviction is *logical*: a strictly dominated cost is only removed
+      from ``current`` (killing its heap label at pop time) while its
+      buffer row stays.  Leaving dead rows in the rejection matrix is
+      sound by transitivity — a dead row ``D`` was strictly dominated
+      by some live admitted cost ``A``, so any candidate ``c`` with
+      ``D <= c`` also has ``A <= c`` and is rejected by a live row
+      regardless.  This keeps every row index stable forever and makes
+      admission allocation-free;
+    * ``current`` is a set, making the stale-pop check O(1) instead of
+      a list scan.
+    """
+
+    __slots__ = ("tuples", "current", "_buf", "_len")
+
+    def __init__(self, dim: int) -> None:
+        self.tuples: list[tuple[float, ...]] = []
+        self.current: set[tuple[float, ...]] = set()
+        self._buf = np.empty((4, dim), dtype=np.float64)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def matrix(self) -> np.ndarray:
+        return self._buf[: self._len]
+
+    def _push_row(self, cost: tuple[float, ...]) -> None:
+        if self._len == len(self._buf):
+            grown = np.empty(
+                (2 * len(self._buf), self._buf.shape[1]), dtype=np.float64
+            )
+            grown[: self._len] = self._buf
+            self._buf = grown
+        self._buf[self._len] = cost
+        self._len += 1
+        self.tuples.append(cost)
+        self.current.add(cost)
+
+    def try_add(self, cost: tuple[float, ...]) -> bool:
+        """Full scalar admission (source/seed pushes, outside buckets).
+
+        The dominated-or-equal scan may consult dead rows; that is the
+        same transitivity argument as the class note.
+        """
+        for kept in self.tuples:
+            if dominates_or_equal(kept, cost):
+                return False
+        for kept in [k for k in self.current if dominates(cost, k)]:
+            self.current.discard(kept)
+        self._push_row(cost)
+        return True
+
+    def append(self, cost: tuple[float, ...]) -> None:
+        """Record an admission the vectorized passes already decided."""
+        self._push_row(cost)
+
+    def kill_rows(self, rows: list[int]) -> None:
+        """Logically evict rows strictly dominated by this bucket's
+        admitted costs: their heap labels die at pop time, their buffer
+        rows stay (see class note).  When dead rows outnumber live
+        ones the buffer is compacted — safe here because row indices
+        are only ever consumed within the bucket that computed them."""
+        for i in rows:
+            self.current.discard(self.tuples[i])
+        if self._len >= 16 and 2 * len(self.current) < self._len:
+            live = [t for t in self.tuples if t in self.current]
+            self.tuples = live
+            self._len = len(live)
+            if live:
+                self._buf[: self._len] = live
+
+    def is_current(self, cost: tuple[float, ...]) -> bool:
+        return cost in self.current
+
+
+def _seed_paths_from_bounds(
+    snapshot: CSRSnapshot,
+    bound_mat: np.ndarray,
+    src: int,
+    dst: int,
+    node_ids: list[int],
+) -> list[Path]:
+    """Per-dimension shortest paths read off an exact bound matrix.
+
+    The exact reverse-Dijkstra bound matrix already encodes every
+    per-dimension shortest-path tree: from any node ``u``, the next hop
+    of dimension ``k``'s shortest path is the out-slot minimizing
+    ``w_k(u, v) + B[v, k]`` (Bellman optimality), and with positive
+    edge costs ``B[·, k]`` strictly decreases along the walk, so the
+    descent reaches ``dst`` in at most ``n`` hops.  This replaces the
+    three python-dict Dijkstras of
+    :func:`~repro.search.dijkstra.per_dimension_shortest_paths` with a
+    ~path-length walk over arrays — the bound matrix is needed anyway.
+
+    The returned cost vectors accumulate edge costs in walk order with
+    float64 adds, bit-identical to what the search itself would compute
+    for the same walk.  Tie-breaking among equally short walks may
+    differ from the dict Dijkstra — an equal-cost-alternate divergence
+    the batch tier's contract already permits.
+    """
+    dim = snapshot.dim
+    n = snapshot.num_nodes
+    indptr = snapshot.indptr
+    indices = snapshot.indices
+    cost_mat = snapshot.costs
+    paths: list[Path] = []
+    for k in range(dim):
+        if not np.isfinite(bound_mat[src, k]):
+            continue
+        walk = [node_ids[src]]
+        total = np.zeros(dim, dtype=np.float64)
+        u = src
+        for _ in range(n):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            if lo == hi:
+                break
+            weights = cost_mat[lo:hi]
+            slot = int(
+                np.argmin(weights[:, k] + bound_mat[indices[lo:hi], k])
+            )
+            total += weights[slot]
+            u = int(indices[lo + slot])
+            walk.append(node_ids[u])
+            if u == dst:
+                paths.append(Path(walk, tuple(total.tolist())))
+                break
+        # A walk that ran out of hops (possible only with zero-cost
+        # cycles) is dropped: seeds are a pruning aid, never required
+        # for correctness.
+    return paths
+
+
+def _to_original_path(label: Label, node_ids: list[int]) -> Path:
+    """Materialize a dense-id label chain as an original-id path."""
+    nodes = []
+    walker: Label | None = label
+    while walker is not None:
+        nodes.append(node_ids[walker.node])
+        walker = walker.parent
+    nodes.reverse()
+    return Path(nodes, label.cost)
+
+
+def _all_le(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise ``(a <= b).all(axis=1)``, dimension-unrolled.
+
+    At skyline dimensions (2–3) the per-column AND chain beats the
+    generic axis reduction by skipping the ufunc-reduce machinery.
+    """
+    out = a[:, 0] <= b[:, 0]
+    for j in range(1, a.shape[1]):
+        out &= a[:, j] <= b[:, j]
+    return out
+
+
+def _all_eq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise ``(a == b).all(axis=1)``, dimension-unrolled."""
+    out = a[:, 0] == b[:, 0]
+    for j in range(1, a.shape[1]):
+        out &= a[:, j] == b[:, j]
+    return out
+
+
+def _all_finite(a: np.ndarray) -> np.ndarray:
+    """Row-wise ``isfinite(a).all(axis=1)``, dimension-unrolled."""
+    out = np.isfinite(a[:, 0])
+    for j in range(1, a.shape[1]):
+        out &= np.isfinite(a[:, j])
+    return out
+
+
+def _segment_pairs(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-owner segment counts into (owner, within) pair rows.
+
+    The repeat/cumsum gather shared by candidate generation and
+    frontier admission: owner ``i`` contributes ``counts[i]`` rows,
+    each tagged with its index within the segment.
+    """
+    total = int(counts.sum())
+    if not total:
+        return _EMPTY, _EMPTY
+    owner = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        cum - counts, counts
+    )
+    return owner, within
+
+
+def _intra_bucket_reject(nodes_sub: np.ndarray, ext_sub: np.ndarray):
+    """Dominance resolution *among* one bucket's surviving candidates.
+
+    Two candidates landing on the same node in the same bucket
+    interact exactly as sequential pushes would: a strictly dominated
+    cost can never reach the frontier (the dominator evicts it whether
+    it comes earlier or later), and of exactly equal costs only the
+    first — smallest heap key — survives (one label per distinct cost).
+    Rejecting the loser *before* the push loop also saves the wasted
+    heap entry the sequential engines pay for a push that is evicted
+    later in the same bucket.
+
+    Returns a boolean reject mask aligned with ``nodes_sub``.
+    """
+    reject = np.zeros(len(nodes_sub), dtype=bool)
+    if len(nodes_sub) < 2:
+        return reject
+    order = np.argsort(nodes_sub, kind="stable")
+    sorted_nodes = nodes_sub[order]
+    boundary = np.empty(len(sorted_nodes), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_nodes[1:] != sorted_nodes[:-1]
+    seg_id = np.cumsum(boundary) - 1
+    seg_sizes = np.bincount(seg_id)
+    if seg_sizes.max() < 2:
+        return reject
+    # All (candidate, other-candidate) pairs within each node segment.
+    counts = seg_sizes[seg_id]
+    owner, within = _segment_pairs(counts)
+    seg_start = np.concatenate(([0], np.cumsum(seg_sizes)[:-1]))
+    other = seg_start[seg_id[owner]] + within
+    valid = other != owner
+    owner, other = owner[valid], other[valid]
+    mine = ext_sub[order[owner]]
+    theirs = ext_sub[order[other]]
+    dom_or_eq = _all_le(theirs, mine)
+    equal = _all_eq(theirs, mine)
+    # Strict dominators kill regardless of order; exact ties keep the
+    # earlier (smaller-key) candidate.
+    loses = dom_or_eq & (~equal | (other < owner))
+    sorted_reject = np.zeros(len(sorted_nodes), dtype=bool)
+    sorted_reject[owner[loses]] = True
+    reject[order] = sorted_reject
+    return reject
+
+
+def _bucket_candidates(indptr, indices, nodes):
+    """Gather every out-slot of every bucket label, vectorized.
+
+    Returns ``(label_of, slots, cand_nodes)``: for each candidate row,
+    the index of its parent in ``owners``, its CSR slot, and its dense
+    neighbor id.  Empty arrays when no label has out-edges.
+    """
+    starts = indptr[nodes]
+    counts = indptr[nodes + 1] - starts
+    label_of, within = _segment_pairs(counts)
+    if not len(label_of):
+        return _EMPTY, _EMPTY, _EMPTY
+    slots = starts[label_of] + within
+    return label_of, slots, indices[slots]
+
+
+class _FrontierBatch:
+    """One bucket's gathered frontier state for vectorized admission.
+
+    Concatenates the frontier matrices of every node the candidate
+    batch touches (in sorted-unique order) and exposes the two bulk
+    passes over them: ``reject_mask`` (dominated-or-equal rejection for
+    every candidate at once) and ``evict_dominated`` (the deferred
+    eviction sweep for the admitted costs).
+    """
+
+    __slots__ = ("uniq", "uidx", "sizes", "seg_start", "rows", "fronts")
+
+    def __init__(self, frontiers: list, cand_nodes: np.ndarray, dim: int):
+        self.uniq, self.uidx = np.unique(cand_nodes, return_inverse=True)
+        sizes = np.zeros(len(self.uniq), dtype=np.int64)
+        mats = []
+        fronts = []
+        for k, node in enumerate(self.uniq.tolist()):
+            front = frontiers[node]
+            fronts.append(front)
+            if front is not None and len(front):
+                sizes[k] = len(front)
+                mats.append(front.matrix())
+        self.sizes = sizes
+        self.seg_start = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        self.rows = (
+            np.concatenate(mats) if mats else np.empty((0, dim), np.float64)
+        )
+        self.fronts = fronts
+
+    def _pairs(self, positions: np.ndarray):
+        """(owner, frontier-row) pairs for subset positions.
+
+        ``positions`` index into the candidate subset this batch was
+        built over (``cand_nodes[members]`` at construction), not into
+        the full candidate arrays.
+        """
+        uidx = self.uidx[positions]
+        owner, within = _segment_pairs(self.sizes[uidx])
+        if not len(owner):
+            return owner, owner
+        return owner, self.seg_start[uidx[owner]] + within
+
+    def reject_mask(self, ext: np.ndarray) -> np.ndarray:
+        """True where a bucket-start frontier row dominates-or-equals
+        the candidate's extended cost (the ``try_add`` reject rule);
+        one entry per subset row."""
+        reject = np.zeros(len(self.uidx), dtype=bool)
+        owner, rows = self._pairs(np.arange(len(self.uidx), dtype=np.int64))
+        if len(owner):
+            dom = _all_le(self.rows[rows], ext[owner])
+            reject[owner[dom]] = True
+        return reject
+
+    def evict_dominated(self, positions: np.ndarray, ext: np.ndarray) -> None:
+        """Evict every bucket-start row strictly dominated by an
+        admitted cost, grouped per node in one sweep."""
+        owner, rows = self._pairs(positions)
+        if not len(owner):
+            return
+        kept_rows = self.rows[rows]
+        cand = ext[owner]
+        doomed = _all_le(cand, kept_rows) & ~_all_eq(cand, kept_rows)
+        if not doomed.any():
+            return
+        dead = np.unique(rows[doomed])
+        segment = np.searchsorted(self.seg_start, dead, side="right") - 1
+        local = dead - self.seg_start[segment]
+        by_node: dict[int, list[int]] = {}
+        for seg, row in zip(segment.tolist(), local.tolist()):
+            by_node.setdefault(seg, []).append(row)
+        for seg, locals_ in by_node.items():
+            self.fronts[seg].kill_rows(locals_)
+
+
+def batch_skyline_paths(
+    graph: MultiCostGraph,
+    snapshot: CSRSnapshot,
+    source: int,
+    target: int,
+    *,
+    bounds: LowerBoundProvider | None = None,
+    seed_with_shortest_paths: bool = True,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+    node_mask: Sequence[bool] | None = None,
+    seed_paths=None,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+):
+    """Bucket-mode BBS over the snapshot (answer-set-equal tier).
+
+    Same call surface as
+    :func:`repro.accel.bbs_kernel.flat_skyline_paths`; the caller has
+    validated endpoints and handled ``source == target``.  Answers match
+    the flat/python engines as path sets (equal-cost alternates may
+    differ); counters and heap order do not — see the module docstring.
+    """
+    from repro.search.bbs import SearchStats, SkylineResult
+
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    if time_budget is not None and time_budget <= 0:
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return SkylineResult(stats=stats)
+
+    dim = snapshot.dim
+    src = snapshot.dense_of(source)
+    dst = snapshot.dense_of(target)
+    if bounds is None:
+        bound_mat = exact_bound_matrix(snapshot, [dst])
+    else:
+        bound_mat = materialize_bound_matrix(bounds, snapshot)
+
+    results = PathSet()
+    if seed_with_shortest_paths:
+        results.add_all(per_dimension_shortest_paths(graph, source, target))
+    if seed_paths is not None:
+        results.add_all(seed_paths)
+    # Vectorized mirror of the result cost front (equal-cost duplicates
+    # carry no pruning power, so the keep_equal_costs=False semantics
+    # agree with PathSet.dominates_candidate exactly).
+    res_sky: VectorParetoSet[None] = VectorParetoSet(dim)
+    for cost in results.costs():
+        res_sky.add(cost, None)
+
+    indptr = snapshot.indptr.astype(np.int64, copy=False)
+    indices = snapshot.indices.astype(np.int64, copy=False)
+    cost_mat = snapshot.costs
+    node_ids = snapshot.node_ids.tolist()
+    mask_arr = (
+        np.asarray(node_mask, dtype=bool) if node_mask is not None else None
+    )
+
+    frontiers: list[_BatchFrontier | None] = [None] * snapshot.num_nodes
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    # Source push (scalar; mirrors the flat kernel).
+    source_label = Label(src, (0.0,) * dim)
+    source_projected = tuple(
+        c + b for c, b in zip(source_label.cost, bound_mat[src].tolist())
+    )
+    if float("inf") in source_projected:
+        stats.pruned_by_bound += 1
+    else:
+        stats.dominance_checks += 1
+        if res_sky.dominates_candidate(source_projected):
+            stats.pruned_by_result += 1
+        else:
+            frontier = frontiers[src] = _BatchFrontier(dim)
+            frontier.try_add(source_label.cost)
+            stats.pushes += 1
+            heapq.heappush(
+                heap, (sum(source_projected), next(tie_breaker), source_label)
+            )
+            stats.max_heap_size = 1
+
+    while heap:
+        # One clock read per bucket: at most bucket_size pops of
+        # overshoot, tighter than the scalar loops' 512-pop interval.
+        if time_budget is not None and (
+            time.perf_counter() - start_time > time_budget
+        ):
+            stats.timed_out = True
+            break
+        if max_expansions is not None and stats.expansions >= max_expansions:
+            stats.timed_out = True
+            break
+
+        # --- pop a bucket of current labels, smallest keys first ----
+        bucket: list[Label] = []
+        while heap and len(bucket) < bucket_size:
+            _, _, label = heapq.heappop(heap)
+            if frontiers[label.node].is_current(label.cost):
+                bucket.append(label)
+        if not bucket:
+            continue
+
+        nodes = np.fromiter(
+            (label.node for label in bucket), dtype=np.int64, count=len(bucket)
+        )
+        costs = np.array([label.cost for label in bucket], dtype=np.float64)
+        projected = costs + bound_mat[nodes]
+        stats.dominance_checks += len(bucket)
+        dominated = res_sky.dominance_mask(projected)
+
+        # Process survivors in key order so a target hit early in the
+        # bucket still prunes later bucket members, exactly as the
+        # sequential engines would.
+        fresh_costs: list[tuple[float, ...]] = []
+        expand: list[int] = []
+        for i, label in enumerate(bucket):
+            if dominated[i]:
+                stats.pruned_by_result += 1
+                continue
+            if fresh_costs:
+                proj_i = tuple(projected[i].tolist())
+                if any(
+                    dominates_or_equal(f, proj_i) for f in fresh_costs
+                ):
+                    stats.pruned_by_result += 1
+                    continue
+            stats.expansions += 1
+            if label.node == dst:
+                path = _to_original_path(label, node_ids)
+                if results.add(path):
+                    res_sky.add(path.cost, None)
+                    fresh_costs.append(path.cost)
+                continue
+            expand.append(i)
+        if not expand:
+            continue
+
+        # --- vectorized candidate generation over every out-slot ----
+        expand_arr = np.asarray(expand, dtype=np.int64)
+        label_of, slots, cand_nodes = _bucket_candidates(
+            indptr, indices, nodes[expand_arr]
+        )
+        if not len(slots):
+            continue
+        if mask_arr is not None:
+            alive = mask_arr[cand_nodes]
+            stats.pruned_by_corridor += int(len(alive) - alive.sum())
+            label_of, slots, cand_nodes = (
+                label_of[alive], slots[alive], cand_nodes[alive]
+            )
+            if not len(slots):
+                continue
+        # Same association order as the scalar engines: (c + w) + b.
+        extended = costs[expand_arr[label_of]] + cost_mat[slots]
+        cand_projected = extended + bound_mat[cand_nodes]
+        finite = _all_finite(cand_projected)
+        stats.pruned_by_bound += int(len(finite) - finite.sum())
+        stats.dominance_checks += int(finite.sum())
+        cand_dominated = res_sky.dominance_mask(cand_projected)
+        stats.pruned_by_result += int((finite & cand_dominated).sum())
+        admit = finite & ~cand_dominated
+        if not admit.any():
+            continue
+
+        # --- vectorized frontier admission over the survivors -------
+        members = np.nonzero(admit)[0]
+        batch_front = _FrontierBatch(frontiers, cand_nodes[members], dim)
+        reject = batch_front.reject_mask(extended[members])
+        intra = _intra_bucket_reject(cand_nodes[members], extended[members])
+        reject |= intra
+        stats.pruned_by_frontier += int(reject.sum())
+        keep_pos = np.nonzero(~reject)[0]
+        members = members[keep_pos]
+        if not len(members):
+            continue
+
+        keys = cand_projected[members].sum(axis=1)
+        ext_rows = extended[members].tolist()
+        parents = expand_arr[label_of[members]]
+        for row, key, parent_i, neighbor in zip(
+            ext_rows, keys.tolist(), parents.tolist(),
+            cand_nodes[members].tolist(),
+        ):
+            ext = tuple(row)
+            frontier = frontiers[neighbor]
+            if frontier is None:
+                frontier = frontiers[neighbor] = _BatchFrontier(dim)
+            frontier.append(ext)
+            stats.pushes += 1
+            heapq.heappush(
+                heap,
+                (key, next(tie_breaker),
+                 Label(neighbor, ext, parent=bucket[parent_i])),
+            )
+        # Deferred eviction: bucket-start rows the admitted costs
+        # strictly dominate, swept once per bucket instead of per push.
+        batch_front.evict_dominated(keep_pos, extended[members])
+        if len(heap) > stats.max_heap_size:
+            stats.max_heap_size = len(heap)
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = sum(
+        1 for frontier in frontiers if frontier is not None
+    )
+    return SkylineResult(paths=results.paths(), stats=stats)
+
+
+def batch_many_to_many(
+    graph: MultiCostGraph,
+    snapshot: CSRSnapshot,
+    seeds: Sequence,
+    targets: Sequence[int],
+    *,
+    bounds: LowerBoundProvider | None = None,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+    node_mask: Sequence[bool] | None = None,
+    bucket_size: int = DEFAULT_BUCKET_SIZE,
+):
+    """Bucket-mode m_BBS: one shared traversal for a whole seed batch.
+
+    All seeds of a service batch enter one heap and the CSR arrays are
+    walked once, bucket by bucket, instead of once per source.  Answer
+    tier matches :func:`batch_skyline_paths`: hit sets equal the scalar
+    engines' as path sets, counters may differ.  Lower-bound rows fault
+    in lazily per bucket (m_BBS on G_L touches a small node slice, so a
+    dense up-front materialization would usually lose).
+    """
+    from repro.search.bbs import SearchStats
+    from repro.search.mbbs import ManyToManyResult, Seed
+    from repro.accel.bbs_kernel import _label_to_local_path
+
+    target_set = set(targets)
+    for node in target_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+
+    start_time = time.perf_counter()
+    stats = SearchStats()
+    result = ManyToManyResult(stats=stats)
+    if time_budget is not None and time_budget <= 0:
+        stats.timed_out = True
+        stats.elapsed_seconds = time.perf_counter() - start_time
+        return result
+
+    dim = snapshot.dim
+    n = snapshot.num_nodes
+    bound_mat = np.zeros((n, dim), dtype=np.float64)
+    have = None if bounds is None else np.zeros(n, dtype=bool)
+
+    indptr = snapshot.indptr.astype(np.int64, copy=False)
+    indices = snapshot.indices.astype(np.int64, copy=False)
+    cost_mat = snapshot.costs
+    node_ids = snapshot.node_ids.tolist()
+    dense_targets = {snapshot.dense_of(node) for node in target_set}
+    mask_arr = (
+        np.asarray(node_mask, dtype=bool) if node_mask is not None else None
+    )
+
+    def ensure_bound_rows(dense_nodes: np.ndarray) -> None:
+        if have is None:
+            return
+        missing = dense_nodes[~have[dense_nodes]]
+        for dn in np.unique(missing).tolist():
+            bound_mat[dn] = bounds.bound(node_ids[dn])
+            have[dn] = True
+
+    frontiers: list[_BatchFrontier | None] = [None] * n
+    tie_breaker = itertools.count()
+    heap: list[tuple[float, int, Label]] = []
+
+    def push_scalar(label: Label) -> None:
+        ensure_bound_rows(np.asarray([label.node], dtype=np.int64))
+        projected = tuple(
+            c + b for c, b in zip(label.cost, bound_mat[label.node].tolist())
+        )
+        if float("inf") in projected:
+            stats.pruned_by_bound += 1
+            return
+        frontier = frontiers[label.node]
+        if frontier is None:
+            frontier = frontiers[label.node] = _BatchFrontier(dim)
+        if not frontier.try_add(label.cost):
+            stats.pruned_by_frontier += 1
+            return
+        stats.pushes += 1
+        heapq.heappush(heap, (sum(projected), next(tie_breaker), label))
+
+    for seed in seeds:
+        if not graph.has_node(seed.node):
+            raise NodeNotFoundError(seed.node)
+        push_scalar(
+            Label(snapshot.dense_of(seed.node), tuple(seed.cost), seed=seed)
+        )
+    stats.max_heap_size = len(heap)
+
+    while heap:
+        if time_budget is not None and (
+            time.perf_counter() - start_time > time_budget
+        ):
+            stats.timed_out = True
+            break
+        if max_expansions is not None and stats.expansions >= max_expansions:
+            stats.timed_out = True
+            break
+
+        bucket: list[Label] = []
+        while heap and len(bucket) < bucket_size:
+            _, _, label = heapq.heappop(heap)
+            if frontiers[label.node].is_current(label.cost):
+                bucket.append(label)
+        if not bucket:
+            continue
+        stats.expansions += len(bucket)
+
+        for label in bucket:
+            if label.node in dense_targets:
+                seed: Seed = label.seed  # type: ignore[assignment]
+                original = node_ids[label.node]
+                hits = result.hits.get(original)
+                if hits is None:
+                    hits = result.hits[original] = ParetoSet(
+                        keep_equal_costs=True
+                    )
+                hits.add(
+                    label.cost,
+                    (seed.payload, _label_to_local_path(label, seed, node_ids)),
+                )
+                # Targets are ordinary nodes; keep expanding through.
+
+        nodes = np.fromiter(
+            (label.node for label in bucket), dtype=np.int64, count=len(bucket)
+        )
+        costs = np.array([label.cost for label in bucket], dtype=np.float64)
+        label_of, slots, cand_nodes = _bucket_candidates(
+            indptr, indices, nodes
+        )
+        if not len(slots):
+            continue
+        if mask_arr is not None:
+            alive = mask_arr[cand_nodes]
+            stats.pruned_by_corridor += int(len(alive) - alive.sum())
+            label_of, slots, cand_nodes = (
+                label_of[alive], slots[alive], cand_nodes[alive]
+            )
+            if not len(slots):
+                continue
+        ensure_bound_rows(cand_nodes)
+        extended = costs[label_of] + cost_mat[slots]
+        cand_projected = extended + bound_mat[cand_nodes]
+        finite = _all_finite(cand_projected)
+        stats.pruned_by_bound += int(len(finite) - finite.sum())
+        if not finite.any():
+            continue
+
+        members = np.nonzero(finite)[0]
+        batch_front = _FrontierBatch(frontiers, cand_nodes[members], dim)
+        reject = batch_front.reject_mask(extended[members])
+        reject |= _intra_bucket_reject(cand_nodes[members], extended[members])
+        stats.pruned_by_frontier += int(reject.sum())
+        keep_pos = np.nonzero(~reject)[0]
+        members = members[keep_pos]
+        if not len(members):
+            continue
+
+        keys = cand_projected[members].sum(axis=1)
+        ext_rows = extended[members].tolist()
+        parents = label_of[members]
+        for row, key, parent_i, neighbor in zip(
+            ext_rows, keys.tolist(), parents.tolist(),
+            cand_nodes[members].tolist(),
+        ):
+            ext = tuple(row)
+            frontier = frontiers[neighbor]
+            if frontier is None:
+                frontier = frontiers[neighbor] = _BatchFrontier(dim)
+            frontier.append(ext)
+            stats.pushes += 1
+            heapq.heappush(
+                heap,
+                (key, next(tie_breaker),
+                 Label(neighbor, ext, parent=bucket[parent_i])),
+            )
+        batch_front.evict_dominated(keep_pos, extended[members])
+        if len(heap) > stats.max_heap_size:
+            stats.max_heap_size = len(heap)
+
+    stats.elapsed_seconds = time.perf_counter() - start_time
+    stats.frontier_nodes = sum(
+        1 for frontier in frontiers if frontier is not None
+    )
+    return result
+
+class _LabelStore:
+    """Flat append-only label store for the fused kernel.
+
+    Labels live in parallel numpy arrays indexed by an integer label
+    id: cost row, dense node, query id, composite frontier id, and
+    parent label id (``-1`` for roots).  A whole bucket's labels
+    gather with fancy indexing instead of per-object attribute reads,
+    and admission writes a whole member slice at once — the per-label
+    Python objects (``Label``, cost tuples, per-node membership sets)
+    disappear from the hot loop.
+
+    Liveness lives in two small Python sets rather than a flag array:
+    ``dead`` holds evicted label ids (the lazy-heap staleness test is
+    one set-membership check per pop) and ``dirty`` the frontier ids
+    that lost a row since last compaction, so per-frontier lists are
+    re-filtered only when something was actually evicted from them.
+    """
+
+    __slots__ = ("cost", "node", "qid", "fid", "parent", "size",
+                 "dead", "dirty")
+
+    def __init__(self, dim: int) -> None:
+        cap = 1024
+        self.cost = np.empty((cap, dim), dtype=np.float64)
+        self.node = np.empty(cap, dtype=np.int64)
+        self.qid = np.empty(cap, dtype=np.int64)
+        self.fid = np.empty(cap, dtype=np.int64)
+        self.parent = np.empty(cap, dtype=np.int64)
+        self.size = 0
+        self.dead: set[int] = set()
+        self.dirty: set[int] = set()
+
+    def _reserve(self, extra: int) -> None:
+        need = self.size + extra
+        cap = len(self.node)
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        for name in ("cost", "node", "qid", "fid", "parent"):
+            old = getattr(self, name)
+            shape = (cap,) + old.shape[1:]
+            grown = np.empty(shape, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def extend(self, costs, nodes, qids, fids, parents) -> int:
+        """Append a block of live labels; return the first new id."""
+        k = len(nodes)
+        self._reserve(k)
+        base = self.size
+        end = base + k
+        self.cost[base:end] = costs
+        self.node[base:end] = nodes
+        self.qid[base:end] = qids
+        self.fid[base:end] = fids
+        self.parent[base:end] = parents
+        self.size = end
+        return base
+
+
+class _StoreFrontierBatch:
+    """One bucket's gathered frontier state over a :class:`_LabelStore`.
+
+    The fused-kernel analogue of :class:`_FrontierBatch`: per-``fid``
+    frontiers are plain lists of label ids (compacted lazily against
+    ``store.alive`` when touched), the concatenated cost rows come from
+    one fancy index into the store, and eviction is a single scatter
+    ``alive[dead] = 0`` — no per-frontier bookkeeping at all.
+    """
+
+    __slots__ = ("store", "uniq", "uidx", "sizes", "seg_start", "row_idx")
+
+    def __init__(self, store: _LabelStore, fid_rows: list, cand_fids):
+        self.store = store
+        self.uniq, self.uidx = np.unique(cand_fids, return_inverse=True)
+        dead = store.dead
+        dirty = store.dirty
+        sizes = np.zeros(len(self.uniq), dtype=np.int64)
+        chunks = []
+        for k, fid in enumerate(self.uniq.tolist()):
+            rows = fid_rows[fid]
+            if rows:
+                if fid in dirty:
+                    rows = [i for i in rows if i not in dead]
+                    fid_rows[fid] = rows
+                    dirty.discard(fid)
+                if rows:
+                    sizes[k] = len(rows)
+                    chunks.append(rows)
+        self.sizes = sizes
+        self.seg_start = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        if chunks:
+            flat = list(itertools.chain.from_iterable(chunks))
+            self.row_idx = np.fromiter(flat, dtype=np.int64, count=len(flat))
+        else:
+            self.row_idx = _EMPTY
+
+    def _pairs(self, positions: np.ndarray):
+        uidx = self.uidx[positions]
+        owner, within = _segment_pairs(self.sizes[uidx])
+        if not len(owner):
+            return owner, owner
+        return owner, self.seg_start[uidx[owner]] + within
+
+    def admission(
+        self, ext: np.ndarray, intra_reject: np.ndarray
+    ) -> np.ndarray:
+        """Frontier rejection and deferred eviction in one pair sweep.
+
+        Builds the (candidate, frontier-row) pairs once: a candidate is
+        rejected when a bucket-start row dominates-or-equals it (the
+        ``try_add`` rule) or ``intra_reject`` flags it, and every
+        bucket-start row strictly dominated by a *kept* candidate is
+        recorded dead.  Eviction ordering is immaterial — the pair set
+        is a bucket-start snapshot either way.  Returns the combined
+        reject mask.
+        """
+        reject = intra_reject.copy()
+        owner, rows = self._pairs(np.arange(len(self.uidx), dtype=np.int64))
+        if not len(owner):
+            return reject
+        front_rows = self.store.cost[self.row_idx[rows]]
+        ext_owner = ext[owner]
+        dom = _all_le(front_rows, ext_owner)
+        reject[owner[dom]] = True
+        doomed = (
+            _all_le(ext_owner, front_rows)
+            & ~_all_eq(ext_owner, front_rows)
+            & ~reject[owner]
+        )
+        if doomed.any():
+            store = self.store
+            dead_ids = np.unique(self.row_idx[rows[doomed]])
+            store.dead.update(dead_ids.tolist())
+            store.dirty.update(store.fid[dead_ids].tolist())
+        return reject
+
+
+def fused_skyline_batch(
+    graph: MultiCostGraph,
+    snapshot: CSRSnapshot,
+    queries: Sequence[tuple[int, int]],
+    *,
+    bounds: Sequence[LowerBoundProvider | None] | None = None,
+    seed_with_shortest_paths: bool = True,
+    time_budget: float | None = None,
+    max_expansions: int | None = None,
+    bucket_size: int = FUSED_BUCKET_SIZE,
+):
+    """One shared bucket traversal for a whole batch of 1-to-1 queries.
+
+    This is the batch executor's fast path: ``Q`` independent
+    ``(source, target)`` queries run over one CSR walk, and every
+    bucket mixes labels from all of them.  The per-bucket numpy
+    passes — bound projection, result-skyline pruning, frontier
+    admission — each process the *combined* bucket, so their fixed
+    dispatch cost is amortized ``Q`` ways.  That is the measured
+    difference between this kernel and per-query
+    :func:`batch_skyline_paths`: the same operations on ~``Q``-times
+    larger arrays, which is where bucket vectorization actually wins
+    (see ``BENCH_batch.json``).
+
+    Each query keeps its own heap and contributes an equal quota of
+    its smallest-key labels to every bucket.  A single shared heap
+    would *not* mix: heap keys are absolute projected-cost sums, so
+    the query with the smallest cost scale would drain first and the
+    buckets would degenerate to single-query ones.  Cross-query pop
+    order is irrelevant to correctness — only the per-query
+    subsequence must be ascending, which a per-query heap gives
+    trivially.
+
+    Queries stay logically independent: frontiers are keyed by
+    ``(query, node)``, and each query prunes only against its own
+    result skyline and bound matrix — so per query the traversal is
+    exactly a :func:`batch_skyline_paths` run, and every answer set
+    equals the flat/python answer set for that pair (equal-cost
+    alternates may differ, counters may differ).
+
+    ``bounds`` optionally gives one provider per query (``None``
+    entries fall back to exact reverse-Dijkstra bounds).
+    ``time_budget`` and ``max_expansions`` cap the *whole batch*; on
+    expiry every query's stats report ``timed_out`` (the shared
+    traversal cannot attribute the shortfall).  Returns one
+    :class:`~repro.search.bbs.SkylineResult` per query, positionally.
+    """
+    from repro.search.bbs import SearchStats, SkylineResult
+
+    start_time = time.perf_counter()
+    n_queries = len(queries)
+    if bounds is not None and len(bounds) != n_queries:
+        raise ValueError("bounds must align with queries")
+    all_stats = [SearchStats() for _ in range(n_queries)]
+    if time_budget is not None and time_budget <= 0:
+        for stats in all_stats:
+            stats.timed_out = True
+        return [SkylineResult(stats=stats) for stats in all_stats]
+
+    dim = snapshot.dim
+    n = snapshot.num_nodes
+    node_ids = snapshot.node_ids.tolist()
+    indptr = snapshot.indptr.astype(np.int64, copy=False)
+    indices = snapshot.indices.astype(np.int64, copy=False)
+    cost_mat = snapshot.costs
+
+    for source, target in queries:
+        if not graph.has_node(source):
+            raise NodeNotFoundError(source)
+        if not graph.has_node(target):
+            raise NodeNotFoundError(target)
+
+    # Per-query state: destination, bounds, result containers.
+    dst = np.fromiter(
+        (snapshot.dense_of(t) for _, t in queries),
+        dtype=np.int64,
+        count=n_queries,
+    )
+    bound_stack = np.empty((n_queries, n, dim), dtype=np.float64)
+    exact_cache: dict[int, np.ndarray] = {}
+    for q in range(n_queries):
+        provider = bounds[q] if bounds is not None else None
+        if provider is None:
+            # Batches repeat targets (dedup only merges identical
+            # source AND target pairs); one reverse Dijkstra per
+            # unique one.  (A vectorized Bellman-Ford over all targets
+            # at once loses here: road-network shortest-path trees run
+            # >100 hops deep, so the sweep pays >100 small-array numpy
+            # rounds against ~1.7 ms per heap Dijkstra.)
+            key = int(dst[q])
+            cached = exact_cache.get(key)
+            if cached is None:
+                cached = exact_cache[key] = exact_bound_matrix(
+                    snapshot, [key]
+                )
+            bound_stack[q] = cached
+        else:
+            bound_stack[q] = materialize_bound_matrix(provider, snapshot)
+
+    # Result skylines: the VectorParetoSet mirror is authoritative for
+    # *costs*; witnesses accumulate in a plain list and are filtered by
+    # final front membership at the end.  This replaces the python
+    # dominance scan of PathSet.add (the scalar engines' result-set hot
+    # spot on skyline-heavy queries) with one vectorized compare per
+    # hit; eviction becomes a single final filter instead of per-add
+    # list rebuilds.
+    res_skys: list[VectorParetoSet] = [
+        VectorParetoSet(dim) for _ in range(n_queries)
+    ]
+    # A witness is either a ready Path (seeds, trivial queries) or a
+    # label id whose node walk materializes only at the end — most
+    # hits never need their path before then.  Exact duplicates are
+    # dropped in the same final pass.
+    witnesses: list[list] = [[] for _ in range(n_queries)]
+
+    def record_hit(q: int, witness, cost) -> bool:
+        """PathSet(keep_equal_costs) admission via the vector mirror:
+        accept a new non-dominated cost or an equal-cost alternate,
+        reject strictly dominated candidates."""
+        sky = res_skys[q]
+        if sky.contains(cost) or sky.add(cost, None):
+            witnesses[q].append(witness)
+            return True
+        return False
+
+    for q, (source, target) in enumerate(queries):
+        if seed_with_shortest_paths and source != target:
+            if bounds is None or bounds[q] is None:
+                # Exact bound matrices double as shortest-path trees.
+                seeds = _seed_paths_from_bounds(
+                    snapshot,
+                    bound_stack[q],
+                    snapshot.dense_of(source),
+                    int(dst[q]),
+                    node_ids,
+                )
+            else:
+                seeds = per_dimension_shortest_paths(graph, source, target)
+            for path in seeds:
+                record_hit(q, path, path.cost)
+
+    # Frontiers keyed by the composite id q*n + node: per-fid lists of
+    # label ids into one flat store, so _StoreFrontierBatch and
+    # _intra_bucket_reject work unchanged on composite ids (candidates
+    # of different queries never share one).
+    store = _LabelStore(dim)
+    fid_rows: list[list[int] | None] = [None] * (n_queries * n)
+    heaps: list[list[tuple[float, int]]] = [[] for _ in range(n_queries)]
+
+    zero_row = np.zeros((1, dim), dtype=np.float64)
+    for q, (source, target) in enumerate(queries):
+        if source == target:
+            trivial = Path.trivial(source, dim)
+            record_hit(q, trivial, trivial.cost)
+            continue
+        src = snapshot.dense_of(source)
+        projected = tuple(bound_stack[q, src].tolist())
+        stats = all_stats[q]
+        if float("inf") in projected:
+            stats.pruned_by_bound += 1
+            continue
+        stats.dominance_checks += 1
+        if res_skys[q].dominates_candidate(projected):
+            stats.pruned_by_result += 1
+            continue
+        idx = store.extend(
+            zero_row,
+            np.asarray([src], dtype=np.int64),
+            np.asarray([q], dtype=np.int64),
+            np.asarray([q * n + src], dtype=np.int64),
+            np.asarray([-1], dtype=np.int64),
+        )
+        fid_rows[q * n + src] = [idx]
+        stats.pushes += 1
+        stats.max_heap_size = 1
+        heapq.heappush(heaps[q], (sum(projected), idx))
+
+    timed_out = False
+    total_expansions = 0
+    dst_list = dst.tolist()
+    while any(heaps):
+        if time_budget is not None and (
+            time.perf_counter() - start_time > time_budget
+        ):
+            timed_out = True
+            break
+        if max_expansions is not None and total_expansions >= max_expansions:
+            timed_out = True
+            break
+
+        # Equal quota of smallest-key labels from every live query, so
+        # the bucket mixes queries regardless of their cost scales.
+        dead = store.dead
+        bucket_idx: list[int] = []
+        live = [q for q in range(n_queries) if heaps[q]]
+        quota = -(-bucket_size // len(live))
+        for q in live:
+            heap = heaps[q]
+            taken = 0
+            while heap and taken < quota:
+                _, idx = heapq.heappop(heap)
+                if idx not in dead:
+                    bucket_idx.append(idx)
+                    taken += 1
+        if not bucket_idx:
+            continue
+
+        barr = np.fromiter(
+            bucket_idx, dtype=np.int64, count=len(bucket_idx)
+        )
+        qids = store.qid[barr]
+        nodes = store.node[barr]
+        costs = store.cost[barr]
+        projected = costs + bound_stack[qids, nodes]
+        dominated = np.zeros(len(barr), dtype=bool)
+        # Pops are grouped by ascending q, so qids (and every array
+        # derived from it downstream) is segment-sorted: per-query
+        # work is contiguous slices, not nonzero scans.
+        uq_arr, q_starts = np.unique(qids, return_index=True)
+        uq = uq_arr.tolist()
+        q_bounds = q_starts.tolist() + [len(barr)]
+        for j, q in enumerate(uq):
+            lo, hi = q_bounds[j], q_bounds[j + 1]
+            all_stats[q].dominance_checks += hi - lo
+            dominated[lo:hi] = res_skys[q].dominance_mask(projected[lo:hi])
+
+        # Per query: record target hits first (their pops are already
+        # in ascending key order), then prune the query's remaining
+        # labels against the *updated* skyline in one vectorized pass
+        # — the same dominated-or-equal test the sequential engines
+        # apply label by label after each fresh path.
+        expand_mask = np.zeros(len(barr), dtype=bool)
+        for j, q in enumerate(uq):
+            lo, hi = q_bounds[j], q_bounds[j + 1]
+            stats = all_stats[q]
+            seg = slice(lo, hi)
+            seg_live = ~dominated[seg]
+            stats.pruned_by_result += (hi - lo) - int(seg_live.sum())
+            hits = nodes[seg] == dst_list[q]
+            found = False
+            for p in np.nonzero(hits & seg_live)[0].tolist():
+                i = lo + p
+                stats.expansions += 1
+                total_expansions += 1
+                cost = tuple(costs[i].tolist())
+                if record_hit(q, bucket_idx[i], cost):
+                    found = True
+            tail = seg_live & ~hits
+            if found and tail.any():
+                redom = res_skys[q].dominance_mask(projected[seg])
+                stats.pruned_by_result += int((tail & redom).sum())
+                tail &= ~redom
+            expanded = int(tail.sum())
+            stats.expansions += expanded
+            total_expansions += expanded
+            expand_mask[seg] = tail
+        if not expand_mask.any():
+            continue
+
+        expand_arr = np.nonzero(expand_mask)[0]
+        label_of, slots, cand_nodes = _bucket_candidates(
+            indptr, indices, nodes[expand_arr]
+        )
+        if not len(slots):
+            continue
+        cand_qids = qids[expand_arr[label_of]]
+        extended = costs[expand_arr[label_of]] + cost_mat[slots]
+        cand_projected = extended + bound_stack[cand_qids, cand_nodes]
+        finite = _all_finite(cand_projected)
+        cand_dominated = np.zeros(len(cand_nodes), dtype=bool)
+        c_bounds = np.searchsorted(cand_qids, uq_arr).tolist()
+        c_bounds.append(len(cand_nodes))
+        for j, q in enumerate(uq):
+            lo, hi = c_bounds[j], c_bounds[j + 1]
+            if lo == hi:
+                continue
+            stats = all_stats[q]
+            fin = finite[lo:hi]
+            stats.pruned_by_bound += int(len(fin) - fin.sum())
+            stats.dominance_checks += int(fin.sum())
+            dom = res_skys[q].dominance_mask(cand_projected[lo:hi])
+            stats.pruned_by_result += int((fin & dom).sum())
+            cand_dominated[lo:hi] = dom
+        admit = finite & ~cand_dominated
+        if not admit.any():
+            continue
+
+        members = np.nonzero(admit)[0]
+        cand_fids = cand_qids * n + cand_nodes
+        mfids = cand_fids[members]
+        batch_front = _StoreFrontierBatch(store, fid_rows, mfids)
+        if len(batch_front.uniq) == len(mfids):
+            intra = np.zeros(len(mfids), dtype=bool)
+        else:
+            intra = _intra_bucket_reject(mfids, extended[members])
+        reject = batch_front.admission(extended[members], intra)
+        if reject.any():
+            counts = np.bincount(
+                cand_qids[members[reject]], minlength=n_queries
+            )
+            for q in np.nonzero(counts)[0].tolist():
+                all_stats[q].pruned_by_frontier += int(counts[q])
+        keep_pos = np.nonzero(~reject)[0]
+        members = members[keep_pos]
+        if not len(members):
+            continue
+
+        keys = cand_projected[members].sum(axis=1)
+        mq = cand_qids[members]
+        mkeep = mfids[keep_pos]
+        parents_idx = barr[expand_arr[label_of[members]]]
+        base = store.extend(
+            extended[members], cand_nodes[members], mq, mkeep, parents_idx
+        )
+        push_counts = np.bincount(mq, minlength=n_queries)
+        for q in np.nonzero(push_counts)[0].tolist():
+            all_stats[q].pushes += int(push_counts[q])
+        for off, (key, q, fid) in enumerate(
+            zip(keys.tolist(), mq.tolist(), mkeep.tolist())
+        ):
+            idx = base + off
+            rows = fid_rows[fid]
+            if rows is None:
+                fid_rows[fid] = [idx]
+            else:
+                rows.append(idx)
+            heapq.heappush(heaps[q], (key, idx))
+        for q, heap in enumerate(heaps):
+            if len(heap) > all_stats[q].max_heap_size:
+                all_stats[q].max_heap_size = len(heap)
+
+    elapsed = time.perf_counter() - start_time
+    for stats in all_stats:
+        stats.elapsed_seconds = elapsed
+        if timed_out:
+            stats.timed_out = True
+    for q in range(n_queries):
+        all_stats[q].frontier_nodes = sum(
+            1 for rows in fid_rows[q * n : (q + 1) * n] if rows is not None
+        )
+    # Witnesses whose cost survived on the final front, in insertion
+    # order — exactly the PathSet(keep_equal_costs) survivor set: an
+    # evicted cost is strictly dominated by a kept one, so no later
+    # equal-cost witness can have re-entered after an eviction.  Node
+    # walks happen only here, over plain Python lists, and exact
+    # (cost, nodes) duplicates collapse in the same pass.
+    parent_list = store.parent[: store.size].tolist()
+    dense_nodes = store.node[: store.size].tolist()
+    results = []
+    for q in range(n_queries):
+        sky = res_skys[q]
+        final_paths: list[Path] = []
+        emitted: set = set()
+        for witness in witnesses[q]:
+            if isinstance(witness, Path):
+                path = witness
+                if not sky.contains(path.cost):
+                    continue
+            else:
+                cost = tuple(store.cost[witness].tolist())
+                if not sky.contains(cost):
+                    continue
+                chain = []
+                i = witness
+                while i >= 0:
+                    chain.append(node_ids[dense_nodes[i]])
+                    i = parent_list[i]
+                chain.reverse()
+                path = Path(tuple(chain), cost)
+            key = (path.cost, tuple(path.nodes))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            final_paths.append(path)
+        results.append(
+            SkylineResult(paths=final_paths, stats=all_stats[q])
+        )
+    return results

@@ -152,7 +152,7 @@ def flat_skyline_paths(
     else:
         stats.dominance_checks += 1
         if res_dominates(source_projected):
-            stats.pruned_by_bound += 1
+            stats.pruned_by_result += 1
         else:
             frontier = frontiers[src] = NodeFrontier()
             frontier.try_add(source_label.cost)
@@ -162,14 +162,19 @@ def flat_skyline_paths(
             )
             stats.max_heap_size = 1
 
-    check_interval = 512
+    # Monotone loop counter for the budget gate: gating on
+    # ``stats.expansions`` starves the check across long runs of stale
+    # or pruned pops (they never increment expansions).  Mirrors the
+    # python engine; overshoot is bounded to 512 heap pops.
+    loop_count = 0
     while heap:
-        if stats.expansions % check_interval == 0:
+        if loop_count & 511 == 0:
             if time_budget is not None and (
                 time.perf_counter() - start_time > time_budget
             ):
                 stats.timed_out = True
                 break
+        loop_count += 1
         if max_expansions is not None and stats.expansions >= max_expansions:
             stats.timed_out = True
             break
@@ -190,7 +195,7 @@ def flat_skyline_paths(
             projected = tuple(c + b for c, b in zip(lcost, brow))
         stats.dominance_checks += 1
         if res_dominates(projected):
-            stats.pruned_by_bound += 1
+            stats.pruned_by_result += 1
             continue
         stats.expansions += 1
 
@@ -226,7 +231,7 @@ def flat_skyline_paths(
                 continue
             stats.dominance_checks += 1
             if res_dominates(projected):
-                stats.pruned_by_bound += 1
+                stats.pruned_by_result += 1
                 continue
             frontier = frontiers.get(neighbor)
             if frontier is None:
@@ -335,11 +340,14 @@ def flat_many_to_many(
             raise NodeNotFoundError(seed.node)
         push_scalar(Label(snapshot.dense_of(seed.node), tuple(seed.cost), seed=seed))
 
+    # Monotone loop counter for the budget gate (see flat_skyline_paths).
+    loop_count = 0
     while heap:
-        if time_budget is not None and stats.expansions % 512 == 0:
+        if time_budget is not None and loop_count & 511 == 0:
             if time.perf_counter() - start_time > time_budget:
                 stats.timed_out = True
                 break
+        loop_count += 1
         if max_expansions is not None and stats.expansions >= max_expansions:
             stats.timed_out = True
             break

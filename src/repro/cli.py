@@ -319,6 +319,13 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs,
     """serve-batch with ``--engine mp``: a forked worker cohort."""
     from repro.mp import MPBatchServer, MPQueryError
 
+    if args.kernel == "python":
+        print(
+            "error: --engine mp serves from the shared CSR snapshot; "
+            "--kernel python is thread-only",
+            file=sys.stderr,
+        )
+        return 1
     server = MPBatchServer(
         graph,
         index=index,
@@ -328,6 +335,7 @@ def _serve_batch_mp(args: argparse.Namespace, graph, index, pairs,
         default_time_budget=args.budget,
         corridor_radius=args.corridor_radius,
         quality_target=args.quality_target,
+        search_engine="batch" if args.kernel == "batch" else "flat",
         tracer=tracer,
         events=events,
     )
@@ -464,6 +472,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         default_time_budget=args.budget,
         corridor_radius=args.corridor_radius,
         quality_target=args.quality_target,
+        engine=args.kernel,
         tracer=tracer,
         events=events,
     )
@@ -804,6 +813,7 @@ def _qa_config(args: argparse.Namespace):
         check_engine=not args.no_engine,
         check_updates=not args.no_updates,
         check_metamorphic=not args.no_metamorphic,
+        check_batch=not getattr(args, "no_batch", False),
         check_corridor=getattr(args, "corridor", False),
     )
 
@@ -831,10 +841,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     queries = random_queries(
         graph, args.queries, seed=args.seed, min_hops=args.min_hops
     )
-    engines = ["python", "flat"] if args.engine == "both" else [args.engine]
+    if args.engine == "both":
+        engines = ["python", "flat"]
+    elif args.engine == "all":
+        engines = ["python", "flat", "batch"]
+    else:
+        engines = [args.engine]
 
     snapshot = None
-    if "flat" in engines:
+    if {"flat", "batch"} & set(engines):
         from repro.accel.csr import CSRSnapshot
 
         started = time.perf_counter()
@@ -854,16 +869,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     query.source,
                     query.target,
                     engine=engine,
-                    snapshot=snapshot if engine == "flat" else None,
+                    snapshot=snapshot if engine != "python" else None,
                     time_budget=args.budget,
                 )
                 per_engine.append(time.perf_counter() - started)
                 collected.append([(p.nodes, p.cost) for p in result.paths])
             answers[engine] = collected
 
-    if len(engines) == 2 and answers["python"] != answers["flat"]:
-        print("error: engines returned different answers", file=sys.stderr)
-        return 2
+    # python vs flat is the bit-identity tier: answers must match in
+    # order and multiplicity.  batch is the answer-set tier: the same
+    # path sets, possibly in a different order.
+    if "python" in answers and "flat" in answers:
+        if answers["python"] != answers["flat"]:
+            print("error: engines returned different answers", file=sys.stderr)
+            return 2
+    if "batch" in answers and len(engines) > 1:
+        reference = "flat" if "flat" in answers else "python"
+        for ref_paths, batch_paths in zip(answers[reference], answers["batch"]):
+            if sorted(ref_paths) != sorted(batch_paths):
+                print(
+                    "error: batch engine answer set differs from "
+                    f"{reference}", file=sys.stderr,
+                )
+                return 2
 
     baseline = statistics.mean(timings[engines[0]])
     rows = []
@@ -887,8 +915,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             ),
         )
     )
-    if len(engines) == 2:
-        print("answers: bit-identical across engines")
+    if len(engines) > 1:
+        if "batch" in engines:
+            print(
+                "answers: bit-identical (python/flat), "
+                "answer-set-equal (batch)"
+            )
+        else:
+            print("answers: bit-identical across engines")
 
     if args.mp_workers:
         from repro.mp.benchmark import measure_mp, measure_single_process
@@ -1078,6 +1112,8 @@ def _add_qa_case_options(parser: argparse.ArgumentParser) -> None:
                         help="skip the maintenance-update variants")
     parser.add_argument("--no-metamorphic", action="store_true",
                         help="skip swap/permutation/scaling relations")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="skip the batch-kernel answer-set variant")
     parser.add_argument("--corridor", action="store_true",
                         help="also run the corridor-tier engine variant")
 
@@ -1189,6 +1225,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch executor: in-process threads (default) "
                             "or a forked worker-process cohort sharing "
                             "one zero-copy CSR snapshot")
+    serve.add_argument("--kernel",
+                       choices=["auto", "flat", "batch", "python"],
+                       default="auto",
+                       help="search-kernel tier: auto (default; flat, "
+                            "escalating to the bucket-vectorized batch "
+                            "kernel above the measured node crossover), "
+                            "or pin flat/batch/python; with --engine mp "
+                            "only flat and batch apply (auto means flat)")
     serve.add_argument("--fail-fast", action="store_true", dest="fail_fast",
                        help="with --engine mp: abort the batch on the "
                             "first worker error (exit code 3)")
@@ -1344,13 +1388,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="time the search engines (python vs flat CSR kernel) "
+        help="time the search engines (python vs flat vs batch kernels) "
         "on a random workload",
     )
     bench.add_argument("graph", help="DIMACS .gr file")
-    bench.add_argument("--engine", choices=["both", "flat", "python"],
+    bench.add_argument("--engine",
+                       choices=["both", "all", "flat", "python", "batch"],
                        default="both",
-                       help="which engine(s) to time (default both)")
+                       help="which engine(s) to time: both = python+flat "
+                            "(default), all adds the bucket-vectorized "
+                            "batch kernel, or a single engine")
     bench.add_argument("--queries", type=int, default=6,
                        help="workload size (default 6)")
     bench.add_argument("--rounds", type=int, default=3,

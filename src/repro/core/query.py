@@ -146,10 +146,11 @@ def _grow(
 def _top_snapshot(index: BackboneIndex, engine: str, tracer: Tracer | None):
     """The CSR snapshot the top-graph search should use, per ``engine``.
 
-    ``"flat"`` builds (and caches on the index) the snapshot; ``"auto"``
-    only reuses one that already exists, so queries never pay a build.
+    ``"flat"`` and ``"batch"`` build (and cache on the index) the
+    snapshot; ``"auto"`` only reuses one that already exists, so queries
+    never pay a build.
     """
-    if engine == "flat":
+    if engine in ("flat", "batch"):
         return index.csr_top(tracer=tracer)
     if engine == "auto":
         return index.csr_top(build=False)
@@ -185,6 +186,12 @@ def _connect_through_top(
     ]
     bounds = LandmarkLowerBounds(index.landmarks, target_possible)
     snapshot = _top_snapshot(index, engine, tracer)
+    if snapshot is None:
+        kernel = "python"
+    elif engine == "batch":
+        kernel = "batch"
+    else:
+        kernel = "flat"
     outcome = many_to_many_skyline(
         top,
         seeds,
@@ -192,7 +199,7 @@ def _connect_through_top(
         bounds=bounds,
         time_budget=remaining,
         tracer=tracer,
-        engine="flat" if snapshot is not None else "python",
+        engine=kernel,
         snapshot=snapshot,
     )
     stats.mbbs_stats = outcome.stats
@@ -226,10 +233,12 @@ def backbone_query(
     (``query.phase.grow_s`` / ``grow_t`` / ``connect_top``).
 
     ``engine`` selects the kernel for the top-graph m_BBS phase (the
-    dominant search): ``"flat"`` builds and caches the index's CSR
-    snapshot, ``"auto"`` (default) uses it when already built, and
-    ``"python"`` never does.  The grow phases walk per-level label
-    structures, not a graph, so the option does not affect them.
+    dominant search): ``"flat"`` and ``"batch"`` build and cache the
+    index's CSR snapshot, ``"auto"`` (default) uses it when already
+    built, and ``"python"`` never does.  ``"batch"`` runs the
+    bucket-vectorized kernel (answer-set-equal, counters differ — see
+    :mod:`repro.accel.batch_kernel`).  The grow phases walk per-level
+    label structures, not a graph, so the option does not affect them.
     """
     graph = index.original_graph
     if not graph.has_node(source):

@@ -211,6 +211,12 @@ class MPBatchServer:
         Corridor-tier knobs (see :class:`SkylineQueryEngine`),
         forwarded to every worker engine so ``mode="corridor"`` and
         planner escalation behave identically in- and out-of-process.
+    search_engine:
+        Search-kernel tier every worker serves with over the shared
+        snapshot: ``"flat"`` (default) or ``"batch"`` (bucket-mode
+        vectorized kernel; answer-set-equal, counters differ).  Also
+        applied to the parent planning engine so in-process fallbacks
+        answer identically.
     metrics:
         The parent registry worker metrics roll up into; created on
         demand.
@@ -230,12 +236,18 @@ class MPBatchServer:
         default_time_budget: float | None = None,
         corridor_radius: int = 2,
         quality_target: float | None = None,
+        search_engine: str = "flat",
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         events: EventLog | None = None,
     ) -> None:
         if workers < 1:
             raise QueryError("workers must be at least 1")
+        if search_engine not in ("flat", "batch"):
+            raise QueryError(
+                f"unknown search engine {search_engine!r} "
+                "(mp workers serve 'flat' or 'batch')"
+            )
         if max_inflight is not None and max_inflight < 1:
             raise QueryError("max_inflight must be at least 1")
         try:
@@ -253,6 +265,7 @@ class MPBatchServer:
             default_time_budget=default_time_budget,
             corridor_radius=corridor_radius,
             quality_target=quality_target,
+            search_engine=search_engine,
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._engine = SkylineQueryEngine(
@@ -265,7 +278,7 @@ class MPBatchServer:
             default_time_budget=default_time_budget,
             corridor_radius=corridor_radius,
             quality_target=quality_target,
-            engine="flat",
+            engine=search_engine,
         )
         self._maintainer = maintainer
         self._pending_generation = self._engine.generation

@@ -70,13 +70,19 @@ class WorkerConfig:
     default_time_budget: float | None = None
     corridor_radius: int = 2
     quality_target: float | None = None
+    # Search-kernel tier over the shared snapshot: "flat" (default,
+    # bit-identical answers and counters) or "batch" (bucket-vectorized
+    # kernel of repro.accel.batch_kernel; answer-set-equal, counters
+    # differ).  Every worker of a cohort shares the tier so mp answers
+    # stay identical to a single-process engine built the same way.
+    search_engine: str = "flat"
     # When True each worker runs a local enabled tracer and ships span
     # dumps back with every reply (set per cohort at spawn time).
     trace: bool = False
 
 
 def build_worker_engine(graph, index, landmarks, shared, generation, config):
-    """A flat-engine serving stack around the shared snapshot.
+    """A serving stack around the shared snapshot (flat or batch tier).
 
     Separated from :func:`worker_main` so tests can build the exact
     engine a worker would use in-process and compare answers.
@@ -91,7 +97,7 @@ def build_worker_engine(graph, index, landmarks, shared, generation, config):
         default_time_budget=config.default_time_budget,
         corridor_radius=config.corridor_radius,
         quality_target=config.quality_target,
-        engine="flat",
+        engine=config.search_engine,
     )
     # Install the shared state instead of letting the engine rebuild
     # it: the CSR arrays are views into the published segment (the

@@ -8,8 +8,13 @@ matrix, turning every dominance test into a handful of vectorized
 comparisons.  Semantics match ``ParetoSet(keep_equal_costs=False)``
 exactly (property-tested in ``tests/test_vector_frontier.py``).
 
-BBS accepts either container; the crossover where vectorization wins is
-measured in ``benchmarks/bench_frontier_performance.py``.
+The batch kernels (:mod:`repro.accel.batch_kernel`) use it as the
+result-skyline pruning mirror: :meth:`VectorParetoSet.dominance_mask`
+tests a whole bucket of projected costs against the frontier in one
+broadcasted comparison.  The scalar BBS engines keep the plain
+:class:`~repro.paths.frontier.ParetoSet` — per-label numpy dispatch
+loses at road-network frontier sizes; the crossover is measured in
+``benchmarks/bench_frontier_performance.py``.
 """
 
 from __future__ import annotations
@@ -90,6 +95,23 @@ class VectorParetoSet(Generic[T]):
             return False
         vector = np.asarray(cost, dtype=np.float64)
         return bool((self._view() <= vector).all(axis=1).any())
+
+    def dominance_mask(self, costs: np.ndarray) -> np.ndarray:
+        """Per-row :meth:`dominates_candidate` over a ``(k, dim)`` batch.
+
+        One broadcasted comparison for the whole batch — the bucket
+        kernels' result-skyline prune.  Returns a boolean ``(k,)``
+        array; all-False when the frontier is empty.
+        """
+        if not self._size:
+            return np.zeros(len(costs), dtype=bool)
+        # Dimension-unrolled: d boolean (k, m) planes AND-ed together
+        # beat materializing the (k, m, d) cube and reducing over it.
+        view = self._view()
+        le = view[None, :, 0] <= costs[:, 0, None]
+        for j in range(1, self._dim):
+            le &= view[None, :, j] <= costs[:, j, None]
+        return le.any(axis=1)
 
     def would_accept(self, cost: Sequence[float]) -> bool:
         """True iff :meth:`add` with this cost would currently succeed."""

@@ -37,6 +37,7 @@ from repro.qa.differential import (
     run_case,
 )
 from repro.qa.invariants import (
+    answer_set_errors,
     approximation_errors,
     cost_skyline_errors,
     identical_answer_errors,
@@ -66,6 +67,7 @@ __all__ = [
     "QACase",
     "QAConfig",
     "ShrunkCase",
+    "answer_set_errors",
     "apply_updates",
     "approximation_errors",
     "build_case",

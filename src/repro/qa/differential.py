@@ -22,6 +22,14 @@ variant          what it exercises
                  required bit-identical to the python oracle
 ``backbone_flat`` :func:`backbone_query` with ``engine="flat"``,
                  required bit-identical to the python backbone answer
+``exact_batch``  BBS through the bucket-vectorized batch kernel
+                 (:mod:`repro.accel.batch_kernel`), required
+                 answer-set-equal to the oracle — same (cost, nodes)
+                 answer set, counters free to differ
+``exact_fused``  the whole case's queries served by one
+                 :func:`~repro.accel.batch_kernel.fused_skyline_batch`
+                 traversal, each answer required answer-set-equal to
+                 the oracle (the same batch-tier contract)
 ===============  ====================================================
 
 Hard invariants (any violation is a discrepancy): path validity and
@@ -52,6 +60,7 @@ from repro.obs.tracer import Tracer, resolve_tracer
 from repro.paths.path import Path
 from repro.qa import metamorphic
 from repro.qa.invariants import (
+    answer_set_errors,
     approximation_errors,
     identical_answer_errors,
     non_dominance_errors,
@@ -82,6 +91,11 @@ class QAConfig:
     check_updates: bool = True
     check_metamorphic: bool = True
     check_flat: bool = True
+    # Batch-kernel differential: the bucket-vectorized kernel is held
+    # to answer-set equality with the exact oracle (identical (cost,
+    # node-sequence) answer sets; counters and expansion order are
+    # explicitly unchecked — see repro.accel.batch_kernel).
+    check_batch: bool = True
     # Corridor-tier differential (off by default: the dedicated
     # quality tripwire in repro.qa.quality is the deep check; this
     # variant just keeps the serving path honest inside the battery).
@@ -226,12 +240,23 @@ def run_case(
         )
 
         case_csr = None
-        if config.check_flat:
+        fused_answers = None
+        if config.check_flat or config.check_batch:
             from repro.accel.csr import CSRSnapshot
 
             case_csr = CSRSnapshot.from_graph(graph, tracer=tracer)
+        if config.check_batch and case_csr is not None:
+            # The fused serving-batch kernel answers the whole case in
+            # one shared traversal; each per-query answer is checked
+            # against the oracle below, under the batch tier's
+            # answer-set contract.
+            from repro.accel.batch_kernel import fused_skyline_batch
 
-        for query in case.queries:
+            fused_answers = fused_skyline_batch(
+                graph, case_csr, case.queries
+            )
+
+        for index_in_case, query in enumerate(case.queries):
             source, target = query
             exact = skyline_paths(graph, source, target).paths
             span.count("queries")
@@ -248,7 +273,38 @@ def run_case(
                 expand=index.expand_path,
             )
 
-            if case_csr is not None:
+            if config.check_batch and case_csr is not None:
+                # The batch kernel's weaker tier: answer-set equality
+                # with the oracle (not bit identity — expansion order
+                # and counters diverge by design).
+                exact_batch = skyline_paths(
+                    graph, source, target, engine="batch", snapshot=case_csr
+                ).paths
+                for detail in answer_set_errors(
+                    "exact", exact, "exact_batch", exact_batch
+                ):
+                    report.discrepancies.append(
+                        Discrepancy(
+                            spec.seed, "batch_answer_set", "exact_batch",
+                            query, detail,
+                        )
+                    )
+                report.variants_checked += 1
+
+            if fused_answers is not None:
+                for detail in answer_set_errors(
+                    "exact", exact, "exact_fused",
+                    fused_answers[index_in_case].paths,
+                ):
+                    report.discrepancies.append(
+                        Discrepancy(
+                            spec.seed, "batch_answer_set", "exact_fused",
+                            query, detail,
+                        )
+                    )
+                report.variants_checked += 1
+
+            if config.check_flat and case_csr is not None:
                 # The CSR kernel must be bit-identical, not merely
                 # equivalent: same paths, same order.
                 exact_flat = skyline_paths(

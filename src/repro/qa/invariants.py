@@ -18,7 +18,11 @@ test suite in agreement about what *correct* means:
   nothing escapes it, and RAC stays within a configured bound;
 * :func:`identical_answer_errors` — two variants that must agree
   bit-for-bit (cached vs. uncached, store round-trip vs. fresh) really
-  return the same multiset of (cost, node-sequence) pairs.
+  return the same multiset of (cost, node-sequence) pairs;
+* :func:`answer_set_errors` — two variants that must agree as *answer
+  sets* (the batch kernel's contract): same skyline costs with the
+  same multiplicities, and identical node sequences wherever a cost is
+  unique — only which equal-cost alternate survives may differ.
 """
 
 from __future__ import annotations
@@ -223,6 +227,57 @@ def identical_answer_errors(
         f"{label_a} and {label_b} disagree "
         f"({len(paths_a)} vs {len(paths_b)} paths; {'; '.join(detail)})"
     ]
+
+
+def answer_set_errors(
+    label_a: str,
+    paths_a: Sequence[Path],
+    label_b: str,
+    paths_b: Sequence[Path],
+) -> list[str]:
+    """Two variants required to return the same *answer set*.
+
+    This is the contract of the bucket-vectorized batch kernel
+    (:mod:`repro.accel.batch_kernel`) against the flat/python engines:
+    the answers must match as a set of (cost vector, node sequence)
+    pairs, but the kernels expand labels in different orders by design,
+    so among *exactly* equal-cost alternatives the surviving
+    representative may differ.  Concretely:
+
+    * the skyline cost sets must be equal, with equal multiplicities
+      per cost vector (``keep_equal_costs`` semantics are preserved);
+    * wherever a cost vector is held by exactly one path on both
+      sides, the node sequences must match too.
+
+    Counters and expansion statistics are explicitly out of scope —
+    see the "counters may differ" tier note in the batch kernel.
+    """
+    problems = cost_skyline_errors(label_a, paths_a, label_b, paths_b)
+    if problems:
+        # A cost-front disagreement subsumes any per-path detail.
+        return problems
+
+    def grouped(paths: Sequence[Path]) -> dict:
+        groups: dict[tuple[float, ...], list] = {}
+        for path in paths:
+            groups.setdefault(path.cost, []).append(path.nodes)
+        return groups
+
+    groups_a, groups_b = grouped(paths_a), grouped(paths_b)
+    problems = []
+    for cost, walks_a in sorted(groups_a.items()):
+        walks_b = groups_b.get(cost, [])
+        if len(walks_a) != len(walks_b):
+            problems.append(
+                f"{label_a} keeps {len(walks_a)} paths at cost {cost}, "
+                f"{label_b} keeps {len(walks_b)}"
+            )
+        elif len(walks_a) == 1 and walks_a != walks_b:
+            problems.append(
+                f"unique-cost answers disagree at {cost}: "
+                f"{label_a} {walks_a[0]} vs {label_b} {walks_b[0]}"
+            )
+    return problems
 
 
 def cost_skyline_errors(

@@ -42,6 +42,7 @@ class SearchStats:
     pushes: int = 0
     pruned_by_frontier: int = 0
     pruned_by_bound: int = 0
+    pruned_by_result: int = 0
     pruned_by_corridor: int = 0
     dominance_checks: int = 0
     max_heap_size: int = 0
@@ -56,6 +57,7 @@ class SearchStats:
             "pushes": self.pushes,
             "pruned_by_frontier": self.pruned_by_frontier,
             "pruned_by_bound": self.pruned_by_bound,
+            "pruned_by_result": self.pruned_by_result,
             "pruned_by_corridor": self.pruned_by_corridor,
             "dominance_checks": self.dominance_checks,
             "max_heap_size": self.max_heap_size,
@@ -80,21 +82,24 @@ class SkylineResult:
 def resolve_search_engine(
     engine: str, snapshot, graph: MultiCostGraph, *, tracer: Tracer | None = None
 ):
-    """Resolve an ``engine=`` option to ``("python"|"flat", snapshot)``.
+    """Resolve an ``engine=`` option to ``("python"|"flat"|"batch", snapshot)``.
 
-    ``"python"`` ignores any snapshot.  ``"flat"`` forces the CSR kernel,
-    building (and tracing) a snapshot of ``graph`` when none is given.
-    ``"auto"`` uses the flat kernel exactly when a snapshot is already
-    available — it never pays a build on the query path.
+    ``"python"`` ignores any snapshot.  ``"flat"`` forces the scalar CSR
+    kernel and ``"batch"`` the bucket-vectorized one, building (and
+    tracing) a snapshot of ``graph`` when none is given.  ``"auto"``
+    uses the flat kernel exactly when a snapshot is already available —
+    it never pays a build on the query path and never changes the
+    bit-identity tier (batch must be requested explicitly; the service
+    planner does so above its measured crossover).
     """
     if engine == "python":
         return "python", None
-    if engine == "flat":
+    if engine in ("flat", "batch"):
         if snapshot is None:
             from repro.accel.csr import CSRSnapshot
 
             snapshot = CSRSnapshot.from_graph(graph, tracer=tracer)
-        return "flat", snapshot
+        return engine, snapshot
     if engine == "auto":
         if snapshot is not None:
             return "flat", snapshot
@@ -166,10 +171,14 @@ def skyline_paths(
         enabled the whole search runs inside one ``search.bbs`` span
         carrying the :class:`SearchStats` counters.
     engine:
-        ``"python"`` runs the dict-based loop, ``"flat"`` the CSR kernel
-        of :mod:`repro.accel` (building ``snapshot`` on demand), and
-        ``"auto"`` (default) picks flat exactly when ``snapshot`` is
-        provided.  Results are bit-identical across engines.
+        ``"python"`` runs the dict-based loop, ``"flat"`` the scalar CSR
+        kernel of :mod:`repro.accel` (building ``snapshot`` on demand),
+        ``"batch"`` the bucket-vectorized kernel, and ``"auto"``
+        (default) picks flat exactly when ``snapshot`` is provided.
+        ``python``/``flat`` results are bit-identical (counters
+        included); ``batch`` returns the same answer set but its
+        counters and expansion order differ (see
+        :mod:`repro.accel.batch_kernel`).
     snapshot:
         Optional pre-built :class:`~repro.accel.csr.CSRSnapshot` of
         ``graph``, typically cached by the caller.
@@ -192,15 +201,22 @@ def skyline_paths(
         engine=resolved,
         restricted=restrict_to is not None,
     ) as span:
-        if resolved == "flat":
-            from repro.accel.bbs_kernel import flat_skyline_paths
+        if resolved in ("flat", "batch"):
+            if resolved == "batch":
+                from repro.accel.batch_kernel import (
+                    batch_skyline_paths as kernel,
+                )
+            else:
+                from repro.accel.bbs_kernel import (
+                    flat_skyline_paths as kernel,
+                )
 
             node_mask = (
                 restriction_mask(restrict_to, snapshot)
                 if restrict_to is not None
                 else None
             )
-            result = flat_skyline_paths(
+            result = kernel(
                 graph,
                 snapshot,
                 source,
@@ -273,7 +289,7 @@ def _skyline_paths_impl(
             return
         stats.dominance_checks += 1
         if results.dominates_candidate(projected):
-            stats.pruned_by_bound += 1
+            stats.pruned_by_result += 1
             return
         frontier = frontiers.get(label.node)
         if frontier is None:
@@ -288,14 +304,20 @@ def _skyline_paths_impl(
 
     push(Label(source, (0.0,) * graph.dim))
 
-    check_interval = 512
+    # The budget check is gated on a monotone *loop-iteration* counter,
+    # not on ``stats.expansions``: stale or pruned pops never increment
+    # expansions, so a long run of them would otherwise freeze the gate
+    # at a non-multiple of the interval and starve the wall-clock check
+    # indefinitely.  Overshoot is bounded to 512 heap pops.
+    loop_count = 0
     while heap:
-        if stats.expansions % check_interval == 0:
+        if loop_count & 511 == 0:
             if time_budget is not None and (
                 time.perf_counter() - start_time > time_budget
             ):
                 stats.timed_out = True
                 break
+        loop_count += 1
         if max_expansions is not None and stats.expansions >= max_expansions:
             stats.timed_out = True
             break
@@ -308,7 +330,7 @@ def _skyline_paths_impl(
         projected = tuple(c + b for c, b in zip(label.cost, bound))
         stats.dominance_checks += 1
         if results.dominates_candidate(projected):
-            stats.pruned_by_bound += 1
+            stats.pruned_by_result += 1
             continue
         stats.expansions += 1
 

@@ -97,15 +97,22 @@ def many_to_many_skyline(
         engine=resolved,
         restricted=restrict_to is not None,
     ) as span:
-        if resolved == "flat":
-            from repro.accel.bbs_kernel import flat_many_to_many
+        if resolved in ("flat", "batch"):
+            if resolved == "batch":
+                from repro.accel.batch_kernel import (
+                    batch_many_to_many as kernel,
+                )
+            else:
+                from repro.accel.bbs_kernel import (
+                    flat_many_to_many as kernel,
+                )
 
             node_mask = (
                 restriction_mask(restrict_to, snapshot)
                 if restrict_to is not None
                 else None
             )
-            result = flat_many_to_many(
+            result = kernel(
                 graph,
                 snapshot,
                 seed_list,
@@ -184,11 +191,16 @@ def _many_to_many_impl(
             raise NodeNotFoundError(seed.node)
         push(Label(seed.node, tuple(seed.cost), seed=seed))
 
+    # Monotone loop counter for the budget gate: stale pops never bump
+    # ``stats.expansions``, so gating on it can starve the wall-clock
+    # check (see repro.search.bbs).
+    loop_count = 0
     while heap:
-        if time_budget is not None and stats.expansions % 512 == 0:
+        if time_budget is not None and loop_count & 511 == 0:
             if time.perf_counter() - start_time > time_budget:
                 stats.timed_out = True
                 break
+        loop_count += 1
         if max_expansions is not None and stats.expansions >= max_expansions:
             stats.timed_out = True
             break

@@ -14,10 +14,21 @@ before any search runs:
 3. **Caching** — each unique query still goes through the engine's
    result cache, so repeats across batches are free too.
 
+On the batch kernel tier (``engine="batch"`` or ``"auto"`` above the
+measured node crossover) exact-plan queries additionally **fuse**: the
+whole set runs as one
+:meth:`~repro.service.engine.SkylineQueryEngine.query_batch_fused`
+call whose bucket traversal is shared across every query — the
+serving-batch speedup measured at 3.5x+ over per-query python serving
+(``BENCH_batch.json``).
+
 Remaining independent work units fan out over a ``ThreadPoolExecutor``.
-Results always come back positionally aligned with the input, and are
-identical to serial execution of the same list (grouping reuses only
-target-independent state).
+Results always come back positionally aligned with the input.  Off the
+batch tier they are identical to serial execution of the same list
+(grouping reuses only target-independent state); fused exact answers
+are answer-set-equal to serial serving but may pick different
+equal-cost path alternates and report different search counters — the
+batch kernel's documented contract (``docs/acceleration.md``).
 """
 
 from __future__ import annotations
@@ -43,6 +54,7 @@ class BatchResult:
     duplicates_folded: int = 0
     source_groups: int = 0
     grouped_queries: int = 0
+    fused_queries: int = 0
     elapsed_seconds: float = 0.0
 
     def __len__(self) -> int:
@@ -116,17 +128,23 @@ def execute_batch(
         positions.setdefault(pair, []).append(position)
     unique = list(positions)
 
-    # Partition unique queries into shared-source groups and singles.
-    # Only approximate plans benefit from a shared grow-S; exact plans
-    # and singleton sources run as independent units.
+    # Partition unique queries into shared-source groups, fused exact
+    # batches, and singles.  Approximate plans share a grow-S per
+    # source; on the batch kernel tier, exact plans fuse into one
+    # bucket traversal (:meth:`SkylineQueryEngine.query_batch_fused`);
+    # everything else runs as independent units.
+    fuse_exact = engine.batch_tier()
     grouped: dict[int, list[int]] = {}
     singles: list[QueryPair] = []
-    if group_by_source:
+    fused: list[QueryPair] = []
+    if group_by_source or fuse_exact:
         by_source: dict[int, list[int]] = {}
         for source, target in unique:
             plan = engine.plan(source, target, mode, time_budget=time_budget)
-            if plan == "approx":
+            if plan == "approx" and group_by_source:
                 by_source.setdefault(source, []).append(target)
+            elif plan == "exact" and fuse_exact:
+                fused.append((source, target))
             else:
                 singles.append((source, target))
         for source, targets in by_source.items():
@@ -134,6 +152,11 @@ def execute_batch(
                 grouped[source] = targets
             else:
                 singles.append((source, targets[0]))
+        if len(fused) == 1:
+            # A lone exact query gains nothing from the fused entry
+            # point; serve it like any other single.
+            singles.extend(fused)
+            fused = []
     else:
         singles = list(unique)
 
@@ -166,11 +189,25 @@ def execute_batch(
         for target, response in zip(targets, responses):
             answers[(source, target)] = response
 
+    def run_fused(fused_pairs: list[QueryPair]) -> None:
+        with tracer.span(
+            "batch.unit", kind="fused", queries=len(fused_pairs)
+        ):
+            responses = engine.query_batch_fused(
+                fused_pairs,
+                time_budget=time_budget,
+                use_cache=use_cache,
+            )
+        for pair, response in zip(fused_pairs, responses):
+            answers[pair] = response
+
     tasks = [lambda pair=pair: run_single(pair) for pair in singles]
     tasks += [
         lambda s=source, ts=targets: run_group(s, ts)
         for source, targets in grouped.items()
     ]
+    if fused:
+        tasks.append(lambda ps=fused: run_fused(ps))
     with tracer.span(
         "batch.execute",
         queries=len(pairs),
@@ -193,11 +230,13 @@ def execute_batch(
         duplicates_folded=len(pairs) - len(unique),
         source_groups=len(grouped),
         grouped_queries=sum(len(t) for t in grouped.values()),
+        fused_queries=len(fused),
         elapsed_seconds=time.perf_counter() - started,
     )
     engine.metrics.increment("batch.batches")
     engine.metrics.increment("batch.queries", len(pairs))
     engine.metrics.increment("batch.duplicates_folded", result.duplicates_folded)
     engine.metrics.increment("batch.source_groups", result.source_groups)
+    engine.metrics.increment("batch.fused_queries", result.fused_queries)
     engine.metrics.observe("batch.batch_seconds", result.elapsed_seconds)
     return result

@@ -107,6 +107,20 @@ PLANNER_MIN_SAMPLES = 3
 # caller opts out of result caching.
 CORRIDOR_CACHE_SIZE = 128
 
+# Above this node count "auto" serves exact/corridor queries with the
+# bucket-vectorized batch kernel instead of the scalar flat one, and
+# batch executors fuse exact singles into one shared traversal
+# (:meth:`SkylineQueryEngine.query_batch_fused`).  Measured on the
+# fig10 workload family (benchmarks/bench_fig10_query_time.py,
+# BENCH_batch.json): at ~400 nodes all tiers are within noise; at
+# ~1200 nodes flat and per-query batch both sit near 2.2x over the
+# python engine, while the fused serving-batch kernel — one bucket
+# traversal shared across the whole batch — reaches 3.5x+.  Batch-tier
+# answers are answer-set-equal to flat but not counter-identical, so
+# "auto" only crosses over where the speedup is unambiguous; pass
+# engine="flat"/"batch" to pin a tier.
+DEFAULT_BATCH_NODE_CROSSOVER = 600
+
 
 @dataclass
 class QueryResponse:
@@ -168,11 +182,21 @@ class SkylineQueryEngine:
     exact_node_threshold:
         ``auto`` plans exact BBS on graphs at or below this node count.
     engine:
-        Search-kernel selection: ``"auto"`` (default) and ``"flat"``
-        serve from CSR snapshots — built at most once per generation
-        for the original graph and once per index for G_L, amortized
-        across every query — while ``"python"`` keeps the dict-based
-        loops.  Answers are bit-identical either way.
+        Search-kernel selection: ``"auto"`` (default), ``"flat"`` and
+        ``"batch"`` serve from CSR snapshots — built at most once per
+        generation for the original graph and once per index for G_L,
+        amortized across every query — while ``"python"`` keeps the
+        dict-based loops.  ``"flat"`` answers are bit-identical to
+        python, counters included; ``"batch"`` runs the
+        bucket-vectorized kernel of :mod:`repro.accel.batch_kernel`,
+        whose answers equal the other tiers as path sets while its
+        counters differ.  ``"auto"`` picks flat, escalating to batch on
+        graphs above ``batch_node_crossover`` nodes where bucket
+        amortization measurably wins.
+    batch_node_crossover:
+        Node count at which ``"auto"`` switches from the flat to the
+        batch kernel (default ``DEFAULT_BATCH_NODE_CROSSOVER``, the
+        measured crossover on the fig10 workload family).
     corridor_radius:
         k-hop expansion around the backbone answer when serving
         ``mode="corridor"`` (see :mod:`repro.approx.corridor`).
@@ -199,12 +223,14 @@ class SkylineQueryEngine:
         events: EventLog | None = None,
         snapshotter=None,
         engine: str = "auto",
+        batch_node_crossover: int = DEFAULT_BATCH_NODE_CROSSOVER,
         corridor_radius: int = 2,
         quality_target: float | None = None,
     ) -> None:
-        if engine not in ("auto", "flat", "python"):
+        if engine not in ("auto", "flat", "python", "batch"):
             raise QueryError(
-                f"unknown engine {engine!r} (use 'auto', 'flat' or 'python')"
+                f"unknown engine {engine!r} "
+                "(use 'auto', 'flat', 'batch' or 'python')"
             )
         if corridor_radius < 0:
             raise QueryError("corridor_radius cannot be negative")
@@ -231,6 +257,7 @@ class SkylineQueryEngine:
         self.default_time_budget = default_time_budget
         self.exact_node_threshold = exact_node_threshold
         self.engine = engine
+        self.batch_node_crossover = batch_node_crossover
         self.corridor_radius = corridor_radius
         self.quality_target = quality_target
         self._corridors = ResultCache(CORRIDOR_CACHE_SIZE)
@@ -326,6 +353,40 @@ class SkylineQueryEngine:
                     self.metrics.increment("engine.csr_builds")
                 snapshot = self._csr_original
         return snapshot
+
+    def _kernel_for(self, snapshot) -> str:
+        """The search-kernel string for one query over ``snapshot``.
+
+        ``"python"`` without a snapshot; the pinned tier under
+        ``engine="flat"``/``"batch"``; under ``"auto"``, flat below the
+        measured ``batch_node_crossover`` and batch at or above it (the
+        planner-level escalation the batch kernel is served through).
+        """
+        if snapshot is None:
+            return "python"
+        if self.engine == "batch":
+            return "batch"
+        if (
+            self.engine == "auto"
+            and snapshot.num_nodes >= self.batch_node_crossover
+        ):
+            return "batch"
+        return "flat"
+
+    def batch_tier(self) -> bool:
+        """True when exact queries resolve to the bucket-mode kernel.
+
+        The snapshot-free mirror of :meth:`_kernel_for`, so executors
+        can decide whether to fuse a batch *before* paying the lazy CSR
+        build (node count is read off the graph, which the snapshot
+        copies verbatim).
+        """
+        if self.engine == "batch":
+            return True
+        return (
+            self.engine == "auto"
+            and self._graph.num_nodes >= self.batch_node_crossover
+        )
 
     def warm(self) -> dict:
         """Prime everything a cold start would otherwise pay per query.
@@ -541,12 +602,21 @@ class SkylineQueryEngine:
                 index = self.ensure_index()
                 generation = self._generation
                 started = time.perf_counter()
-                # Service "auto" means flat: the index-cached G_L
-                # snapshot amortizes its build across every query.
+                # Service "auto" means flat on G_L: the index-cached
+                # snapshot amortizes its build across every query, and
+                # the abstracted graph sits below the batch crossover.
+                # A pinned engine="batch" shares one bucket-mode m_BBS
+                # traversal across the whole target group instead.
+                if self.engine == "python":
+                    group_engine = "python"
+                elif self.engine == "batch":
+                    group_engine = "batch"
+                else:
+                    group_engine = "flat"
                 results = backbone_query_shared_source(
                     index, source, approx_targets, time_budget=budget,
                     tracer=tracer,
-                    engine="python" if self.engine == "python" else "flat",
+                    engine=group_engine,
                 )
                 for target in approx_targets:
                     answers[target] = self._record(
@@ -567,6 +637,117 @@ class SkylineQueryEngine:
             aggregate_spans([serve_span], self.metrics)
 
         return [answers[target] for target in targets]
+
+    def query_batch_fused(
+        self,
+        pairs: list[tuple[int, int]],
+        *,
+        time_budget: float | None = None,
+        use_cache: bool = True,
+    ) -> list[QueryResponse]:
+        """Serve many exact queries through one fused bucket traversal.
+
+        The batch-tier counterpart of calling :meth:`query` with
+        ``mode="exact"`` per pair: cache hits are served individually,
+        and the remaining misses run as a single
+        :func:`~repro.accel.batch_kernel.fused_skyline_batch` call that
+        shares bucket pops, bound projection, and the candidate sweep
+        across every query in the batch — where the measured 3.5x+ over
+        the python engine comes from (per-query serving, flat or batch,
+        sits near 2.2x on the same workload).
+
+        Answers are answer-set-equal to per-query serving (equal-cost
+        alternates and counters may differ — the batch kernel's
+        documented tier).  ``elapsed_seconds`` on each miss is the
+        fused wall clock split evenly across the misses, since the
+        shared traversal has no per-query attribution; for the same
+        reason ``time_budget`` caps the whole traversal, not each
+        query (expiry truncates every still-running query at once).  When the engine
+        does not resolve to the batch kernel (:meth:`batch_tier` false,
+        e.g. ``engine="python"``), every miss falls back to the serial
+        exact path, so callers may route unconditionally.
+
+        Identical pairs in one call are computed once and fanned back
+        out; positions always align with ``pairs``.
+        """
+        for source, target in pairs:
+            if not self._graph.has_node(source):
+                raise NodeNotFoundError(source)
+            if not self._graph.has_node(target):
+                raise NodeNotFoundError(target)
+        budget = (
+            time_budget if time_budget is not None else self.default_time_budget
+        )
+        responses: dict[int, QueryResponse] = {}
+        miss_positions: dict[tuple[int, int], list[int]] = {}
+        tracer = resolve_tracer(self.tracer)
+        for position, (source, target) in enumerate(pairs):
+            if (source, target) in miss_positions:
+                miss_positions[(source, target)].append(position)
+                continue
+            cached = self._cache_lookup(source, target, "exact", use_cache)
+            if cached is not None:
+                responses[position] = cached
+            else:
+                miss_positions.setdefault((source, target), []).append(
+                    position
+                )
+        if miss_positions:
+            snapshot = self._original_snapshot()
+            if snapshot is None or self._kernel_for(snapshot) != "batch":
+                for (source, target), spots in miss_positions.items():
+                    response = self._serve_exact(
+                        source, target, budget, use_cache, tracer
+                    )
+                    for spot in spots:
+                        responses[spot] = response
+            else:
+                from repro.accel.batch_kernel import fused_skyline_batch
+
+                run_pairs = list(miss_positions)
+                generation = self._generation
+                landmarks = self._original_landmarks
+                bounds = None
+                if landmarks is not None:
+                    bounds = [
+                        LandmarkLowerBounds(landmarks, [target])
+                        for _, target in run_pairs
+                    ]
+                started = time.perf_counter()
+                with tracer.span(
+                    "serve.fused_batch", queries=len(run_pairs)
+                ):
+                    outcomes = fused_skyline_batch(
+                        self._graph,
+                        snapshot,
+                        run_pairs,
+                        bounds=bounds,
+                        time_budget=budget,
+                    )
+                per_query = (
+                    (time.perf_counter() - started) / len(run_pairs)
+                )
+                self.metrics.increment("engine.fused_batches")
+                self.metrics.increment(
+                    "engine.fused_batch_queries", len(run_pairs)
+                )
+                for (source, target), outcome in zip(run_pairs, outcomes):
+                    response = self._record(
+                        QueryResponse(
+                            source=source,
+                            target=target,
+                            mode="exact",
+                            paths=outcome.paths,
+                            truncated=outcome.stats.timed_out,
+                            elapsed_seconds=per_query,
+                            generation=generation,
+                            stats=outcome.stats,
+                        ),
+                        use_cache,
+                    )
+                    for spot in miss_positions[(source, target)]:
+                        responses[spot] = response
+        return [responses[position] for position in range(len(pairs))]
 
     def _serve_exact(
         self,
@@ -591,7 +772,7 @@ class SkylineQueryEngine:
         outcome = skyline_paths(
             self._graph, source, target, bounds=bounds, time_budget=budget,
             tracer=tracer,
-            engine="flat" if snapshot is not None else "python",
+            engine=self._kernel_for(snapshot),
             snapshot=snapshot,
         )
         response = QueryResponse(
@@ -648,7 +829,7 @@ class SkylineQueryEngine:
             bounds=bounds,
             time_budget=remaining,
             tracer=tracer,
-            engine="flat" if snapshot is not None else "python",
+            engine=self._kernel_for(snapshot),
             snapshot=snapshot,
             restrict_to=corridor,
             # The corridor's unpacked backbone paths replace the

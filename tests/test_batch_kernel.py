@@ -1,0 +1,408 @@
+"""repro.accel.batch_kernel: answer-set equality with flat/python BBS.
+
+The batch kernel sits in a weaker correctness tier than the flat
+kernel: its *answers* must equal the flat (and therefore python)
+answers as a set of (cost, node-sequence) pairs, but its counters and
+expansion order are free to differ — bucket pops reorder the search.
+The properties here pin exactly that contract:
+
+* on continuous-cost workload networks (cost ties measure-zero) the
+  sorted path lists must match outright;
+* on integer-cost multigraphs with parallel edges, where exact cost
+  ties are common, the comparison runs through the same
+  :func:`repro.qa.invariants.answer_set_errors` predicate the
+  differential harness uses (equal cost front, equal multiplicities,
+  identical walks wherever a cost is unique);
+* corridor masks (``restrict_to``), pre-seeded result skylines
+  (``seed_paths``), and many-to-many seeds with payloads all preserve
+  the equality;
+* degenerate bucket sizes (1, 3) exercise the bucketing edge cases
+  without changing any answer;
+* the fused many-query kernel (:func:`fused_skyline_batch`) — one
+  bucket traversal shared across a whole serving batch — must be
+  answer-set-equal to serving every query alone, including repeated
+  targets/pairs (the shared bound cache must not couple answers),
+  mixed bound providers, and trivial/unreachable endpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.batch_kernel import (
+    batch_many_to_many,
+    batch_skyline_paths,
+    fused_skyline_batch,
+)
+from repro.accel.csr import CSRSnapshot
+from repro.graph.mcrn import MultiCostGraph
+from repro.paths.path import Path
+from repro.qa.invariants import answer_set_errors
+from repro.qa.workload import CaseSpec, build_case
+from repro.search.bbs import skyline_paths
+from repro.search.bounds import ExactBounds, ZeroBounds
+from repro.search.mbbs import Seed, many_to_many_skyline
+
+
+def random_multigraph(seed: int) -> MultiCostGraph:
+    """A small graph with sparse ids, parallel edges, random direction."""
+    rng = random.Random(seed)
+    dim = rng.choice((2, 3))
+    graph = MultiCostGraph(dim, directed=rng.random() < 0.5)
+    nodes = rng.sample(range(1000), rng.randint(2, 16))
+    for node in nodes:
+        graph.add_node(node)
+    for _ in range(rng.randint(0, 36)):
+        u, v = rng.sample(nodes, 2)
+        cost = tuple(float(rng.randint(1, 9)) for _ in range(dim))
+        graph.add_edge(u, v, cost)
+    return graph
+
+
+@lru_cache(maxsize=None)
+def workload_case(seed: int):
+    """Cached qa case + snapshot (hypothesis revisits seeds freely)."""
+    case = build_case(
+        CaseSpec.from_seed(seed, n_nodes=40, n_queries=3, n_updates=0)
+    )
+    return case, CSRSnapshot.from_graph(case.graph)
+
+
+def sorted_answers(result):
+    return sorted((p.cost, p.nodes) for p in result.paths)
+
+
+def hit_sets(result):
+    """m_BBS hits as order-insensitive per-target answer sets."""
+    return {
+        target: sorted(
+            (cost, payload, path.nodes, path.cost)
+            for cost, (payload, path) in pareto
+        )
+        for target, pareto in result.hits.items()
+    }
+
+
+class TestAnswerSetEquality:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_multigraph_equality_modulo_cost_ties(self, seed):
+        """Integer costs tie freely, so batch answers are compared with
+        the harness predicate: equal cost fronts with equal
+        multiplicities, identical walks on unique costs."""
+        graph = random_multigraph(seed)
+        snapshot = CSRSnapshot.from_graph(graph)
+        nodes = sorted(graph.nodes())
+        rng = random.Random(seed + 1)
+        for _ in range(4):
+            source, target = rng.sample(nodes, 2)
+            flat = skyline_paths(
+                graph, source, target, engine="flat", snapshot=snapshot
+            )
+            batch = skyline_paths(
+                graph, source, target, engine="batch", snapshot=snapshot
+            )
+            assert not answer_set_errors(
+                "flat", flat.paths, "batch", batch.paths
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_workload_paths_identical_sorted_by_cost(self, seed):
+        """Continuous costs never tie, so the sorted path lists must
+        match outright — while the counters are free to diverge."""
+        case, snapshot = workload_case(seed)
+        for source, target in case.queries:
+            flat = skyline_paths(
+                case.graph, source, target, engine="flat", snapshot=snapshot
+            )
+            batch = skyline_paths(
+                case.graph, source, target, engine="batch", snapshot=snapshot
+            )
+            assert sorted_answers(batch) == sorted_answers(flat)
+            # The counters-may-differ tier is a one-way contract: no
+            # assertion ties batch.stats to flat.stats, only that the
+            # batch run reports a coherent expansion count.
+            assert batch.stats.expansions >= 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_bound_providers_preserve_equality(self, seed):
+        case, snapshot = workload_case(seed)
+        source, target = case.queries[0]
+        for bounds in (ZeroBounds(case.graph.dim),
+                       ExactBounds(case.graph, [target])):
+            flat = skyline_paths(
+                case.graph, source, target, engine="flat",
+                snapshot=snapshot, bounds=bounds,
+            )
+            batch = skyline_paths(
+                case.graph, source, target, engine="batch",
+                snapshot=snapshot, bounds=bounds,
+            )
+            assert sorted_answers(batch) == sorted_answers(flat)
+
+
+class TestRestrictionAndSeeding:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_corridor_mask_equality(self, seed):
+        """A random node restriction (the corridor-serving shape) must
+        leave batch answer-set-equal to flat on the restricted graph."""
+        case, snapshot = workload_case(seed)
+        rng = random.Random(seed + 2)
+        source, target = case.queries[0]
+        nodes = sorted(case.graph.nodes())
+        corridor = set(rng.sample(nodes, max(2, len(nodes) * 2 // 3)))
+        corridor.update((source, target))
+        flat = skyline_paths(
+            case.graph, source, target, engine="flat",
+            snapshot=snapshot, restrict_to=corridor,
+        )
+        batch = skyline_paths(
+            case.graph, source, target, engine="batch",
+            snapshot=snapshot, restrict_to=corridor,
+        )
+        assert sorted_answers(batch) == sorted_answers(flat)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_seed_paths_equality(self, seed):
+        """Pre-seeded result skylines (corridor escalation hands the
+        backbone answer down) prune both kernels identically."""
+        case, snapshot = workload_case(seed)
+        source, target = case.queries[0]
+        exact = skyline_paths(case.graph, source, target).paths
+        if not exact:
+            return
+        seeds = [Path(exact[0].nodes, exact[0].cost)]
+        flat = skyline_paths(
+            case.graph, source, target, engine="flat",
+            snapshot=snapshot, seed_paths=seeds,
+        )
+        batch = skyline_paths(
+            case.graph, source, target, engine="batch",
+            snapshot=snapshot, seed_paths=seeds,
+        )
+        assert sorted_answers(batch) == sorted_answers(flat)
+        assert sorted_answers(batch) == sorted(
+            (p.cost, p.nodes) for p in exact
+        )
+
+
+class TestManyToMany:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_hits_equal_flat(self, seed):
+        """m_BBS seeds with payloads and non-zero initial costs: every
+        target's hit list must match flat as (cost, payload) sets."""
+        case, snapshot = workload_case(seed)
+        nodes = sorted(case.graph.nodes())
+        dim = case.graph.dim
+        rng = random.Random(seed + 3)
+        seeds = [
+            Seed(nodes[0], (0.0,) * dim, payload="a"),
+            Seed(
+                nodes[1],
+                tuple(round(rng.uniform(0.1, 3.0), 3) for _ in range(dim)),
+                payload="b",
+            ),
+        ]
+        targets = nodes[-3:]
+        flat = many_to_many_skyline(
+            case.graph, seeds, targets, engine="flat", snapshot=snapshot
+        )
+        batch = many_to_many_skyline(
+            case.graph, seeds, targets, engine="batch", snapshot=snapshot
+        )
+        assert hit_sets(flat) == hit_sets(batch)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_node_mask_equality(self, seed):
+        case, snapshot = workload_case(seed)
+        nodes = sorted(case.graph.nodes())
+        dim = case.graph.dim
+        rng = random.Random(seed + 4)
+        corridor = set(rng.sample(nodes, max(2, len(nodes) * 2 // 3)))
+        corridor.update(nodes[:2])
+        corridor.update(nodes[-2:])
+        seeds = [Seed(nodes[0], (0.0,) * dim), Seed(nodes[1], (0.0,) * dim)]
+        targets = nodes[-2:]
+        flat = many_to_many_skyline(
+            case.graph, seeds, targets, engine="flat",
+            snapshot=snapshot, restrict_to=corridor,
+        )
+        batch = many_to_many_skyline(
+            case.graph, seeds, targets, engine="batch",
+            snapshot=snapshot, restrict_to=corridor,
+        )
+        assert hit_sets(flat) == hit_sets(batch)
+
+
+class TestBucketing:
+    @given(
+        seed=st.integers(0, 10_000),
+        bucket_size=st.sampled_from((1, 3, 64)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bucket_size_never_changes_answers(self, seed, bucket_size):
+        """bucket_size=1 degenerates to sequential pops; any size must
+        return the same answer set."""
+        case, snapshot = workload_case(seed)
+        source, target = case.queries[0]
+        flat = skyline_paths(
+            case.graph, source, target, engine="flat", snapshot=snapshot
+        )
+        batch = batch_skyline_paths(
+            case.graph, snapshot, source, target, bucket_size=bucket_size
+        )
+        assert sorted_answers(batch) == sorted_answers(flat)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_m2m_bucket_size_one(self, seed):
+        case, snapshot = workload_case(seed)
+        nodes = sorted(case.graph.nodes())
+        dim = case.graph.dim
+        seeds = [Seed(nodes[0], (0.0,) * dim), Seed(nodes[1], (0.0,) * dim)]
+        targets = nodes[-2:]
+        flat = many_to_many_skyline(
+            case.graph, seeds, targets, engine="flat", snapshot=snapshot
+        )
+        batch = batch_many_to_many(
+            case.graph, snapshot, seeds, targets, bucket_size=1
+        )
+        assert hit_sets(flat) == hit_sets(batch)
+
+
+class TestFusedBatch:
+    """The fused many-query kernel: one shared bucket traversal must be
+    answer-set-equal to serving each query alone."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_workload_equality_per_query(self, seed):
+        case, snapshot = workload_case(seed)
+        fused = fused_skyline_batch(case.graph, snapshot, case.queries)
+        for (source, target), result in zip(case.queries, fused):
+            flat = skyline_paths(
+                case.graph, source, target, engine="flat", snapshot=snapshot
+            )
+            assert sorted_answers(result) == sorted_answers(flat)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_multigraph_equality_modulo_cost_ties(self, seed):
+        graph = random_multigraph(seed)
+        snapshot = CSRSnapshot.from_graph(graph)
+        nodes = sorted(graph.nodes())
+        rng = random.Random(seed + 5)
+        queries = [tuple(rng.sample(nodes, 2)) for _ in range(4)]
+        fused = fused_skyline_batch(graph, snapshot, queries)
+        for (source, target), result in zip(queries, fused):
+            flat = skyline_paths(
+                graph, source, target, engine="flat", snapshot=snapshot
+            )
+            assert not answer_set_errors(
+                "flat", flat.paths, "fused", result.paths
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_repeated_targets_and_pairs(self, seed):
+        """Batches repeat targets (and whole pairs) freely: the shared
+        bound cache must not couple the per-query answers."""
+        case, snapshot = workload_case(seed)
+        source, target = case.queries[0]
+        other = case.queries[1][0]
+        queries = [
+            (source, target),
+            (other, target),
+            (source, target),
+        ]
+        fused = fused_skyline_batch(case.graph, snapshot, queries)
+        assert sorted_answers(fused[0]) == sorted_answers(fused[2])
+        for (s, t), result in zip(queries, fused):
+            flat = skyline_paths(
+                case.graph, s, t, engine="flat", snapshot=snapshot
+            )
+            assert sorted_answers(result) == sorted_answers(flat)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        bucket_size=st.sampled_from((1, 3, 64)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bucket_size_never_changes_answers(self, seed, bucket_size):
+        case, snapshot = workload_case(seed)
+        fused = fused_skyline_batch(
+            case.graph, snapshot, case.queries, bucket_size=bucket_size
+        )
+        baseline = fused_skyline_batch(case.graph, snapshot, case.queries)
+        for a, b in zip(fused, baseline):
+            assert sorted_answers(a) == sorted_answers(b)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=12, deadline=None)
+    def test_bound_providers_preserve_equality(self, seed):
+        case, snapshot = workload_case(seed)
+        bounds = [
+            ZeroBounds(case.graph.dim) if i % 2 else
+            ExactBounds(case.graph, [target])
+            for i, (_, target) in enumerate(case.queries)
+        ]
+        fused = fused_skyline_batch(
+            case.graph, snapshot, case.queries, bounds=bounds
+        )
+        for (source, target), result in zip(case.queries, fused):
+            flat = skyline_paths(
+                case.graph, source, target, engine="flat", snapshot=snapshot
+            )
+            assert sorted_answers(result) == sorted_answers(flat)
+
+    def test_trivial_and_unreachable(self):
+        graph = MultiCostGraph(2, directed=True)
+        for node in (1, 2, 3):
+            graph.add_node(node)
+        graph.add_edge(1, 2, (1.0, 1.0))
+        snapshot = CSRSnapshot.from_graph(graph)
+        hit, trivial, miss = fused_skyline_batch(
+            graph, snapshot, [(1, 2), (2, 2), (2, 3)]
+        )
+        assert [p.cost for p in hit.paths] == [(1.0, 1.0)]
+        assert [p.nodes for p in trivial.paths] == [(2,)]
+        assert trivial.paths[0].cost == (0.0, 0.0)
+        assert miss.paths == []
+
+    def test_max_expansions_truncates_whole_batch(self):
+        case, snapshot = workload_case(11)
+        results = fused_skyline_batch(
+            case.graph, snapshot, case.queries, max_expansions=1
+        )
+        assert any(r.stats.timed_out for r in results)
+
+
+class TestBudgets:
+    def test_max_expansions_reports_timeout(self):
+        case, snapshot = workload_case(11)
+        source, target = case.queries[0]
+        result = batch_skyline_paths(
+            case.graph, snapshot, source, target, max_expansions=1
+        )
+        assert result.stats.timed_out
+
+    def test_trivial_and_unreachable(self):
+        graph = MultiCostGraph(2, directed=True)
+        for node in (1, 2, 3):
+            graph.add_node(node)
+        graph.add_edge(1, 2, (1.0, 1.0))
+        snapshot = CSRSnapshot.from_graph(graph)
+        hit = batch_skyline_paths(graph, snapshot, 1, 2)
+        assert [p.cost for p in hit.paths] == [(1.0, 1.0)]
+        miss = batch_skyline_paths(graph, snapshot, 2, 3)
+        assert miss.paths == []

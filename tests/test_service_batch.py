@@ -162,6 +162,79 @@ class TestEquivalence:
         assert [costs(r.paths) for r in outcome.responses] == expected
 
 
+class TestFusedExactServing:
+    """Exact-plan singles fuse into one bucket traversal on the batch
+    kernel tier, answer-set-equal to per-query serving."""
+
+    @pytest.fixture()
+    def batch_engine(self, network, index):
+        return SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=network.num_nodes,  # auto -> exact
+            engine="batch",
+        )
+
+    def test_exact_singles_fused(self, batch_engine, workload):
+        outcome = execute_batch(batch_engine, workload, max_workers=2)
+        assert outcome.fused_queries == len(set(workload))
+        assert all(r.mode == "exact" for r in outcome.responses)
+        metrics = batch_engine.metrics_snapshot()["counters"]
+        assert metrics["engine.fused_batches"] == 1
+        assert metrics["batch.fused_queries"] == outcome.fused_queries
+
+    def test_fused_equals_serial_answers(
+        self, network, index, batch_engine, workload
+    ):
+        expected = serial_baseline(network, index, workload, mode="exact")
+        outcome = execute_batch(batch_engine, workload, max_workers=2)
+        assert [costs(r.paths) for r in outcome.responses] == expected
+
+    def test_second_batch_served_from_cache(self, batch_engine, workload):
+        execute_batch(batch_engine, workload)
+        repeat = execute_batch(batch_engine, workload)
+        assert all(r.cache_hit for r in repeat.responses)
+        assert (
+            batch_engine.metrics_snapshot()["counters"]["engine.fused_batches"]
+            == 1
+        )
+
+    def test_lone_exact_query_skips_fusion(self, batch_engine, workload):
+        outcome = execute_batch(batch_engine, workload[:1])
+        assert outcome.fused_queries == 0
+        assert outcome.responses[0].mode == "exact"
+
+    def test_flat_tier_never_fuses(self, network, index, workload):
+        engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS,
+            exact_node_threshold=network.num_nodes,
+            engine="flat",
+        )
+        outcome = execute_batch(engine, workload, max_workers=2)
+        assert outcome.fused_queries == 0
+        assert "engine.fused_batches" not in (
+            engine.metrics_snapshot()["counters"]
+        )
+
+    def test_direct_method_python_fallback(self, network, index, workload):
+        """query_batch_fused off the batch tier serves serially with
+        identical answers, so callers may route unconditionally."""
+        python_engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS, engine="python"
+        )
+        batch_engine = SkylineQueryEngine(
+            network, index=index, params=PARAMS, engine="batch"
+        )
+        pairs = list(dict.fromkeys(workload))[:4]
+        serial = python_engine.query_batch_fused(pairs, use_cache=False)
+        fused = batch_engine.query_batch_fused(pairs, use_cache=False)
+        assert [costs(r.paths) for r in serial] == [
+            costs(r.paths) for r in fused
+        ]
+        assert "engine.fused_batches" not in (
+            python_engine.metrics_snapshot()["counters"]
+        )
+
+
 class TestFailuresAndAccounting:
     def test_unknown_node_propagates(self, engine, network):
         nodes = sorted(network.nodes())

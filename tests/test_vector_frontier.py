@@ -1,7 +1,14 @@
-"""Equivalence tests: VectorParetoSet vs the reference ParetoSet."""
+"""Equivalence tests: VectorParetoSet vs the reference ParetoSet.
+
+The contract under test is *exact* semantic agreement with
+``ParetoSet(keep_equal_costs=False)`` — same accept/reject decision on
+every ``add``, same survivor set, same dominance answers — plus the
+vectorized extras the batch kernel leans on (``dominance_mask``,
+``contains``)."""
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -111,3 +118,52 @@ def test_invariant_covers_inputs(costs):
         vector.add(cost, index)
     for cost in costs:
         assert vector.dominates_candidate(cost)
+
+
+@given(st.lists(vectors2, max_size=60))
+def test_semantics_match_drop_equal_reference(costs):
+    """The documented contract, stated directly: every add decision
+    and the survivor cost set equal ``ParetoSet(keep_equal_costs=
+    False)`` — equal-cost duplicates are rejected, not retained."""
+    reference = ParetoSet(keep_equal_costs=False)
+    vector = VectorParetoSet(2)
+    for index, cost in enumerate(costs):
+        assert reference.add(cost, index) == vector.add(cost, index)
+    assert sorted(reference.costs()) == sorted(vector.costs())
+
+
+@given(st.lists(vectors2, max_size=40), vectors2)
+def test_contains_matches_membership(costs, probe):
+    vector = VectorParetoSet(2)
+    for index, cost in enumerate(costs):
+        vector.add(cost, index)
+    kept = set(vector.costs())
+    assert vector.contains(probe) == (tuple(probe) in kept)
+    for cost in vector.costs():
+        assert vector.contains(cost)
+
+
+@given(st.lists(vectors2, max_size=40), st.lists(vectors2, max_size=20))
+def test_dominance_mask_matches_scalar_answers(costs, probes):
+    """The batch kernel's bulk prune: one mask row per probe, each
+    equal to the scalar ``dominates_candidate`` verdict."""
+    vector = VectorParetoSet(2)
+    for index, cost in enumerate(costs):
+        vector.add(cost, index)
+    probe_arr = np.array(probes, dtype=np.float64).reshape(len(probes), 2)
+    mask = vector.dominance_mask(probe_arr)
+    assert mask.shape == (len(probes),)
+    assert mask.dtype == np.bool_
+    for got, probe in zip(mask, probes):
+        assert bool(got) == vector.dominates_candidate(probe)
+
+
+def test_dominance_mask_empty_set_and_empty_probes():
+    vector = VectorParetoSet(2)
+    assert vector.dominance_mask(
+        np.array([[1.0, 1.0]], dtype=np.float64)
+    ).tolist() == [False]
+    vector.add((1.0, 1.0), "a")
+    assert vector.dominance_mask(
+        np.empty((0, 2), dtype=np.float64)
+    ).tolist() == []
