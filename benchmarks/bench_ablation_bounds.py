@@ -3,8 +3,10 @@
 The paper's BBS inherits landmark lower bounds from [29]; [45] replaced
 them with exact reverse-Dijkstra bounds.  This ablation quantifies the
 trade-off on the scaled C9_NY stand-in: expansions and wall time for
-BBS under exact bounds (library default), landmark bounds (the paper's
-choice, amortized across queries), and no bounds at all.
+BBS under exact bounds (library default), ParetoPrep one-pass bounds
+(all dimensions in a single backward sweep, numerically identical to
+exact), landmark bounds (the paper's choice, amortized across queries),
+and no bounds at all.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ import time
 
 import pytest
 
+from repro.accel.bounds import ParetoPrepBounds
+from repro.accel.csr import CSRSnapshot
 from repro.datasets import load_subgraph
 from repro.eval import fmt_seconds, format_table, random_queries
 from repro.search.bbs import skyline_paths
@@ -27,9 +31,13 @@ def bounds_data():
     graph = load_subgraph("C9_NY", 700)
     queries = random_queries(graph, 5, seed=99, min_hops=12)
     landmark_index = LandmarkIndex(graph, 8)
+    snapshot = CSRSnapshot.from_graph(graph)
 
     providers = {
         "exact (reverse Dijkstra)": lambda q: ExactBounds(graph, [q.target]),
+        "pareto_prep (one pass)": lambda q: ParetoPrepBounds(
+            snapshot, [q.target]
+        ),
         "landmark (8 landmarks)": lambda q: LandmarkLowerBounds(
             landmark_index, [q.target]
         ),
@@ -80,6 +88,14 @@ def test_exact_bounds_prune_most(bounds_data):
     exact = bounds_data["exact (reverse Dijkstra)"]["expansions"]
     zero = bounds_data["none (zero bounds)"]["expansions"]
     assert exact <= zero
+
+
+def test_pareto_prep_prunes_like_exact(bounds_data):
+    # The one-pass bounds are numerically identical to the per-dimension
+    # reverse Dijkstra, so the search must do exactly the same work.
+    exact = bounds_data["exact (reverse Dijkstra)"]["expansions"]
+    prep = bounds_data["pareto_prep (one pass)"]["expansions"]
+    assert prep == exact
 
 
 def test_landmark_bounds_between(bounds_data):

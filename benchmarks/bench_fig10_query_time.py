@@ -295,6 +295,101 @@ def test_fig10_batch_vs_python(ny_large, workload_seed):
     assert means24["fused"] < means24["python"]
 
 
+def test_fig10_bound_providers(ny_small, workload_seed):
+    """Bound-provider A/B on the exact serving tier.
+
+    Independent of the quality grid (selectable with ``-k
+    bound_providers``).  The same workload is served with
+    ``mode="exact"`` under each of the engine's bound providers: exact
+    reverse-Dijkstra (one Dijkstra per dimension), ParetoPrep (all
+    dimensions in one backward pass), and the warmed landmark ALT
+    bounds.  All answers must be answer-set-equal, and ParetoPrep's
+    pruning must match exact's expansion-for-expansion — the bounds are
+    numerically identical, the one-pass sweep just computes them in one
+    traversal instead of ``dim``.
+    """
+    import statistics
+    import time
+
+    from benchmarks.conftest import SCALED_M_MIN, SCALED_P, scaled_m
+    from repro.core import BackboneParams, build_backbone_index
+    from repro.eval import fmt_seconds, format_table, random_queries
+    from repro.service import SkylineQueryEngine
+
+    params = BackboneParams(
+        m_max=scaled_m(400), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    index = build_backbone_index(ny_small, params)
+    queries = random_queries(ny_small, 6, seed=workload_seed, min_hops=10)
+
+    data = {}
+    for provider in ("exact", "pareto_prep", "landmark"):
+        engine = SkylineQueryEngine(
+            ny_small,
+            index=index,
+            params=params,
+            cache_size=0,
+            engine="flat",
+            bound_provider=provider,
+        )
+        engine.warm()
+
+        def run():
+            answers, expansions = [], 0
+            started = time.perf_counter()
+            for q in queries:
+                response = engine.query(q.source, q.target, mode="exact")
+                answers.append(sorted((p.cost, p.nodes) for p in response.paths))
+                if response.stats is not None:
+                    expansions += response.stats.expansions
+            return time.perf_counter() - started, answers, expansions
+
+        run()  # warm-up: memoized CSR views, imports
+        times = []
+        for _ in range(3):
+            elapsed, answers, expansions = run()
+            times.append(elapsed)
+        data[provider] = {
+            "mean_seconds": statistics.mean(times),
+            "answers": answers,
+            "expansions": expansions,
+        }
+
+    exact = data["exact"]
+    assert data["pareto_prep"]["answers"] == exact["answers"]
+    assert data["landmark"]["answers"] == exact["answers"]
+    assert data["pareto_prep"]["expansions"] == exact["expansions"]
+
+    rows = [
+        [
+            provider,
+            fmt_seconds(row["mean_seconds"]),
+            f"{row['expansions']:,}",
+            f"{exact['mean_seconds'] / row['mean_seconds']:.2f}x",
+        ]
+        for provider, row in data.items()
+    ]
+    report(
+        "fig10_bound_providers",
+        format_table(
+            ["bound provider", "mean workload", "expansions", "vs exact"],
+            rows,
+            title="Figure 10 extension: exact-tier bound providers",
+        ),
+    )
+    record_telemetry(
+        "bench_fig10_query_time",
+        bound_providers={
+            provider: {
+                "mean_seconds": row["mean_seconds"],
+                "expansions": row["expansions"],
+                "speedup_vs_exact": exact["mean_seconds"] / row["mean_seconds"],
+            }
+            for provider, row in data.items()
+        },
+    )
+
+
 def test_fig10_bbs_benchmark(benchmark, fig10_report, ny_small):
     """Times the exact BBS baseline on one mid-length query."""
     from repro.eval import random_queries

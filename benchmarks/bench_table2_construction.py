@@ -23,7 +23,13 @@ from repro.datasets import load_subgraph
 from repro.errors import BuildError
 from repro.eval import fmt_bytes, fmt_seconds, format_table
 
-from benchmarks.conftest import SCALED_M_MIN, SCALED_P, report, scaled_m
+from benchmarks.conftest import (
+    SCALED_M_MIN,
+    SCALED_P,
+    record_telemetry,
+    report,
+    scaled_m,
+)
 
 SIZES = {"C9_NY_5K~400": 400, "C9_NY_10K~800": 800, "C9_NY_15K~1200": 1200}
 BASELINE_BUDGET = 120.0  # seconds; the paper's analogue of "one day"
@@ -150,6 +156,95 @@ def test_table2_ch_edges_blow_up(table2_data):
         if row["ch_edges"] is None:
             continue
         assert row["ch_edges"] > row["graph"].num_edge_entries, label
+
+
+def test_table2_scalar_vs_flat_build(workload_seed):
+    """Construction A/B: the scalar pipeline vs the flat build tier.
+
+    Independent of the comparator fixture (selectable with ``-k
+    scalar_vs_flat``) so CI's perf-smoke job can run it alone.  Both
+    pipelines build the same three-cost road networks at the Table 2
+    stand-in sizes; best-of-5 walls absorb machine noise.  The flat
+    pipeline must (a) produce an index whose *served answers are
+    bit-identical* to the scalar build's — checked per query pair via
+    ``backbone_query`` and via the provenance stamp — and (b) build the
+    largest graph at least 1.8x faster, the tentpole's speedup floor.
+    """
+    import random
+
+    from repro.core.query import backbone_query
+    from repro.graph.generators import road_network
+
+    params = BackboneParams(
+        m_max=scaled_m(200), m_min=SCALED_M_MIN, p=SCALED_P
+    )
+    rounds = 5
+    rows, telemetry = [], {}
+    for n_nodes, graph_seed in ((400, 3), (800, 6), (1200, 9)):
+        graph = road_network(n_nodes, dim=3, seed=graph_seed)
+        best = {"python": float("inf"), "flat": float("inf")}
+        built = {}
+        for _ in range(rounds):
+            for engine in ("python", "flat"):
+                started = time.perf_counter()
+                built[engine] = build_backbone_index(
+                    graph, params, engine=engine
+                )
+                best[engine] = min(
+                    best[engine], time.perf_counter() - started
+                )
+
+        # Bit-identity of the flat-pipeline build: same provenance stamp
+        # and the same served skylines, node sequences and path order
+        # included, on a sampled workload.
+        assert built["python"].provenance == built["flat"].provenance
+        rng = random.Random(workload_seed)
+        nodes = sorted(graph.nodes())
+        mismatches = 0
+        for _ in range(40):
+            source, target = rng.sample(nodes, 2)
+            scalar_paths = [
+                (p.nodes, p.cost)
+                for p in backbone_query(built["python"], source, target).paths
+            ]
+            flat_paths = [
+                (p.nodes, p.cost)
+                for p in backbone_query(built["flat"], source, target).paths
+            ]
+            if scalar_paths != flat_paths:
+                mismatches += 1
+        assert mismatches == 0, f"n={n_nodes}: {mismatches} diverging queries"
+
+        speedup = best["python"] / best["flat"]
+        telemetry[f"n{n_nodes}"] = {
+            "python_best_seconds": best["python"],
+            "flat_best_seconds": best["flat"],
+            "speedup": speedup,
+            "rounds": rounds,
+            "identical_answers": True,
+        }
+        rows.append(
+            [
+                f"road_network n={n_nodes} (dim=3)",
+                fmt_seconds(best["python"]),
+                fmt_seconds(best["flat"]),
+                f"{speedup:.2f}x",
+            ]
+        )
+
+    report(
+        "table2_scalar_vs_flat_build",
+        format_table(
+            ["graph", "scalar build", "flat build", "speed-up"],
+            rows,
+            title="Table 2 extension: scalar vs flat construction pipeline",
+        ),
+    )
+    record_telemetry("construction", scalar_vs_flat=telemetry)
+    assert telemetry["n1200"]["speedup"] >= 1.8, (
+        f"flat construction pipeline must deliver >=1.8x at the top size, "
+        f"got {telemetry['n1200']['speedup']:.2f}x"
+    )
 
 
 def test_table2_backbone_build_benchmark(benchmark, table2_data):

@@ -146,6 +146,74 @@ class CSRSnapshot:
             rev_costs=rev_costs,
         )
 
+    @classmethod
+    def from_edges(cls, dim, nodes, edges) -> "CSRSnapshot":
+        """Freeze an undirected edge list straight into a snapshot.
+
+        Produces exactly the snapshot :meth:`from_graph` would for a
+        :class:`MultiCostGraph` holding ``nodes`` plus ``edges``
+        (``(u, v, cost)`` triples): parallel edges between the same
+        endpoints are skyline-pruned with ``add_edge``'s
+        dominated-or-equal/evict rule, and surviving cost lists sort
+        into the canonical slot order — so the result is independent of
+        edge insertion order.  The construction pipeline uses this to
+        snapshot each cluster's removed-edge subgraph without paying
+        per-edge graph-object churn.
+        """
+        from repro.paths.dominance import dominates, dominates_or_equal
+
+        node_set = {int(n) for n in nodes}
+        pair_costs: dict[tuple[int, int], list[tuple[float, ...]]] = {}
+        for u, v, cost in edges:
+            u, v = int(u), int(v)
+            vec = tuple(float(c) for c in cost)
+            key = (u, v) if u <= v else (v, u)
+            node_set.add(u)
+            node_set.add(v)
+            existing = pair_costs.get(key)
+            if existing is None:
+                pair_costs[key] = [vec]
+                continue
+            if any(dominates_or_equal(kept, vec) for kept in existing):
+                continue
+            survivors = [kept for kept in existing if not dominates(vec, kept)]
+            survivors.append(vec)
+            survivors.sort()
+            pair_costs[key] = survivors
+
+        adjacency: dict[int, list[int]] = {n: [] for n in node_set}
+        for u, v in pair_costs:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+        node_ids = np.asarray(sorted(node_set), dtype=np.int64)
+        dense_of = {int(orig): i for i, orig in enumerate(node_ids)}
+        indptr = np.zeros(len(node_ids) + 1, dtype=np.int32)
+        indices: list[int] = []
+        cost_rows: list[tuple[float, ...]] = []
+        for i, orig in enumerate(node_ids.tolist()):
+            for nbr in sorted(adjacency[orig]):
+                key = (orig, nbr) if orig <= nbr else (nbr, orig)
+                for cost in pair_costs[key]:
+                    indices.append(dense_of[nbr])
+                    cost_rows.append(cost)
+            indptr[i + 1] = len(indices)
+        indices_arr = np.asarray(indices, dtype=np.int32)
+        costs = np.asarray(cost_rows, dtype=np.float64).reshape(
+            len(cost_rows), dim
+        )
+        return cls(
+            dim=dim,
+            directed=False,
+            node_ids=node_ids,
+            indptr=indptr,
+            indices=indices_arr,
+            costs=costs,
+            rev_indptr=indptr,
+            rev_indices=indices_arr,
+            rev_costs=costs,
+        )
+
     # ------------------------------------------------------------------
     # basic views
     # ------------------------------------------------------------------

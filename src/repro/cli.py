@@ -107,7 +107,12 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_build(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     started = time.perf_counter()
-    index = build_backbone_index(graph, _params_from(args))
+    index = build_backbone_index(
+        graph,
+        _params_from(args),
+        engine=args.build_engine,
+        build_workers=args.build_workers,
+    )
     elapsed = time.perf_counter() - started
     index.save(args.out, format=args.format)
     stats = index.stats()
@@ -978,6 +983,99 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _numeric_leaves(doc, prefix: str = ""):
+    """Flatten a telemetry document into (dotted-metric, value) pairs.
+
+    Numbers and booleans are leaves; dicts recurse; a list of dicts
+    keys each element by its ``name`` field when present (the shape of
+    pytest-benchmark timing rows), by position otherwise.  Strings and
+    metadata fields stay out of the metric table.
+    """
+    skip = {"module", "workload_seed", "exit_status"}
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            if not prefix and key in skip:
+                continue
+            dotted = f"{prefix}.{key}" if prefix else key
+            yield from _numeric_leaves(doc[key], dotted)
+    elif isinstance(doc, list):
+        for position, item in enumerate(doc):
+            label = (
+                item.get("name", str(position))
+                if isinstance(item, dict)
+                else str(position)
+            )
+            yield from _numeric_leaves(item, f"{prefix}.{label}")
+    elif isinstance(doc, bool):
+        yield prefix, int(doc)
+    elif isinstance(doc, (int, float)):
+        yield prefix, doc
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Merge committed BENCH_*.json dumps into one trajectory table."""
+    import datetime
+
+    root = FilePath(args.dir)
+    files = sorted(root.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files under {root}", file=sys.stderr)
+        return 1
+    rows = []
+    for path in files:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: {path.name}: {error}", file=sys.stderr)
+            continue
+        module = doc.get("module", path.stem.removeprefix("BENCH_"))
+        run_date = datetime.datetime.fromtimestamp(
+            path.stat().st_mtime
+        ).strftime("%Y-%m-%d %H:%M")
+        for metric, value in _numeric_leaves(doc):
+            if not args.spans and metric.startswith("span_aggregates"):
+                continue
+            if args.filter and args.filter not in f"{module}.{metric}":
+                continue
+            rows.append([module, metric, value, run_date])
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "module": module,
+                        "metric": metric,
+                        "value": value,
+                        "run_date": run_date,
+                    }
+                    for module, metric, value, run_date in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not rows:
+        print("no metrics matched", file=sys.stderr)
+        return 1
+    rendered = [
+        [
+            module,
+            metric,
+            f"{value:.6g}" if isinstance(value, float) else str(value),
+            run_date,
+        ]
+        for module, metric, value, run_date in rows
+    ]
+    print(
+        format_table(
+            ["module", "metric", "value", "run date"],
+            rendered,
+            title=f"benchmark trajectory ({len(files)} telemetry dumps)",
+        )
+    )
+    return 0
+
+
 def cmd_qa_mpload(args: argparse.Namespace) -> int:
     from repro.qa import MPLoadConfig, fuzz_mp
 
@@ -1150,6 +1248,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="binary store (default) or legacy JSON")
     build.add_argument("--verify", action="store_true",
                        help="run structural self-validation after building")
+    build.add_argument("--engine", choices=["python", "flat", "batch"],
+                       default="python", dest="build_engine",
+                       help="construction pipeline: python (scalar "
+                            "reference, default) or flat/batch (CSR "
+                            "one-to-all label kernel + flat fast paths; "
+                            "identical index, measured ~1.9x faster)")
+    build.add_argument("--build-workers", type=int, default=1,
+                       dest="build_workers",
+                       help="label-construction processes; >1 fans "
+                            "independent clusters over a forked pool "
+                            "(default 1)")
     _add_param_options(build)
     build.set_defaults(handler=cmd_build)
 
@@ -1386,8 +1495,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     datasets.set_defaults(handler=cmd_datasets)
 
-    bench = commands.add_parser(
+    bench_cmd = commands.add_parser(
         "bench",
+        help="time the search engines, or report committed telemetry",
+        description=(
+            "'bench run GRAPH' times the search engines on a random "
+            "workload ('bench GRAPH' still works); 'bench report' "
+            "merges the committed BENCH_*.json telemetry dumps into "
+            "one trajectory table."
+        ),
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="merge BENCH_*.json telemetry dumps into one table",
+        description=(
+            "Flatten every BENCH_<module>.json at the repo root (or "
+            "--dir) into one (module, metric, value, run date) table — "
+            "the committed performance trajectory across sessions.  "
+            "Values are the numeric leaves of each dump, dotted by "
+            "their JSON path; run dates come from file modification "
+            "times."
+        ),
+    )
+    bench_report.add_argument("--dir", default=".",
+                              help="directory holding BENCH_*.json "
+                                   "(default: current directory)")
+    bench_report.add_argument("--filter", default=None,
+                              help="only metrics whose 'module.metric' "
+                                   "path contains this substring")
+    bench_report.add_argument("--spans", action="store_true",
+                              help="include the span_aggregates rollups "
+                                   "(bulky; hidden by default)")
+    bench_report.add_argument("--json", action="store_true",
+                              help="emit the rows as JSON instead of a "
+                                   "table")
+    bench_report.set_defaults(handler=cmd_bench_report)
+
+    bench = bench_sub.add_parser(
+        "run",
         help="time the search engines (python vs flat vs batch kernels) "
         "on a random workload",
     )
@@ -1499,6 +1646,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Backward compatibility: 'repro bench GRAPH ...' predates the
+    # bench subcommands and still reads naturally, so a first argument
+    # that is not a subcommand selects 'bench run'.
+    if len(argv) > 1 and argv[0] == "bench":
+        if argv[1] not in ("run", "report", "-h", "--help"):
+            argv.insert(1, "run")
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -40,6 +40,30 @@ from repro.search.landmark import LandmarkIndex
 _MAX_ROUNDS_PER_LEVEL = 32
 
 
+def _replay_round_removals(
+    work: MultiCostGraph,
+    nodes_before: list[tuple[int, tuple[float, float] | None]],
+    round_result,
+) -> None:
+    """Roll back one condensing round without a pre-round graph copy.
+
+    The flat pipeline skips the defensive ``work.copy()`` the reference
+    pipeline takes before each round (the emptied-graph rollback has
+    never been observed: stripping always leaves the last node of a
+    component, and cluster condensation keeps its entrances).  If the
+    round nevertheless emptied the graph, rebuild it from the round's
+    own removal record: nodes re-register in their original iteration
+    order, then every removed parallel edge is re-added — each pair's
+    surviving cost set is mutually non-dominated, so re-insertion
+    reproduces the stored skylines exactly.
+    """
+    for node, coord in nodes_before:
+        if not work.has_node(node):
+            work.add_node(node, coord)
+    for u, v, cost in round_result.removed_edges:
+        work.add_edge(u, v, cost)
+
+
 @dataclass
 class SummarizationOutcome:
     """Everything the level loop produced from one starting graph."""
@@ -65,6 +89,8 @@ def summarize_levels(
     level_offset: int = 0,
     keep_snapshots: bool = False,
     tracer: Tracer | None = None,
+    engine: str = "python",
+    label_pool=None,
 ) -> SummarizationOutcome:
     """Run Algorithm 2's level loop, mutating ``work`` in place.
 
@@ -72,10 +98,14 @@ def summarize_levels(
     network; ``level_offset`` only affects reported level numbers (a
     maintenance replay starts mid-index).  An enabled ``tracer`` emits
     one ``build.level`` span per constructed level, with nested spans
-    for condensing rounds and segment materialization.
+    for condensing rounds and segment materialization.  ``engine`` and
+    ``label_pool`` select the construction pipeline (see
+    :func:`repro.core.summarize.condense_round`); both produce the
+    same index as the reference path.
     """
     outcome = SummarizationOutcome()
     tracer = resolve_tracer(tracer)
+    flat = engine != "python"
 
     while len(outcome.levels) + level_offset < params.max_levels:
         if keep_snapshots:
@@ -101,9 +131,23 @@ def summarize_levels(
                 removed_edges < required_removals
                 and rounds < _MAX_ROUNDS_PER_LEVEL
             ):
-                snapshot = work.copy()
+                if flat:
+                    # Rollback insurance without the full graph copy —
+                    # see _replay_round_removals.
+                    snapshot = None
+                    nodes_before_round = [
+                        (node, work.coord(node)) for node in work.nodes()
+                    ]
+                else:
+                    snapshot = work.copy()
                 with tracer.span("build.condense_round") as round_span:
-                    round_result = condense_round(work, params, tracer=tracer)
+                    round_result = condense_round(
+                        work,
+                        params,
+                        tracer=tracer,
+                        engine=engine,
+                        label_pool=label_pool,
+                    )
                     if round_span.enabled:
                         round_span.set(
                             removed_edges=round_result.removed_edge_count,
@@ -116,9 +160,16 @@ def summarize_levels(
                     # The round would empty the graph; Algorithm 2
                     # requires |G_{i+1}.V| != 0, so undo this round and
                     # stop here.
-                    work.restore_from(snapshot)
+                    if snapshot is not None:
+                        work.restore_from(snapshot)
+                    else:
+                        _replay_round_removals(
+                            work, nodes_before_round, round_result
+                        )
                     break
-                level_index.absorb(round_result.index, set(work.nodes()))
+                level_index.absorb(
+                    round_result.index, set(work.nodes()), steal=flat
+                )
                 removed_edges += round_result.removed_edge_count
                 clusters += round_result.clusters_condensed
 
@@ -131,11 +182,13 @@ def summarize_levels(
                 with tracer.span("build.segments") as seg_span:
                     segments = find_single_segments(work)
                     if segments:
-                        aggressive = condense_segments(work, segments)
+                        aggressive = condense_segments(
+                            work, segments, fast=flat
+                        )
                         if aggressive.removed_edges and work.num_nodes > 0:
                             aggressive_used = True
                             level_index.absorb(
-                                aggressive.index, set(work.nodes())
+                                aggressive.index, set(work.nodes()), steal=flat
                             )
                             removed_edges += len(aggressive.removed_edges)
                             level_provenance.update(aggressive.provenance)
@@ -185,11 +238,16 @@ def required_edge_removals(graph: MultiCostGraph, params: BackboneParams) -> int
     return max(1, int(params.p * graph.num_edge_entries))
 
 
+_BUILD_ENGINES = ("python", "flat", "batch")
+
+
 def build_backbone_index(
     graph: MultiCostGraph,
     params: BackboneParams | None = None,
     *,
     tracer: Tracer | None = None,
+    engine: str = "python",
+    build_workers: int = 1,
 ) -> BackboneIndex:
     """Build the backbone index of a multi-cost road network.
 
@@ -205,6 +263,19 @@ def build_backbone_index(
         Observability hook; defaults to the process-wide tracer.  When
         enabled, construction emits a ``build.index`` span tree (one
         ``build.level`` child per level, plus landmark construction).
+    engine:
+        Construction pipeline.  ``"python"`` (default) is the scalar
+        reference; ``"flat"`` and ``"batch"`` run label searches on the
+        CSR one-to-all kernel and enable the one-pass discovery /
+        local-scan / steal-merge fast paths.  All engines produce an
+        index serving identical answers; ``"flat"``/``"batch"`` differ
+        only in internal kernel tier (labels themselves are built on
+        the flat tier either way, keeping construction bit-identical).
+    build_workers:
+        Number of label-construction processes.  With ``N > 1``
+        independent clusters' labels build in parallel on a forked
+        worker pool; results merge in cluster order, so the index is
+        identical to the single-process build.
     """
     if params is None:
         params = BackboneParams()
@@ -215,41 +286,57 @@ def build_backbone_index(
             "build_backbone_index expects an undirected network; model "
             "directed roads as undirected edges per the paper's Section 3"
         )
+    if engine not in _BUILD_ENGINES:
+        raise BuildError(
+            f"unknown build engine {engine!r}; expected one of "
+            f"{', '.join(_BUILD_ENGINES)}"
+        )
+    if build_workers < 1:
+        raise BuildError(f"build_workers must be >= 1, got {build_workers}")
 
     started = time.perf_counter()
     tracer = resolve_tracer(tracer)
-    with tracer.span(
-        "build.index", nodes=graph.num_nodes, edges=graph.num_edges
-    ) as build_span:
-        work = graph.copy()
-        outcome = summarize_levels(
-            work, params, required_edge_removals(graph, params),
-            tracer=tracer,
-        )
-        top_graph = outcome.final_graph
-        assert top_graph is not None
-        if top_graph.num_nodes == 0:
-            raise BuildError(
-                "summarization emptied the graph; this indicates an "
-                "internal rollback failure"
-            )
+    label_pool = None
+    if build_workers > 1:
+        from repro.mp.build_pool import BuildLabelPool
 
-        provenance: dict[ShortcutKey, tuple[int, ...]] = {}
-        for per_level in outcome.level_provenance:
-            provenance.update(per_level)
-        landmarks = LandmarkIndex(
-            top_graph,
-            min(params.landmark_count, top_graph.num_nodes),
-            tracer=tracer,
-        )
-        stats = BuildStats(levels=outcome.level_stats)
-        stats.elapsed_seconds = time.perf_counter() - started
-        if build_span.enabled:
-            build_span.set(
-                levels=len(outcome.levels),
-                top_graph_nodes=top_graph.num_nodes,
-                label_paths=sum(s.label_paths for s in outcome.level_stats),
+        label_pool = BuildLabelPool(build_workers, engine=engine)
+    try:
+        with tracer.span(
+            "build.index", nodes=graph.num_nodes, edges=graph.num_edges
+        ) as build_span:
+            work = graph.copy()
+            outcome = summarize_levels(
+                work, params, required_edge_removals(graph, params),
+                tracer=tracer, engine=engine, label_pool=label_pool,
             )
+            top_graph = outcome.final_graph
+            assert top_graph is not None
+            if top_graph.num_nodes == 0:
+                raise BuildError(
+                    "summarization emptied the graph; this indicates an "
+                    "internal rollback failure"
+                )
+
+            provenance: dict[ShortcutKey, tuple[int, ...]] = {}
+            for per_level in outcome.level_provenance:
+                provenance.update(per_level)
+            landmarks = LandmarkIndex(
+                top_graph,
+                min(params.landmark_count, top_graph.num_nodes),
+                tracer=tracer,
+            )
+            stats = BuildStats(levels=outcome.level_stats)
+            stats.elapsed_seconds = time.perf_counter() - started
+            if build_span.enabled:
+                build_span.set(
+                    levels=len(outcome.levels),
+                    top_graph_nodes=top_graph.num_nodes,
+                    label_paths=sum(s.label_paths for s in outcome.level_stats),
+                )
+    finally:
+        if label_pool is not None:
+            label_pool.close()
 
     return BackboneIndex(
         original_graph=graph,

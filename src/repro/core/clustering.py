@@ -55,17 +55,21 @@ def find_dense_clusters(
     params: BackboneParams,
     *,
     coefficients: dict[int, float] | None = None,
+    cardinalities: dict[int, int] | None = None,
 ) -> Clustering:
     """Run Algorithm 1 on a level graph.
 
-    ``coefficients`` may be supplied to reuse a previously computed
-    cluster-coefficient table.
+    ``coefficients`` and ``cardinalities`` may be supplied to reuse
+    previously computed tables (the flat construction pipeline computes
+    both in one pass via
+    :func:`repro.core.coefficients.all_coefficient_stats`).
     """
     if graph.num_nodes == 0:
         return Clustering()
     if coefficients is None:
         coefficients = all_cluster_coefficients(graph)
-    cardinalities = all_two_hop_cardinalities(graph)
+    if cardinalities is None:
+        cardinalities = all_two_hop_cardinalities(graph)
     noise_val = condensing_threshold(cardinalities.values(), params.p_ind)
 
     visited: set[int] = set()

@@ -74,3 +74,40 @@ def all_cluster_coefficients(graph: MultiCostGraph) -> dict[int, float]:
 def all_two_hop_cardinalities(graph: MultiCostGraph) -> dict[int, int]:
     """Two-hop cardinalities for every node (bulk convenience)."""
     return {node: two_hop_cardinality(graph, node) for node in graph.nodes()}
+
+
+def all_coefficient_stats(
+    graph: MultiCostGraph,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Both bulk tables in one pass: ``(coefficients, cardinalities)``.
+
+    Cluster discovery needs both, and each per-node helper recomputes
+    the two-hop neighborhood from scratch — the dominant cost of the
+    bulk conveniences.  Sharing one ``(N1, N2)`` computation per node
+    yields bit-identical values (``common_pairs`` is a count, so the
+    neighbor iteration order cannot affect the quotient) at roughly
+    half the set work; the flat construction pipeline calls this
+    instead of the two separate tables.
+    """
+    coefficients: dict[int, float] = {}
+    cardinalities: dict[int, int] = {}
+    neighbors = graph.neighbors
+    for node in graph.nodes():
+        first = neighbors(node)
+        second: set[int] = set()
+        for neighbor in first:
+            second |= neighbors(neighbor)
+        second.discard(node)
+        second -= first
+        cardinalities[node] = len(first) + len(second)
+        k = len(first)
+        if k < 2:
+            coefficients[node] = 0.0
+            continue
+        common_pairs = 0
+        neighbor_reach = {u: neighbors(u) & second for u in first}
+        for u, w in combinations(first, 2):
+            if neighbor_reach[u] & neighbor_reach[w]:
+                common_pairs += 1
+        coefficients[node] = common_pairs / (k * (k - 1))
+    return coefficients, cardinalities

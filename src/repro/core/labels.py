@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.errors import NodeNotFoundError
 from repro.graph.mcrn import MultiCostGraph
 from repro.paths.dominance import CostVector
 from repro.paths.frontier import PathSet
@@ -89,13 +90,24 @@ class LevelIndex:
         """Total (node, entrance) pairs stored at this level."""
         return sum(len(label.entrances) for label in self._labels.values())
 
-    def absorb(self, later: "LevelIndex", surviving: set[int]) -> None:
+    def absorb(
+        self, later: "LevelIndex", surviving: set[int], *, steal: bool = False
+    ) -> None:
         """Fold a later condensing round's labels into this index.
 
         Existing paths ending at an entrance that the later round
         removed are extended with that entrance's new paths (skyline
         concatenation); then the later round's own labels merge in.
         After absorbing, every stored entrance is in ``surviving``.
+
+        ``steal=True`` moves each of ``later``'s :class:`NodeLabel`
+        objects wholesale when this index has no label for that node
+        yet — the dominant case, since successive rounds condense
+        disjoint clusters.  Content and ordering are identical to the
+        path-by-path merge (a ``PathSet``'s members are mutually
+        non-dominated, so re-adding them one by one into an empty set
+        keeps all of them in the same order), but the per-path Pareto
+        scans disappear.  The caller gives up ownership of ``later``.
         """
         for label in self._labels.values():
             stale = [h for h in label.entrances if h not in surviving]
@@ -110,10 +122,94 @@ class LevelIndex:
                     for prefix in old_paths:
                         for suffix in suffixes:
                             label.add_path(new_entrance, prefix.concat(suffix))
+        labels = self._labels
         for node, new_label in later._labels.items():
+            if steal and node not in labels:
+                labels[node] = new_label
+                continue
             for entrance, paths in new_label.entrances.items():
                 for path in paths:
                     self.add_path(node, entrance, path)
+
+
+@dataclass
+class LabelTask:
+    """One cluster's deferred label-construction work.
+
+    Pure in its arguments: the costed removed edges are captured before
+    the level graph mutates, so a task can run any time after its
+    cluster condensed — serially, or on a
+    :class:`repro.mp.build_pool.BuildLabelPool` worker (the payload
+    pickles cleanly).  Executing tasks in cluster order reproduces the
+    inline construction path for path.
+    """
+
+    dim: int
+    cluster_nodes: set[int]
+    removed_edges: list[CostedEdge]
+    entrances: set[int]
+    max_frontier: int | None = None
+
+
+def run_label_task(
+    task: LabelTask, *, engine: str = "python"
+) -> list[tuple[int, int, Path]]:
+    """Execute one label task, returning ``(node, entrance, path)`` rows.
+
+    Entrances are visited in sorted order and each entrance's reached
+    nodes in first-pop order, so the row sequence — and therefore every
+    downstream ``PathSet`` insertion order — is deterministic and
+    independent of who runs the task.
+
+    ``engine="python"`` searches a restricted :class:`MultiCostGraph`;
+    any other engine freezes the removed edges straight into a
+    :class:`~repro.accel.csr.CSRSnapshot` (skipping graph-object churn)
+    and runs the flat one-to-all kernel.  The flat tier is pinned
+    (``bucket_size=None``) so both engines emit bit-identical rows:
+    cluster subgraphs sit far below the bucket kernel's crossover
+    anyway, and bit-identity is what lets a flat-pipeline build serve
+    the exact answers of a scalar build.
+    """
+    if not task.removed_edges or not task.entrances:
+        return []
+    rows: list[tuple[int, int, Path]] = []
+    cluster_nodes = task.cluster_nodes
+    if engine == "python":
+        restricted = MultiCostGraph(task.dim)
+        for node in cluster_nodes:
+            restricted.add_node(node)
+        for u, v, cost in task.removed_edges:
+            restricted.add_edge(u, v, cost)
+        for entrance in sorted(task.entrances):
+            if not restricted.has_node(entrance):
+                continue
+            reached = one_to_all_skyline(
+                restricted, entrance, max_frontier=task.max_frontier
+            )
+            for node, paths in reached.items():
+                if node == entrance or node not in cluster_nodes:
+                    continue
+                for path in paths:
+                    rows.append((node, entrance, path.reverse()))
+        return rows
+
+    from repro.accel.csr import CSRSnapshot
+    from repro.accel.onetoall_kernel import flat_label_rows
+
+    snapshot = CSRSnapshot.from_edges(
+        task.dim, cluster_nodes, task.removed_edges
+    )
+    return flat_label_rows(
+        snapshot, cluster_nodes, task.entrances, task.max_frontier
+    )
+
+
+def record_label_rows(
+    into: LevelIndex, rows: Iterable[tuple[int, int, Path]]
+) -> None:
+    """Replay task rows into a level index (order-preserving)."""
+    for node, entrance, path in rows:
+        into.add_path(node, entrance, path)
 
 
 def build_cluster_labels(
@@ -124,6 +220,7 @@ def build_cluster_labels(
     *,
     into: LevelIndex,
     max_frontier: int | None = None,
+    engine: str = "python",
 ) -> None:
     """Build labels for one condensed cluster (Definition 4.7).
 
@@ -133,22 +230,11 @@ def build_cluster_labels(
     the searches tiny.  One one-to-all run per entrance (paths are then
     reversed) covers every (node, entrance) pair.
     """
-    if not removed_edges or not entrances:
-        return
-    restricted = MultiCostGraph(dim)
-    for node in cluster_nodes:
-        restricted.add_node(node)
-    for u, v, cost in removed_edges:
-        restricted.add_edge(u, v, cost)
-
-    for entrance in entrances:
-        if not restricted.has_node(entrance):
-            continue
-        reached = one_to_all_skyline(
-            restricted, entrance, max_frontier=max_frontier
-        )
-        for node, paths in reached.items():
-            if node == entrance or node not in cluster_nodes:
-                continue
-            for path in paths:
-                into.add_path(node, entrance, path.reverse())
+    task = LabelTask(
+        dim=dim,
+        cluster_nodes=cluster_nodes,
+        removed_edges=removed_edges,
+        entrances=entrances,
+        max_frontier=max_frontier,
+    )
+    record_label_rows(into, run_label_task(task, engine=engine))

@@ -451,7 +451,7 @@ def backbone_query_shared_source(
 
 
 def backbone_one_to_all(
-    index: BackboneIndex, source: int
+    index: BackboneIndex, source: int, *, engine: str = "auto"
 ) -> dict[int, list[Path]]:
     """Approximate one-to-all skyline paths (Section 5 extension).
 
@@ -460,6 +460,13 @@ def backbone_one_to_all(
     a labelled node inherits paths from its entrances by reversed-label
     concatenation.  Returns a map node -> approximate skyline paths
     (the source maps to its trivial path).
+
+    ``engine`` selects the kernel tier for the G_L sweeps — same
+    contract as :func:`backbone_query`: ``"flat"``/``"batch"`` run the
+    CSR one-to-all kernel over the index's cached top snapshot,
+    ``"auto"`` reuses that snapshot only when it already exists, and
+    ``"python"`` keeps the dict-based search.  Flat answers are
+    bit-identical to python; batch answers are equal as path sets.
     """
     graph = index.original_graph
     if not graph.has_node(source):
@@ -477,11 +484,19 @@ def backbone_one_to_all(
 
     # Sweep the most abstracted graph from every surviving key.
     top = index.top_graph
+    snapshot = _top_snapshot(index, engine, None)
+    if snapshot is None:
+        kernel = "python"
+    else:
+        kernel = "batch" if engine == "batch" else "flat"
     for node in list(answers.keys()):
         if not top.has_node(node):
             continue
         prefixes = answers[node].paths()
-        for landing, paths in one_to_all_skyline(top, node).items():
+        sweep = one_to_all_skyline(
+            top, node, engine=kernel, snapshot=snapshot
+        )
+        for landing, paths in sweep.items():
             if landing == node:
                 continue
             bucket = answers.setdefault(landing, PathSet())

@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 
 from repro.core.labels import CostedEdge, LevelIndex
 from repro.graph.mcrn import MultiCostGraph
-from repro.paths.dominance import CostVector
+from repro.paths.dominance import (
+    CostVector,
+    add_costs,
+    dominates,
+    dominates_or_equal,
+    zero_cost,
+)
 from repro.paths.frontier import PathSet
 from repro.paths.path import Path
 
@@ -126,8 +132,49 @@ def _segment_prefixes(
     return prefixes
 
 
+def _segment_cost_prefixes(
+    graph: MultiCostGraph, nodes: list[int]
+) -> list[list[CostVector]]:
+    """Skyline *costs* from ``nodes[0]`` to each position along a segment.
+
+    Every skyline path to position ``k`` walks the same node sequence
+    ``nodes[0..k]`` — only the parallel-edge cost choices differ — so
+    the per-position ``PathSet`` of :func:`_segment_prefixes` reduces to
+    a cost skyline (payload equality collapses to cost equality).  The
+    insertion discipline below is ``ParetoSet.add`` with
+    ``keep_equal_costs=True`` under that collapse, so each returned list
+    matches the corresponding ``PathSet``'s costs value for value, in
+    the same order.
+    """
+    chain_costs = [
+        graph.edge_costs(u, v) for u, v in zip(nodes, nodes[1:])
+    ]
+    return _chain_cost_prefixes(graph.dim, chain_costs)
+
+
+def _chain_cost_prefixes(
+    dim: int, chain_costs: list[list[CostVector]]
+) -> list[list[CostVector]]:
+    """Positional cost skylines over pre-fetched per-edge cost lists."""
+    skylines: list[list[CostVector]] = [[zero_cost(dim)]]
+    for edge_costs in chain_costs:
+        grown: list[CostVector] = []
+        for previous in skylines[-1]:
+            for cost in edge_costs:
+                candidate = add_costs(previous, cost)
+                if any(dominates_or_equal(kept, candidate) for kept in grown):
+                    continue
+                if grown:
+                    grown[:] = [
+                        kept for kept in grown if not dominates(candidate, kept)
+                    ]
+                grown.append(candidate)
+        skylines.append(grown)
+    return skylines
+
+
 def condense_segments(
-    graph: MultiCostGraph, segments: list[Segment]
+    graph: MultiCostGraph, segments: list[Segment], *, fast: bool = False
 ) -> AggressiveResult:
     """Condense segments into shortcuts, mutating ``graph`` (Ex. 4.9).
 
@@ -135,22 +182,54 @@ def condense_segments(
     highway entrances).  When a segment's endpoints coincide (a
     lollipop), no shortcut is added — the interior is reachable only
     through that one endpoint anyway.
+
+    ``fast`` (the flat construction pipeline) computes per-position
+    cost skylines instead of full path sets and materializes each
+    label path once, directly in reversed (label) orientation — the
+    result is bit-identical to the reference path (see
+    :func:`_segment_cost_prefixes`).
     """
     result = AggressiveResult()
     for segment in segments:
         nodes = segment.nodes
         if any(node in result.removed_nodes for node in nodes):
             continue  # already consumed by an overlapping segment
-        prefixes = _segment_prefixes(graph, nodes)
-        suffixes = _segment_prefixes(graph, nodes[::-1])[::-1]
-        # suffixes[k] holds skyline paths right-endpoint -> nodes[k];
-        # reverse each to get nodes[k] -> right-endpoint.
+        if fast:
+            chain_costs = [
+                graph.edge_costs(u, v) for u, v in zip(nodes, nodes[1:])
+            ]
+            cost_prefixes = _chain_cost_prefixes(graph.dim, chain_costs)
+            cost_suffixes = _chain_cost_prefixes(
+                graph.dim, chain_costs[::-1]
+            )[::-1]
+            for position, node in enumerate(nodes[1:-1], start=1):
+                toward_left = tuple(nodes[position::-1])
+                for cost in cost_prefixes[position]:
+                    result.index.add_path(
+                        node, segment.left, Path(toward_left, cost)
+                    )
+                toward_right = tuple(nodes[position:])
+                for cost in cost_suffixes[position]:
+                    result.index.add_path(
+                        node, segment.right, Path(toward_right, cost)
+                    )
+            shortcut_costs = cost_prefixes[-1]
+            through_nodes = tuple(nodes)
+        else:
+            prefixes = _segment_prefixes(graph, nodes)
+            suffixes = _segment_prefixes(graph, nodes[::-1])[::-1]
+            # suffixes[k] holds skyline paths right-endpoint -> nodes[k];
+            # reverse each to get nodes[k] -> right-endpoint.
 
-        for position, node in enumerate(nodes[1:-1], start=1):
-            for prefix in prefixes[position]:
-                result.index.add_path(node, segment.left, prefix.reverse())
-            for suffix in suffixes[position]:
-                result.index.add_path(node, segment.right, suffix.reverse())
+            for position, node in enumerate(nodes[1:-1], start=1):
+                for prefix in prefixes[position]:
+                    result.index.add_path(node, segment.left, prefix.reverse())
+                for suffix in suffixes[position]:
+                    result.index.add_path(node, segment.right, suffix.reverse())
+            shortcut_costs = [through.cost for through in prefixes[-1]]
+            # Every through path walks the full chain, so the node
+            # sequence is shared — same as the fast branch.
+            through_nodes = tuple(nodes)
 
         for u, v in zip(nodes, nodes[1:]):
             for cost in graph.edge_costs(u, v):
@@ -158,10 +237,10 @@ def condense_segments(
         result.removed_nodes.update(segment.interior)
 
         if segment.left != segment.right:
-            for through in prefixes[-1]:
-                key = (segment.left, segment.right, through.cost)
+            for cost in shortcut_costs:
+                key = (segment.left, segment.right, cost)
                 result.shortcuts.append(key)
-                result.provenance.setdefault(key, through.nodes)
+                result.provenance.setdefault(key, through_nodes)
 
         # Mutate the graph: drop the chain, add the shortcut skyline.
         for u, v in zip(nodes, nodes[1:]):
@@ -171,6 +250,6 @@ def condense_segments(
             if graph.has_node(node):
                 graph.remove_node(node)
         if segment.left != segment.right:
-            for through in prefixes[-1]:
-                graph.add_edge(segment.left, segment.right, through.cost)
+            for cost in shortcut_costs:
+                graph.add_edge(segment.left, segment.right, cost)
     return result

@@ -34,11 +34,31 @@ class CondensedCluster:
     removed_edges: list[Edge] = field(default_factory=list)
 
 
+def _cluster_internal_edges(
+    graph: MultiCostGraph, cluster_nodes: set[int]
+) -> list[Edge]:
+    """Cluster-internal edge pairs via per-node neighbor scans.
+
+    The same pair set as filtering ``graph.edge_pairs()`` down to the
+    cluster, but the work scales with the cluster's degree sum instead
+    of the whole level graph's edge count (clusters are ~m_max nodes,
+    the level graph thousands).  Pairs come out in the canonical
+    ``u < v`` orientation the edge table stores.
+    """
+    edges: list[Edge] = []
+    for u in cluster_nodes:
+        for v in graph.neighbors(u):
+            if u < v and v in cluster_nodes:
+                edges.append((u, v))
+    return edges
+
+
 def degree_pair_spanning_forest(
     graph: MultiCostGraph,
     cluster_nodes: set[int],
     *,
     policy: TreePolicy = TreePolicy.DEGREE_PAIR,
+    local_scan: bool = False,
 ) -> set[Edge]:
     """A spanning forest of the cluster preferring high degree pairs.
 
@@ -48,12 +68,20 @@ def degree_pair_spanning_forest(
     influences which edges survive.  The ``ARBITRARY`` policy processes
     edges in plain id order instead — the ablation comparator for the
     paper's design choice.
+
+    ``local_scan`` enumerates internal edges through the cluster's own
+    neighbor lists instead of sweeping the level graph's full edge
+    table; both sort keys are total orders on edges, so the forest is
+    identical either way.
     """
-    internal_edges = [
-        (u, v)
-        for u, v in graph.edge_pairs()
-        if u in cluster_nodes and v in cluster_nodes
-    ]
+    if local_scan:
+        internal_edges = _cluster_internal_edges(graph, cluster_nodes)
+    else:
+        internal_edges = [
+            (u, v)
+            for u, v in graph.edge_pairs()
+            if u in cluster_nodes and v in cluster_nodes
+        ]
     if policy is TreePolicy.DEGREE_PAIR:
         internal_edges.sort(
             key=lambda edge: (degree_pair(graph, *edge), (-edge[0], -edge[1])),
@@ -85,20 +113,28 @@ def condense_cluster(
     cluster_nodes: set[int],
     *,
     policy: TreePolicy = TreePolicy.DEGREE_PAIR,
+    local_scan: bool = False,
 ) -> CondensedCluster:
     """Condense one cluster of the level graph (Section 4.2.3).
 
     Non-tree internal edges are removed, then degree-1 nodes are peeled
     recursively (counting edges to the outside), leaving a 2-core.  The
     graph is *not* modified; the caller applies the removals so it can
-    first build labels from them.
+    first build labels from them.  ``local_scan`` switches both
+    internal-edge sweeps to cluster-local neighbor scans (same sets,
+    see :func:`degree_pair_spanning_forest`).
     """
-    forest = degree_pair_spanning_forest(graph, cluster_nodes, policy=policy)
-    internal = {
-        (u, v)
-        for u, v in graph.edge_pairs()
-        if u in cluster_nodes and v in cluster_nodes
-    }
+    forest = degree_pair_spanning_forest(
+        graph, cluster_nodes, policy=policy, local_scan=local_scan
+    )
+    if local_scan:
+        internal = set(_cluster_internal_edges(graph, cluster_nodes))
+    else:
+        internal = {
+            (u, v)
+            for u, v in graph.edge_pairs()
+            if u in cluster_nodes and v in cluster_nodes
+        }
     removed_edges = list(internal - forest)
 
     # Only tree edges are removable: a node anchored to the rest of the

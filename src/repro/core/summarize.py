@@ -19,12 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.clustering import Clustering, find_dense_clusters
-from repro.core.labels import CostedEdge, LevelIndex, build_cluster_labels
+from repro.core.coefficients import all_coefficient_stats
+from repro.core.labels import (
+    CostedEdge,
+    LabelTask,
+    LevelIndex,
+    record_label_rows,
+    run_label_task,
+)
 from repro.core.params import BackboneParams, ClusteringStrategy, LabelScope
 from repro.core.spanning import condense_cluster
 from repro.graph.mcrn import MultiCostGraph
 from repro.obs.tracer import Tracer, resolve_tracer
 from repro.graph.traversal import bfs_order, peel_degree_one
+from repro.paths.dominance import (
+    CostVector,
+    add_costs,
+    dominates,
+    dominates_or_equal,
+)
 from repro.paths.frontier import PathSet
 from repro.paths.path import Path
 
@@ -52,7 +65,7 @@ class RoundResult:
         return bool(self.removed_nodes or self.removed_edges)
 
 
-def strip_degree_one(graph: MultiCostGraph) -> RoundResult:
+def strip_degree_one(graph: MultiCostGraph, *, fast: bool = False) -> RoundResult:
     """Remove dangling trees, labeling removed nodes to their anchors.
 
     "We first remove the degree-1 edges from graph G_i ... until every
@@ -60,12 +73,75 @@ def strip_degree_one(graph: MultiCostGraph) -> RoundResult:
     highway entrance is the surviving node its dangling tree hangs
     from; the label paths follow the unique tree route (parallel edges
     contribute a skyline of cost combinations).
+
+    ``fast`` (the flat construction pipeline): every path in a removed
+    node's bucket follows the same unique tree route, so the per-node
+    ``PathSet`` reduces to a cost skyline over parallel-edge cost
+    combinations plus one shared route tuple.  Same insertion
+    discipline, same surviving costs in the same order — the emitted
+    labels are bit-identical to the reference branch.
     """
     result = RoundResult()
     order = peel_degree_one(graph)
     removed = {node for node, _ in order}
     # Process outermost-anchor first: iterate the peel order in reverse
     # so a node's anchor paths are ready before the node needs them.
+    if fast:
+        skyline_to_anchor: dict[
+            int, tuple[int, tuple[int, ...], list[CostVector]]
+        ] = {}
+        for node, anchor in reversed(order):
+            edge_costs = graph.edge_costs(node, anchor)
+            if anchor in removed:
+                final_anchor, route, anchor_costs = skyline_to_anchor[anchor]
+                route = (node,) + route
+                bucket_costs: list[CostVector] = []
+                for edge_cost in edge_costs:
+                    for continuation in anchor_costs:
+                        candidate = add_costs(edge_cost, continuation)
+                        if any(
+                            dominates_or_equal(kept, candidate)
+                            for kept in bucket_costs
+                        ):
+                            continue
+                        if bucket_costs:
+                            bucket_costs[:] = [
+                                kept
+                                for kept in bucket_costs
+                                if not dominates(candidate, kept)
+                            ]
+                        bucket_costs.append(candidate)
+            else:
+                final_anchor = anchor
+                route = (node, anchor)
+                bucket_costs = []
+                for edge_cost in edge_costs:
+                    candidate = tuple(edge_cost)
+                    if any(
+                        dominates_or_equal(kept, candidate)
+                        for kept in bucket_costs
+                    ):
+                        continue
+                    if bucket_costs:
+                        bucket_costs[:] = [
+                            kept
+                            for kept in bucket_costs
+                            if not dominates(candidate, kept)
+                        ]
+                    bucket_costs.append(candidate)
+            skyline_to_anchor[node] = (final_anchor, route, bucket_costs)
+
+        for node, anchor in order:
+            for cost in graph.edge_costs(node, anchor):
+                result.removed_edges.append((node, anchor, cost))
+            final_anchor, route, bucket_costs = skyline_to_anchor[node]
+            for cost in bucket_costs:
+                result.index.add_path(node, final_anchor, Path(route, cost))
+            result.removed_nodes.add(node)
+        for node, _ in order:
+            graph.remove_node(node)
+        return result
+
     paths_to_anchor: dict[int, tuple[int, PathSet]] = {}
     for node, anchor in reversed(order):
         edge_paths = [
@@ -121,10 +197,18 @@ def bfs_partitions(graph: MultiCostGraph, m_max: int) -> Clustering:
 
 
 def _discover_clusters(
-    graph: MultiCostGraph, params: BackboneParams
+    graph: MultiCostGraph, params: BackboneParams, *, fast: bool = False
 ) -> Clustering:
     if params.clustering is ClusteringStrategy.BFS:
         return bfs_partitions(graph, params.m_max)
+    if fast:
+        coefficients, cardinalities = all_coefficient_stats(graph)
+        return find_dense_clusters(
+            graph,
+            params,
+            coefficients=coefficients,
+            cardinalities=cardinalities,
+        )
     return find_dense_clusters(graph, params)
 
 
@@ -133,28 +217,44 @@ def condense_round(
     params: BackboneParams,
     *,
     tracer: Tracer | None = None,
+    engine: str = "python",
+    label_pool=None,
 ) -> RoundResult:
     """One full condensing round: strip degree-1, then condense clusters.
 
     Mutates ``graph`` in place.  The returned index already folds the
     stripping labels and the cluster labels together (strip labels whose
     anchors get condensed are re-targeted through the cluster labels).
+
+    Condensing decisions run first, collecting one pure
+    :class:`LabelTask` per cluster; the tasks then execute after the
+    graph has mutated — serially with ``engine`` (clusters' removed
+    edges are captured costed, so nothing depends on the live graph),
+    or on ``label_pool`` (a
+    :class:`repro.mp.build_pool.BuildLabelPool`), whose results merge
+    in task order and therefore reproduce the serial construction
+    exactly.  An ``engine`` other than ``"python"`` gates the flat
+    pipeline: one-pass coefficient tables, cluster-local spanning
+    scans, CSR-kernel label searches, and steal-merge absorption — all
+    decision- and label-identical to the reference path.
     """
     tracer = resolve_tracer(tracer)
+    flat = engine != "python"
     with tracer.span("build.strip_degree_one") as span:
-        strip = strip_degree_one(graph)
+        strip = strip_degree_one(graph, fast=flat)
         if span.enabled:
             span.set(
                 removed_nodes=len(strip.removed_nodes),
                 removed_edges=len(strip.removed_edges),
             )
     with tracer.span("build.cluster_discovery") as span:
-        clustering = _discover_clusters(graph, params)
+        clustering = _discover_clusters(graph, params, fast=flat)
         if span.enabled:
             span.set(clusters=len(clustering.clusters))
 
     cluster_result = RoundResult()
     with tracer.span("build.condense_clusters") as cspan:
+        tasks: list[LabelTask] = []
         for cluster_nodes in clustering.clusters:
             live_nodes = {
                 node for node in cluster_nodes if graph.has_node(node)
@@ -162,7 +262,7 @@ def condense_round(
             if len(live_nodes) < 2:
                 continue
             condensed = condense_cluster(
-                graph, live_nodes, policy=params.tree_policy
+                graph, live_nodes, policy=params.tree_policy, local_scan=flat
             )
             if not condensed.kept_nodes:
                 # The cluster is an entire connected component of the
@@ -192,13 +292,14 @@ def condense_round(
                     ):
                         for cost in graph.edge_costs(u, v):
                             label_edges.append((u, v, cost))
-            build_cluster_labels(
-                graph.dim,
-                live_nodes,
-                label_edges,
-                condensed.kept_nodes,
-                into=cluster_result.index,
-                max_frontier=params.max_label_frontier,
+            tasks.append(
+                LabelTask(
+                    dim=graph.dim,
+                    cluster_nodes=live_nodes,
+                    removed_edges=label_edges,
+                    entrances=condensed.kept_nodes,
+                    max_frontier=params.max_label_frontier,
+                )
             )
             for u, v in condensed.removed_edges:
                 graph.remove_edge(u, v)
@@ -206,6 +307,14 @@ def condense_round(
                 graph.remove_node(node)
             cluster_result.removed_nodes |= condensed.removed_nodes
             cluster_result.removed_edges.extend(costed)
+
+        if label_pool is not None and len(tasks) > 1:
+            all_rows = label_pool.run(tasks)
+        else:
+            all_rows = [run_label_task(task, engine=engine) for task in tasks]
+        for rows in all_rows:
+            record_label_rows(cluster_result.index, rows)
+
         if cspan.enabled:
             cspan.set(
                 clusters=cluster_result.clusters_condensed,
@@ -214,7 +323,7 @@ def condense_round(
             )
 
     surviving = set(graph.nodes())
-    strip.index.absorb(cluster_result.index, surviving)
+    strip.index.absorb(cluster_result.index, surviving, steal=flat)
     return RoundResult(
         removed_nodes=strip.removed_nodes | cluster_result.removed_nodes,
         removed_edges=strip.removed_edges + cluster_result.removed_edges,

@@ -74,6 +74,7 @@ from repro.qa.workload import (
     qa_params,
 )
 from repro.search.bbs import skyline_paths
+from repro.search.onetoall import one_to_all_skyline
 from repro.service.engine import SkylineQueryEngine
 
 
@@ -100,6 +101,13 @@ class QAConfig:
     # quality tripwire in repro.qa.quality is the deep check; this
     # variant just keeps the serving path honest inside the battery).
     check_corridor: bool = False
+    # One-to-all differential: the flat CSR one-to-all kernel must be
+    # bit-identical to the scalar search; the bucket tier must be
+    # answer-set-equal (same contract as the point-to-point kernels).
+    check_onetoall: bool = True
+    # Construction differential: a flat-pipeline build (engine="batch")
+    # must serve bit-identical answers to the scalar reference build.
+    check_build: bool = True
     metamorphic_queries: int = 2
     cache_size: int = 64
 
@@ -241,10 +249,20 @@ def run_case(
 
         case_csr = None
         fused_answers = None
-        if config.check_flat or config.check_batch:
+        if config.check_flat or config.check_batch or config.check_onetoall:
             from repro.accel.csr import CSRSnapshot
 
             case_csr = CSRSnapshot.from_graph(graph, tracer=tracer)
+
+        built_flat = None
+        if config.check_build:
+            # Construction bit-identity: the flat pipeline (one-pass
+            # discovery, local scans, CSR label kernel, steal-merge)
+            # must produce an index serving the exact answers of the
+            # scalar reference build, query for query.
+            from repro.core.builder import build_backbone_index
+
+            built_flat = build_backbone_index(graph, params, engine="batch")
         if config.check_batch and case_csr is not None:
             # The fused serving-batch kernel answers the whole case in
             # one shared traversal; each per-query answer is checked
@@ -273,6 +291,61 @@ def run_case(
                 expand=index.expand_path,
             )
 
+            if built_flat is not None:
+                from_flat_build = backbone_query(
+                    built_flat, source, target
+                ).paths
+                for detail in identical_answer_errors(
+                    "backbone", fresh, "backbone_flat_build", from_flat_build
+                ):
+                    report.discrepancies.append(
+                        Discrepancy(
+                            spec.seed, "build_identity",
+                            "backbone_flat_build", query, detail,
+                        )
+                    )
+                report.variants_checked += 1
+
+            if config.check_onetoall and case_csr is not None:
+                # One-to-all kernel tiers, anchored at the query source:
+                # flat must be bit-identical to the scalar search,
+                # batch answer-set-equal — per reached node.
+                scalar_all = one_to_all_skyline(graph, source)
+                flat_all = one_to_all_skyline(
+                    graph, source, engine="flat", snapshot=case_csr
+                )
+                batch_all = one_to_all_skyline(
+                    graph, source, engine="batch", snapshot=case_csr
+                )
+                set_compare = lambda *a: answer_set_errors(*a, graph)  # noqa: E731
+                for name, check, compare, other in (
+                    ("exact_onetoall_flat", "onetoall_identity",
+                     identical_answer_errors, flat_all),
+                    ("exact_onetoall_batch", "onetoall_answer_set",
+                     set_compare, batch_all),
+                ):
+                    if set(scalar_all) != set(other):
+                        report.discrepancies.append(
+                            Discrepancy(
+                                spec.seed, check, name, query,
+                                f"reached sets differ: scalar "
+                                f"{len(scalar_all)} nodes vs "
+                                f"{len(other)}",
+                            )
+                        )
+                    else:
+                        for node in scalar_all:
+                            for detail in compare(
+                                "scalar", scalar_all[node], name, other[node]
+                            ):
+                                report.discrepancies.append(
+                                    Discrepancy(
+                                        spec.seed, check, name, query,
+                                        f"node {node}: {detail}",
+                                    )
+                                )
+                    report.variants_checked += 1
+
             if config.check_batch and case_csr is not None:
                 # The batch kernel's weaker tier: answer-set equality
                 # with the oracle (not bit identity — expansion order
@@ -281,7 +354,7 @@ def run_case(
                     graph, source, target, engine="batch", snapshot=case_csr
                 ).paths
                 for detail in answer_set_errors(
-                    "exact", exact, "exact_batch", exact_batch
+                    "exact", exact, "exact_batch", exact_batch, graph
                 ):
                     report.discrepancies.append(
                         Discrepancy(
@@ -294,7 +367,7 @@ def run_case(
             if fused_answers is not None:
                 for detail in answer_set_errors(
                     "exact", exact, "exact_fused",
-                    fused_answers[index_in_case].paths,
+                    fused_answers[index_in_case].paths, graph,
                 ):
                     report.discrepancies.append(
                         Discrepancy(

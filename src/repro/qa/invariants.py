@@ -22,7 +22,9 @@ test suite in agreement about what *correct* means:
 * :func:`answer_set_errors` — two variants that must agree as *answer
   sets* (the batch kernel's contract): same skyline costs with the
   same multiplicities, and identical node sequences wherever a cost is
-  unique — only which equal-cost alternate survives may differ.
+  unique — only which equal-cost alternate survives may differ (with
+  the graph at hand, divergent representatives are accepted exactly
+  when both walks price to the claimed cost).
 """
 
 from __future__ import annotations
@@ -234,6 +236,7 @@ def answer_set_errors(
     paths_a: Sequence[Path],
     label_b: str,
     paths_b: Sequence[Path],
+    graph: MultiCostGraph | None = None,
 ) -> list[str]:
     """Two variants required to return the same *answer set*.
 
@@ -247,7 +250,13 @@ def answer_set_errors(
     * the skyline cost sets must be equal, with equal multiplicities
       per cost vector (``keep_equal_costs`` semantics are preserved);
     * wherever a cost vector is held by exactly one path on both
-      sides, the node sequences must match too.
+      sides, the node sequences must match too — unless ``graph`` is
+      given and *both* walks price to that cost in it.  Engines prune
+      equal-cost duplicates keep-first, so when the graph holds two
+      distinct walks of identical cost each engine may legitimately
+      keep a different one; with the graph at hand the checker verifies
+      the divergent walk really achieves the claimed cost instead of
+      flagging the permitted divergence.
 
     Counters and expansion statistics are explicitly out of scope —
     see the "counters may differ" tier note in the batch kernel.
@@ -258,24 +267,28 @@ def answer_set_errors(
         return problems
 
     def grouped(paths: Sequence[Path]) -> dict:
-        groups: dict[tuple[float, ...], list] = {}
+        groups: dict[tuple[float, ...], list[Path]] = {}
         for path in paths:
-            groups.setdefault(path.cost, []).append(path.nodes)
+            groups.setdefault(path.cost, []).append(path)
         return groups
 
     groups_a, groups_b = grouped(paths_a), grouped(paths_b)
     problems = []
-    for cost, walks_a in sorted(groups_a.items()):
-        walks_b = groups_b.get(cost, [])
-        if len(walks_a) != len(walks_b):
+    for cost, group_a in sorted(groups_a.items()):
+        group_b = groups_b.get(cost, [])
+        if len(group_a) != len(group_b):
             problems.append(
-                f"{label_a} keeps {len(walks_a)} paths at cost {cost}, "
-                f"{label_b} keeps {len(walks_b)}"
+                f"{label_a} keeps {len(group_a)} paths at cost {cost}, "
+                f"{label_b} keeps {len(group_b)}"
             )
-        elif len(walks_a) == 1 and walks_a != walks_b:
+        elif len(group_a) == 1 and group_a[0].nodes != group_b[0].nodes:
+            if graph is not None and not path_errors(
+                graph, group_a[0]
+            ) and not path_errors(graph, group_b[0]):
+                continue  # distinct but genuine equal-cost walks
             problems.append(
                 f"unique-cost answers disagree at {cost}: "
-                f"{label_a} {walks_a[0]} vs {label_b} {walks_b[0]}"
+                f"{label_a} {group_a[0].nodes} vs {label_b} {group_b[0].nodes}"
             )
     return problems
 

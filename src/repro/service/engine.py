@@ -121,6 +121,13 @@ CORRIDOR_CACHE_SIZE = 128
 # engine="flat"/"batch" to pin a tier.
 DEFAULT_BATCH_NODE_CROSSOVER = 600
 
+# Lower-bound providers an engine can pin for exact/corridor queries.
+# "auto" = warm landmarks when available, exact reverse Dijkstra
+# otherwise; "pareto_prep" computes all dimensions' exact bounds in one
+# backward pass over the CSR snapshot (repro.accel.bounds) — same
+# values as "exact", one traversal instead of dim.
+BOUND_PROVIDERS = ("auto", "exact", "landmark", "pareto_prep")
+
 
 @dataclass
 class QueryResponse:
@@ -206,6 +213,16 @@ class SkylineQueryEngine:
         provably misses it (or is structurally unsound when no
         reference exists) escalates to exact within the remaining time
         budget.  None disables escalation (answers are still scored).
+    bound_provider:
+        Lower-bound source for exact/corridor searches.  ``"auto"``
+        (default) uses the warm landmark index when present and falls
+        back to exact reverse Dijkstra; ``"landmark"`` and ``"exact"``
+        pin those choices; ``"pareto_prep"`` computes exact
+        per-dimension bounds for all dimensions in a single backward
+        pass over the CSR snapshot
+        (:class:`repro.accel.bounds.ParetoPrepBounds`) — identical
+        pruning to ``"exact"`` at a fraction of the preprocessing
+        cost per query.
     """
 
     def __init__(
@@ -226,11 +243,17 @@ class SkylineQueryEngine:
         batch_node_crossover: int = DEFAULT_BATCH_NODE_CROSSOVER,
         corridor_radius: int = 2,
         quality_target: float | None = None,
+        bound_provider: str = "auto",
     ) -> None:
         if engine not in ("auto", "flat", "python", "batch"):
             raise QueryError(
                 f"unknown engine {engine!r} "
                 "(use 'auto', 'flat', 'batch' or 'python')"
+            )
+        if bound_provider not in BOUND_PROVIDERS:
+            raise QueryError(
+                f"unknown bound provider {bound_provider!r} "
+                f"(use one of {', '.join(BOUND_PROVIDERS)})"
             )
         if corridor_radius < 0:
             raise QueryError("corridor_radius cannot be negative")
@@ -257,6 +280,7 @@ class SkylineQueryEngine:
         self.default_time_budget = default_time_budget
         self.exact_node_threshold = exact_node_threshold
         self.engine = engine
+        self.bound_provider = bound_provider
         self.batch_node_crossover = batch_node_crossover
         self.corridor_radius = corridor_radius
         self.quality_target = quality_target
@@ -329,17 +353,19 @@ class SkylineQueryEngine:
                 self.metrics.observe("engine.index_build_seconds", elapsed)
             return self._index
 
-    def _original_snapshot(self):
+    def _original_snapshot(self, *, force: bool = False):
         """The CSR snapshot of the served graph, built at most once per
         generation.
 
-        Returns None under ``engine="python"``.  Otherwise the snapshot
-        is built lazily under the build lock and reused by every exact
-        query until a generation bump retires it — so the one
-        ``accel.csr.build`` span per generation is the amortized cost of
-        flat serving.
+        Returns None under ``engine="python"`` unless ``force`` is set
+        (the ``pareto_prep`` bound provider needs the snapshot even
+        when searches stay on the python engine).  Otherwise the
+        snapshot is built lazily under the build lock and reused by
+        every exact query until a generation bump retires it — so the
+        one ``accel.csr.build`` span per generation is the amortized
+        cost of flat serving.
         """
-        if self.engine == "python":
+        if self.engine == "python" and not force:
             return None
         snapshot = self._csr_original
         if snapshot is None:
@@ -372,6 +398,31 @@ class SkylineQueryEngine:
         ):
             return "batch"
         return "flat"
+
+    def _bounds_for(self, target: int):
+        """The lower-bound provider for one exact/corridor query.
+
+        Resolves ``bound_provider``: ``"auto"`` serves warm landmarks
+        when present and exact reverse Dijkstra otherwise;
+        ``"landmark"`` behaves like ``"auto"`` (it cannot conjure an
+        unwarmed landmark index, so the exact fallback stays);
+        ``"exact"`` always runs the per-dimension reverse Dijkstras;
+        ``"pareto_prep"`` folds them into one backward pass over the
+        CSR snapshot — forced into existence even under
+        ``engine="python"``, then cached for every later query.
+        """
+        choice = self.bound_provider
+        if choice == "pareto_prep":
+            from repro.accel.bounds import ParetoPrepBounds
+
+            return ParetoPrepBounds(
+                self._original_snapshot(force=True), [target]
+            )
+        if choice != "exact":
+            landmarks = self._original_landmarks
+            if landmarks is not None:
+                return LandmarkLowerBounds(landmarks, [target])
+        return ExactBounds(self._graph, [target])
 
     def batch_tier(self) -> bool:
         """True when exact queries resolve to the bucket-mode kernel.
@@ -708,7 +759,14 @@ class SkylineQueryEngine:
                 generation = self._generation
                 landmarks = self._original_landmarks
                 bounds = None
-                if landmarks is not None:
+                if self.bound_provider == "pareto_prep":
+                    from repro.accel.bounds import ParetoPrepBounds
+
+                    bounds = [
+                        ParetoPrepBounds(snapshot, [target])
+                        for _, target in run_pairs
+                    ]
+                elif landmarks is not None and self.bound_provider != "exact":
                     bounds = [
                         LandmarkLowerBounds(landmarks, [target])
                         for _, target in run_pairs
@@ -762,12 +820,7 @@ class SkylineQueryEngine:
             return cached
         generation = self._generation
         started = time.perf_counter()
-        landmarks = self._original_landmarks
-        bounds = (
-            LandmarkLowerBounds(landmarks, [target])
-            if landmarks is not None
-            else ExactBounds(self._graph, [target])
-        )
+        bounds = self._bounds_for(target)
         snapshot = self._original_snapshot()
         outcome = skyline_paths(
             self._graph, source, target, bounds=bounds, time_budget=budget,
@@ -815,12 +868,7 @@ class SkylineQueryEngine:
         remaining = (
             deadline - time.perf_counter() if deadline is not None else None
         )
-        landmarks = self._original_landmarks
-        bounds = (
-            LandmarkLowerBounds(landmarks, [target])
-            if landmarks is not None
-            else ExactBounds(self._graph, [target])
-        )
+        bounds = self._bounds_for(target)
         snapshot = self._original_snapshot()
         outcome = skyline_paths(
             self._graph,

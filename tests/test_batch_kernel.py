@@ -107,7 +107,7 @@ class TestAnswerSetEquality:
                 graph, source, target, engine="batch", snapshot=snapshot
             )
             assert not answer_set_errors(
-                "flat", flat.paths, "batch", batch.paths
+                "flat", flat.paths, "batch", batch.paths, graph
             )
 
     @given(seed=st.integers(0, 10_000))
@@ -309,7 +309,7 @@ class TestFusedBatch:
                 graph, source, target, engine="flat", snapshot=snapshot
             )
             assert not answer_set_errors(
-                "flat", flat.paths, "fused", result.paths
+                "flat", flat.paths, "fused", result.paths, graph
             )
 
     @given(seed=st.integers(0, 10_000))

@@ -22,12 +22,15 @@ from __future__ import annotations
 import pytest
 
 import repro.accel.bbs_kernel as bbs_kernel_module
+import repro.accel.onetoall_kernel as onetoall_kernel_module
 import repro.search.bbs as bbs_module
 import repro.search.mbbs as mbbs_module
+import repro.search.onetoall as onetoall_module
 from repro.accel.csr import CSRSnapshot
-from repro.search.bbs import skyline_paths
+from repro.search.bbs import SearchStats, skyline_paths
 from repro.search.bounds import ZeroBounds
 from repro.search.mbbs import Seed, many_to_many_skyline
+from repro.search.onetoall import one_to_all_skyline
 
 S, X, Y = 0, 1, 2
 FIRST_M = 3
@@ -83,6 +86,8 @@ def clock(monkeypatch):
     monkeypatch.setattr(bbs_module, "time", fake)
     monkeypatch.setattr(mbbs_module, "time", fake)
     monkeypatch.setattr(bbs_kernel_module, "time", fake)
+    monkeypatch.setattr(onetoall_module, "time", fake)
+    monkeypatch.setattr(onetoall_kernel_module, "time", fake)
     return fake
 
 
@@ -130,6 +135,46 @@ def test_mbbs_budget_survives_stale_pop_run(engine, clock):
     )
     assert_timed_out_promptly(result.stats, clock)
     assert Y in result.hits
+
+
+@pytest.mark.parametrize("engine", ["python", "flat"])
+def test_onetoall_budget_survives_stale_pop_run(engine, clock):
+    # One-to-all has no result skyline to prune against, but frontier
+    # evictions produce the same pathology: the cheap S->Y->m path pops
+    # first and evicts every expensive X->m label from m's frontier,
+    # leaving a run of STALE_POPS stale pops that never increment
+    # ``expansions`` — only a monotone loop-count gate reads the clock.
+    graph = starvation_graph()
+    snapshot = CSRSnapshot.from_graph(graph) if engine == "flat" else None
+    stats = SearchStats()
+    reached = one_to_all_skyline(
+        graph,
+        S,
+        time_budget=BUDGET,
+        stats=stats,
+        engine=engine,
+        snapshot=snapshot,
+    )
+    assert_timed_out_promptly(stats, clock)
+    # The partial skyline found before expiry is still returned.
+    assert [p.cost for p in reached[Y]] == [(10.0, 10.0)]
+
+
+@pytest.mark.parametrize("engine", ["python", "flat"])
+def test_onetoall_completes_within_budget_untouched(engine):
+    graph = starvation_graph()
+    snapshot = CSRSnapshot.from_graph(graph) if engine == "flat" else None
+    stats = SearchStats()
+    reached = one_to_all_skyline(
+        graph,
+        S,
+        time_budget=60.0,
+        stats=stats,
+        engine=engine,
+        snapshot=snapshot,
+    )
+    assert stats.timed_out is False
+    assert [p.cost for p in reached[FIRST_M]] == [(11.0, 11.0)]
 
 
 @pytest.mark.parametrize("engine", ["python", "flat"])
